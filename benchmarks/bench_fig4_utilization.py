@@ -1,0 +1,32 @@
+"""Figure 4: CPU utilization vs offered load, stateful vs stateless.
+
+Paper values: utilization grows linearly through the origin in both
+modes; saturation at ~10,360 cps (transaction stateful) and ~12,300 cps
+(stateless), both with lookup.
+"""
+
+from repro.harness.figures import figure4_utilization
+
+
+def test_fig4_utilization(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(
+        figure4_utilization, args=(quality,), rounds=1, iterations=1
+    )
+    save_figure(figure, "figure4.txt")
+
+    # Stateless must saturate meaningfully above stateful.
+    stateful = figure.measured("stateful saturation cps")
+    stateless = figure.measured("stateless saturation cps")
+    assert stateless > 1.1 * stateful
+    # Both within 15% of the paper's saturation points.
+    for row in figure.comparisons:
+        assert 0.85 <= row[3] <= 1.15, f"saturation off: {row}"
+    # Utilization linear through the origin: at ~half load, ~half busy.
+    for mode, series in figure.series.items():
+        for offered, utilization in series:
+            anchor = stateful if "stateful" in mode else stateless
+            predicted = offered / anchor
+            if predicted < 0.85:
+                assert abs(utilization - predicted) < 0.12, (
+                    mode, offered, utilization, predicted,
+                )

@@ -1,0 +1,46 @@
+"""Figure 6: two servers in series -- response times.
+
+Paper values: the stateful configuration bounds INVITE response times
+under ~200 ms up to its (lower) saturation point; the stateless one
+stays low until ~12,300 cps and then spikes; SERvartuka tracks the
+stateful bound while saturating higher.
+"""
+
+from repro.harness.figures import figure6_response_times
+
+
+def test_fig6_response_times(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(
+        figure6_response_times, args=(quality,), rounds=1, iterations=1
+    )
+    save_figure(figure, "figure6.txt")
+
+    # Build per-config series: offered -> p95 (ms).
+    series = {}
+    peak = {}
+    for config, offered, mean_ms, p95_ms, _retr in figure.rows:
+        series.setdefault(config, []).append((offered, p95_ms))
+
+    for config, rows in series.items():
+        rows.sort()
+        # Throughput info comes from the sweep; approximate each
+        # config's knee as the load where p95 explodes.
+        peak[config] = rows
+
+    # Below ~8,000 cps every configuration responds in a few ms.
+    for config, rows in series.items():
+        low_load = [p95 for offered, p95 in rows if offered < 7000]
+        assert low_load and max(low_load) < 50, (config, low_load)
+
+    # The stateful and SERvartuka configs stay bounded (<200 ms, the
+    # paper's bound) up to the static saturation region.
+    for config in ("stateful", "servartuka"):
+        bounded = [p95 for offered, p95 in series[config] if offered <= 8200]
+        assert max(bounded) < 200, (config, bounded)
+
+    # Past its knee the all-stateless system shows clearly inflated
+    # response times relative to its own low-load baseline.
+    stateless = series["stateless"]
+    low = max(p95 for offered, p95 in stateless if offered < 7000)
+    high = max(p95 for offered, p95 in stateless)
+    assert high > 4 * max(low, 1.0)

@@ -1,0 +1,45 @@
+"""Figure 7: maximal throughput vs external/internal load mix.
+
+Paper values: SERvartuka >= static at every mix; the gain peaks near an
+80/20 external/internal split (paper: 9,540 vs 11,410 cps, LP bound
+11,960).  Our static baseline (both proxies statically stateful, the
+deployed default) is stronger than the paper's measurement, so the
+absolute gain is smaller, but the shape -- interior peak, SERvartuka
+tracking the LP bound -- reproduces.
+"""
+
+from repro.harness.figures import figure7_changing_load
+
+
+def test_fig7_changing_load(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(
+        figure7_changing_load, args=(quality,), rounds=1, iterations=1
+    )
+    save_figure(figure, "figure7.txt")
+
+    rows = {row[0]: row for row in figure.rows}  # fraction -> row
+
+    # SERvartuka never loses to static (allow 3% measurement noise).
+    for fraction, row in rows.items():
+        _f, static, dynamic, lp, _gain = row
+        assert dynamic >= 0.97 * static, row
+        # Neither exceeds the LP bound by more than noise.
+        assert dynamic <= lp * 1.08, row
+
+    # Once delegation is possible (external traffic exists) the gain is
+    # strictly positive, while the degenerate single-server mix (f=0)
+    # shows none -- the figure's core message.
+    gain_at_zero = rows[0.0][4] if 0.0 in rows else 1.0
+    delegable_gains = [row[4] for f, row in rows.items() if f >= 0.5]
+    assert delegable_gains and min(delegable_gains) > gain_at_zero
+    assert max(delegable_gains) >= 1.04
+
+    # The 80/20 mix is at (or within noise of) the best gain; paper puts
+    # the peak exactly there, our static baseline shifts it slightly.
+    if 0.8 in rows:
+        best_gain = max(row[4] for row in rows.values())
+        assert rows[0.8][4] >= 0.97 * best_gain
+
+    # At the 0.8 mix SERvartuka lands near the paper's measured value.
+    if 0.8 in rows:
+        assert 0.85 <= rows[0.8][2] / 11410 <= 1.15

@@ -1,0 +1,31 @@
+"""Figure 8: three-server parallel (load balancing) configuration.
+
+Paper values: static (stateless front, stateful forks) 11,990 cps,
+SERvartuka 12,830 cps.  The paper itself notes it cannot explain the
+SERvartuka advantage here -- analytically the front node is the
+bottleneck and the static assignment is already optimal -- so the
+reproduction target is *parity or better*: SERvartuka must do no worse
+than static (the paper's own worst-case claim), with saturation near
+the front node's stateless capacity.
+"""
+
+from repro.harness.figures import figure8_parallel
+
+
+def test_fig8_parallel(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(
+        figure8_parallel, args=(quality,), rounds=1, iterations=1
+    )
+    save_figure(figure, "figure8.txt")
+
+    static = figure.measured("static saturation")
+    dynamic = figure.measured("servartuka saturation")
+    # Worst case for the algorithm: no worse than static (3% noise).
+    assert dynamic >= 0.97 * static
+    # Both saturate near the paper's static value (the front's T_SL).
+    assert 0.85 <= static / 11990 <= 1.15
+    # Full statefulness below saturation.
+    for row in figure.rows:
+        config, offered, _throughput, trying = row
+        if offered <= 0.85 * static:
+            assert trying > 0.95, row

@@ -1,0 +1,16 @@
+"""Section 4.1: the state-distribution LP's worked example.
+
+Paper values: two homogeneous servers in series with T_SF ~= 10,360 and
+T_SL ~= 12,300 admit ~11,240 cps when each holds state for ~5,620 cps
+-- versus the 10,360 ceiling of any static configuration.
+"""
+
+from repro.harness.figures import lp_optima
+
+
+def test_lp_two_series_optimum(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(lp_optima, args=(quality,), rounds=1, iterations=1)
+    save_figure(figure, "lp_optima.txt")
+    # The LP solve is exact; require sub-1% agreement with the paper.
+    assert abs(figure.measured("two-series LP optimum") - 11240) / 11240 < 0.01
+    assert abs(figure.measured("per-node stateful share") - 5620) / 5620 < 0.01

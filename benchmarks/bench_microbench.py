@@ -1,0 +1,136 @@
+"""Microbenchmarks of the library's hot paths.
+
+Unlike the figure benches (one long run each), these use real
+pytest-benchmark rounds and measure the building blocks a downstream
+user would care about: wire parsing, message serialization, the LP
+solver, transaction machinery and raw simulator throughput.
+"""
+
+from repro.core.lp import FlowPathLP, StateDistributionLP
+from repro.core.costmodel import CostModel, Feature, MessageKind, scenario_features
+from repro.core.topology import parallel_fork_topology, two_series_topology
+from repro.harness.runner import run_scenario
+from repro.sim.cpu import CpuModel
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStream
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import parse_message
+from repro.sip.timers import TimerPolicy
+from repro.sip.transaction import ClientTransaction, ServerTransaction
+from repro.workloads.scenarios import ScenarioConfig, two_series
+
+RAW_INVITE = (
+    "INVITE sip:burdell@cc.gatech.edu SIP/2.0\r\n"
+    "Via: SIP/2.0/UDP p2.example.com;branch=z9hG4bK3\r\n"
+    "Via: SIP/2.0/UDP p1.example.com;branch=z9hG4bK2\r\n"
+    "Via: SIP/2.0/UDP uac.example.com;branch=z9hG4bK1\r\n"
+    "Record-Route: <sip:p2.example.com;lr>\r\n"
+    "Record-Route: <sip:p1.example.com;lr>\r\n"
+    "From: \"Hal\" <sip:hal@us.ibm.com>;tag=a1\r\n"
+    "To: <sip:burdell@cc.gatech.edu>\r\n"
+    "Call-ID: abc123@uac.example.com\r\n"
+    "CSeq: 1 INVITE\r\n"
+    "Contact: <sip:hal@uac.example.com>\r\n"
+    "Max-Forwards: 68\r\n"
+    "Content-Length: 0\r\n\r\n"
+)
+
+
+def test_parse_invite(benchmark):
+    message = benchmark(parse_message, RAW_INVITE)
+    assert message.method == "INVITE"
+
+
+def test_serialize_invite(benchmark):
+    message = parse_message(RAW_INVITE)
+    wire = benchmark(message.to_wire)
+    assert wire.startswith("INVITE")
+
+
+def test_transaction_key(benchmark):
+    message = parse_message(RAW_INVITE)
+
+    def key():
+        message._cache.clear()  # force the lazy parse each round
+        return message.transaction_key()
+
+    assert benchmark(key)[2] == "INVITE"
+
+
+def test_message_cost_lookup(benchmark):
+    model = CostModel()
+    features = scenario_features("transaction_stateful")
+    cost, _ = benchmark(model.message_cost, MessageKind.INVITE, features, 1)
+    assert cost > 0
+
+
+def test_lp_two_series(benchmark):
+    topology = two_series_topology(10360, 12300)
+    solution = benchmark(lambda: StateDistributionLP(topology).solve())
+    assert solution.throughput > 11000
+
+
+def test_lp_fork_fixed_routing(benchmark):
+    topology = parallel_fork_topology(
+        (10360, 12300), (10360, 12300), (10360, 12300)
+    )
+    solution = benchmark(lambda: FlowPathLP(topology).solve())
+    assert solution.throughput > 12000
+
+
+def test_client_transaction_lifecycle(benchmark):
+    timers = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+    def lifecycle():
+        loop = EventLoop()
+        request = SipRequest.build(
+            "INVITE", "sip:u@x.com", "sip:a@y.com", "sip:u@x.com", "c", 1, "ft"
+        )
+        request.push_via(Via("uac", branch="z9hG4bKb"))
+        seen = []
+        txn = ClientTransaction(
+            request, loop, send_fn=lambda m: None,
+            on_response=seen.append, on_timeout=lambda: None, timers=timers,
+        )
+        txn.start()
+        txn.receive_response(SipResponse.for_request(request, 180, to_tag="t"))
+        txn.receive_response(SipResponse.for_request(request, 200, to_tag="t"))
+        loop.run()
+        return len(seen)
+
+    assert benchmark(lifecycle) == 2
+
+
+def test_event_loop_throughput(benchmark):
+    def drain():
+        loop = EventLoop()
+        for index in range(5000):
+            loop.schedule(index * 1e-6, lambda: None)
+        return loop.run()
+
+    assert benchmark(drain) == 5000
+
+
+def test_cpu_model_throughput(benchmark):
+    def churn():
+        loop = EventLoop()
+        cpu = CpuModel(loop, RngStream(1, "bench"), noise_sigma=0.3)
+        for _ in range(2000):
+            cpu.submit(1e-5, lambda: None)
+        loop.run()
+        return cpu.jobs_completed
+
+    assert benchmark(churn) == 2000
+
+
+def test_simulated_call_throughput(benchmark):
+    """End-to-end simulator speed: calls simulated per wall second."""
+    config = ScenarioConfig(scale=25.0, seed=3)
+
+    def run():
+        scenario = two_series(6000, policy="servartuka", config=config)
+        result = run_scenario(scenario, duration=3.0, warmup=1.0)
+        return result.throughput_cps
+
+    assert benchmark(run) > 4000

@@ -1,0 +1,21 @@
+"""Section 6.1 text result: three servers in series.
+
+Paper values: static 8,780 cps vs SERvartuka 10,180 cps (+16%).
+"""
+
+from repro.harness.figures import three_series_text
+
+
+def test_three_series(benchmark, quality, save_figure):
+    figure = benchmark.pedantic(
+        three_series_text, args=(quality,), rounds=1, iterations=1
+    )
+    save_figure(figure, "three_series.txt")
+
+    static = figure.measured("static saturation")
+    dynamic = figure.measured("servartuka saturation")
+    assert dynamic > static
+    gain = dynamic / static - 1.0
+    assert 0.04 <= gain <= 0.35, f"gain {gain:.2%} outside plausible band"
+    assert 0.8 <= static / 8780 <= 1.2
+    assert 0.8 <= dynamic / 10180 <= 1.2

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_fig*.py`` regenerates one table/figure from the paper's
+evaluation.  The rendered result is printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+latest run.
+
+Quality: benches default to the QUICK preset (scale 25, short windows)
+so the whole suite finishes in tens of minutes; set
+``REPRO_BENCH_QUALITY=standard`` or ``full`` for higher fidelity.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.figures import FULL, QUICK, STANDARD
+from repro.harness.report import render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_QUALITIES = {"quick": QUICK, "standard": STANDARD, "full": FULL}
+
+
+@pytest.fixture(scope="session")
+def quality():
+    name = os.environ.get("REPRO_BENCH_QUALITY", "quick").lower()
+    if name not in _QUALITIES:
+        raise ValueError(f"REPRO_BENCH_QUALITY must be one of {sorted(_QUALITIES)}")
+    return _QUALITIES[name]
+
+
+@pytest.fixture
+def save_figure():
+    """Render a FigureData, print it, and persist it under results/."""
+
+    def _save(figure, filename):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = render_figure(figure)
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        print()
+        print(text)
+        return text
+
+    return _save

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributing authentication as well as state (paper section 6.2).
+
+A two-proxy trunk where every call must be digest-authenticated once.
+Three arrangements:
+
+  A. conventional -- both proxies statically stateful, the entry proxy
+     authenticates everything;
+  B. SERvartuka distributing transaction state, auth still pinned at
+     the entry;
+  C. SERvartuka distributing *both* state and authentication.
+
+Run:
+    python examples/authenticated_trunk.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.harness.report import format_table
+from repro.workloads.scenarios import n_series
+
+SCALE = 25.0
+
+ARRANGEMENTS = (
+    ("A: static + entry auth", dict(policy="static", auth="entry")),
+    ("B: dynamic state, entry auth", dict(policy="servartuka", auth="entry")),
+    ("C: dynamic state + auth", dict(policy="servartuka", auth="distributed")),
+)
+
+
+def measure(load: float, kwargs: dict) -> dict:
+    scenario = n_series(
+        2, load, config=ScenarioConfig(scale=SCALE, seed=17), **kwargs
+    )
+    result = run_scenario(scenario, duration=8.0, warmup=4.0)
+    auth_at = {
+        name: proxy.metrics.counter("invites_authenticated").value
+        for name, proxy in scenario.proxies.items()
+    }
+    return {
+        "throughput": result.throughput_cps,
+        "auth_at": auth_at,
+        "busy": result.server_busy_500,
+    }
+
+
+def main() -> None:
+    for load in (8600, 10200):
+        rows = []
+        for label, kwargs in ARRANGEMENTS:
+            outcome = measure(load, kwargs)
+            auth_split = " / ".join(
+                f"{name}:{count}" for name, count in outcome["auth_at"].items()
+            )
+            rows.append([
+                label,
+                round(outcome["throughput"]),
+                auth_split,
+                outcome["busy"],
+            ])
+        print(format_table(
+            ["arrangement", "throughput cps", "auth checks", "500s"],
+            rows,
+            title=f"Offered load {load} cps",
+        ))
+        print()
+
+    print("At moderate load the three arrangements tie.  Past the static "
+          "capacity the static arrangement sheds calls with 500s while "
+          "both dynamic arrangements keep serving; arrangement C "
+          "additionally moves credential checks downstream, spending the "
+          "entry proxy's cycles where they are scarcest -- the mechanism "
+          "behind the paper's remark that distributing authentication "
+          "brought 'significantly larger improvements'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Capacity study for a campus VoIP deployment (paper Figures 5 and 7).
+
+The paper's motivating example: calls from ``cc.gatech.edu`` traverse
+the department proxy (S1) and the campus proxy (S2).  Some calls stay
+inside the department (internal), the rest leave through both proxies
+(external).  This script sweeps the external-traffic fraction and
+reports, for each mix, what a static deployment and a SERvartuka
+deployment can carry -- alongside the LP bound.
+
+Run:
+    python examples/campus_voip_capacity.py [--fast]
+"""
+
+import sys
+
+from repro import ScenarioConfig, internal_external
+from repro.core.costmodel import CostModel, Feature
+from repro.core.lp import FlowPathLP
+from repro.core.topology import Topology
+from repro.harness.report import format_table, sparkline
+from repro.harness.saturation import find_capacity
+
+
+def lp_bound(cost_model: CostModel, fraction: float) -> float:
+    """Fixed-routing LP bound for the mix, in paper cps."""
+    s1 = cost_model.node_thresholds({Feature.BASE, Feature.LOOKUP}, depth=0.0)
+    s2 = cost_model.node_thresholds({Feature.BASE, Feature.LOOKUP}, depth=1.0)
+    scale = cost_model.scale
+    topology = Topology()
+    topology.add_node("S1", s1[0] * scale, s1[1] * scale)
+    topology.add_node("S2", s2[0] * scale, s2[1] * scale)
+    topology.add_edge("S1", "S2")
+    if fraction > 0:
+        topology.add_flow("external", ["S1", "S2"], share=fraction)
+    if fraction < 1:
+        topology.add_flow("internal", ["S1"], share=1 - fraction)
+    return FlowPathLP(topology).solve().throughput
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    fractions = [0.0, 0.8, 1.0] if fast else [i / 5 for i in range(6)]
+    config_factory = lambda: ScenarioConfig(scale=40.0, seed=11)
+    cost_model = config_factory().make_cost_model()
+
+    rows = []
+    gains = []
+    for fraction in fractions:
+        bound = lp_bound(cost_model, fraction)
+        capacities = {}
+        for policy in ("static", "servartuka"):
+            def factory(load, p=policy, f=fraction):
+                return internal_external(load, f, policy=p,
+                                         config=config_factory())
+            sweep = find_capacity(factory, hint=bound, duration=4.0,
+                                  warmup=2.0, points=3, span=0.3)
+            capacities[policy] = sweep.max_throughput
+        gain = capacities["servartuka"] / capacities["static"] - 1
+        gains.append(gain)
+        rows.append([
+            f"{fraction:.1f}",
+            round(capacities["static"]),
+            round(capacities["servartuka"]),
+            round(bound),
+            f"{gain:+.1%}",
+        ])
+
+    print(format_table(
+        ["external fraction", "static cps", "servartuka cps", "LP cps", "gain"],
+        rows,
+        title="Campus deployment capacity vs traffic mix",
+    ))
+    print()
+    print("gain profile:", sparkline(gains))
+    print()
+    print("Reading: when all traffic is internal (fraction 0) one proxy "
+          "does everything and dynamics cannot help; as external traffic "
+          "grows, SERvartuka shifts state onto whichever proxy has "
+          "headroom -- operators no longer need to predict the mix.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""SERvartuka reproduction: dynamic distribution of SIP state.
+
+A full reimplementation of *SERvartuka: Dynamic Distribution of State to
+Improve SIP Server Scalability* (Balasubramaniyan et al., IBM RC24459 /
+ICDCS 2008) as a Python library:
+
+- a from-scratch SIP stack (:mod:`repro.sip`),
+- a discrete-event testbed with a calibrated CPU cost model
+  (:mod:`repro.sim`, :mod:`repro.core.costmodel`),
+- simulated OpenSER-like proxies and SIPp-like endpoints
+  (:mod:`repro.servers`),
+- the paper's LP formulation and the SERvartuka distributed algorithm
+  (:mod:`repro.core`),
+- canonical workloads and an experiment harness regenerating every
+  table and figure (:mod:`repro.workloads`, :mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import two_series, run_scenario
+
+    scenario = two_series(rate=8000, policy="servartuka")
+    result = run_scenario(scenario, duration=10, warmup=4)
+    print(result.throughput_cps, result.trying_ratio)
+"""
+
+from repro.core import (
+    CostModel,
+    Feature,
+    LPSolution,
+    OverloadReport,
+    ServartukaConfig,
+    ServartukaPolicy,
+    StateDistributionLP,
+    StaticMode,
+    StaticPolicy,
+    Topology,
+    optimal_stateful_rate,
+    series_optimal_throughput,
+)
+from repro.core.lp import FlowPathLP, solve_fixed_routing, solve_free_routing
+from repro.core.fluid import FluidModel
+from repro.harness.experiments import ExperimentSuite
+from repro.sim.trace import MessageTrace, render_ladder
+from repro.harness import (
+    FigureData,
+    Quality,
+    QUICK,
+    STANDARD,
+    FULL,
+    RunResult,
+    render_figure,
+    run_scenario,
+    sweep_loads,
+)
+from repro.workloads import (
+    Scenario,
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+    two_series,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Feature",
+    "LPSolution",
+    "OverloadReport",
+    "ServartukaConfig",
+    "ServartukaPolicy",
+    "StateDistributionLP",
+    "FlowPathLP",
+    "StaticMode",
+    "StaticPolicy",
+    "Topology",
+    "optimal_stateful_rate",
+    "series_optimal_throughput",
+    "solve_fixed_routing",
+    "solve_free_routing",
+    "FluidModel",
+    "ExperimentSuite",
+    "MessageTrace",
+    "render_ladder",
+    "FigureData",
+    "Quality",
+    "QUICK",
+    "STANDARD",
+    "FULL",
+    "RunResult",
+    "render_figure",
+    "run_scenario",
+    "sweep_loads",
+    "Scenario",
+    "ScenarioConfig",
+    "internal_external",
+    "n_series",
+    "parallel_fork",
+    "single_proxy",
+    "two_series",
+    "__version__",
+]

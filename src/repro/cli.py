@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``figures [ids...]`` -- regenerate paper tables/figures
+  (``fig3 fig4 lp fig5 fig6 fig7 fig8 three-series`` or ``all``),
+- ``sweep`` -- throughput sweep of one topology/policy,
+- ``run`` -- a single load point with full measurement detail,
+- ``lp`` -- solve the state-distribution LP for a topology described
+  in a small JSON file,
+- ``trace`` -- simulate a few calls and print their ladder diagrams.
+
+All loads are paper-equivalent calls/second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.lp import solve_fixed_routing, solve_free_routing
+from repro.core.topology import Topology
+from repro.harness import figures as figure_mod
+from repro.harness.report import format_table, render_figure
+from repro.harness.runner import run_scenario
+from repro.harness.saturation import staircase, sweep_loads
+from repro.sim.trace import render_ladder
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+)
+
+FIGURE_COMMANDS: Dict[str, Callable] = {
+    "fig3": figure_mod.figure3_profile,
+    "fig4": figure_mod.figure4_utilization,
+    "lp": figure_mod.lp_optima,
+    "fig5": figure_mod.figure5_two_series,
+    "fig6": figure_mod.figure6_response_times,
+    "fig7": figure_mod.figure7_changing_load,
+    "fig8": figure_mod.figure8_parallel,
+    "three-series": figure_mod.three_series_text,
+}
+
+QUALITIES = {
+    "quick": figure_mod.QUICK,
+    "standard": figure_mod.STANDARD,
+    "full": figure_mod.FULL,
+}
+
+
+def _build_scenario(args) -> object:
+    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    if args.topology == "single":
+        return single_proxy(args.rate, mode=args.mode, config=config)
+    if args.topology == "series":
+        return n_series(args.nodes, args.rate, policy=args.policy,
+                        config=config, auth=args.auth)
+    if args.topology == "mix":
+        return internal_external(args.rate, args.external_fraction,
+                                 policy=args.policy, config=config)
+    if args.topology == "fork":
+        return parallel_fork(args.rate, policy=args.policy, config=config)
+    raise ValueError(f"unknown topology {args.topology!r}")
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="series",
+                        choices=["single", "series", "mix", "fork"])
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="chain length for --topology series")
+    parser.add_argument("--policy", default="servartuka",
+                        choices=["servartuka", "static", "static-one",
+                                 "stateless", "stateful"])
+    parser.add_argument("--mode", default="transaction_stateful",
+                        help="functionality mode for --topology single")
+    parser.add_argument("--auth", default="none",
+                        choices=["none", "entry", "distributed"])
+    parser.add_argument("--external-fraction", type=float, default=0.8,
+                        help="external share for --topology mix")
+    parser.add_argument("--scale", type=float, default=25.0,
+                        help="cost scale factor (capacity divisor)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def cmd_figures(args) -> int:
+    wanted = args.ids or ["all"]
+    if "all" in wanted:
+        wanted = list(FIGURE_COMMANDS)
+    unknown = [name for name in wanted if name not in FIGURE_COMMANDS]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; "
+              f"choose from {sorted(FIGURE_COMMANDS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    quality = QUALITIES[args.quality]
+    for name in wanted:
+        figure = FIGURE_COMMANDS[name](quality)
+        print(render_figure(figure))
+        print()
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.harness.experiments import ExperimentSuite
+
+    suite = ExperimentSuite(QUALITIES[args.quality])
+    ids = args.ids or None
+    results = suite.run(ids, progress=lambda name: print(f"running {name}...",
+                                                         file=sys.stderr))
+    if args.json:
+        suite.write_json(results, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.markdown:
+        suite.write_markdown(results, args.markdown)
+        print(f"wrote {args.markdown}", file=sys.stderr)
+    if not args.json and not args.markdown:
+        print(suite.render_all(results))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    loads = staircase(args.start, args.stop, args.step)
+
+    def factory(load: float):
+        factory_args = argparse.Namespace(**vars(args))
+        factory_args.rate = load
+        return _build_scenario(factory_args)
+
+    sweep = sweep_loads(factory, loads, duration=args.duration,
+                        warmup=args.warmup)
+    rows = [
+        [round(p.offered_cps), round(p.result.throughput_cps),
+         f"{p.result.goodput_ratio:.3f}",
+         f"{p.result.invite_rt.get('p95', 0) * 1e3:.1f}",
+         p.result.server_busy_500]
+        for p in sweep
+    ]
+    print(format_table(
+        ["offered_cps", "throughput_cps", "goodput", "rt_p95_ms", "500s"],
+        rows,
+        title=f"{args.topology}/{args.policy}: saturation "
+              f"~{sweep.max_throughput:.0f} cps",
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    scenario = _build_scenario(args)
+    result = run_scenario(scenario, duration=args.duration, warmup=args.warmup)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(format_table(
+            ["metric", "value"],
+            sorted(
+                (key, str(value))
+                for key, value in result.as_dict().items()
+            ),
+            title=f"{scenario.name} at {args.rate:.0f} cps",
+        ))
+    return 0
+
+
+def cmd_lp(args) -> int:
+    with open(args.topology_file) as handle:
+        spec = json.load(handle)
+    topology = topology_from_json(spec)
+    solution = (
+        solve_free_routing(topology) if args.free_routing
+        else solve_fixed_routing(topology)
+    )
+    solution.verify()
+    print(f"admissible load: {solution.throughput:.1f} cps")
+    rows = [
+        [name, round(solution.stateful_rate[name], 1),
+         round(solution.stateless_rate[name], 1),
+         f"{solution.utilization[name]:.1%}"]
+        for name in topology.node_names
+    ]
+    print(format_table(
+        ["node", "stateful_cps", "stateless_cps", "utilization"], rows
+    ))
+    return 0
+
+
+def topology_from_json(spec: dict) -> Topology:
+    """Build a Topology from the CLI's JSON format.
+
+    Format::
+
+        {"nodes": {"S1": [10360, 12300], ...},
+         "edges": [["S1", "S2"], ...],
+         "flows": [{"name": "main", "path": ["S1", "S2"], "share": 1.0}]}
+    """
+    topology = Topology()
+    for name, (t_sf, t_sl) in spec["nodes"].items():
+        topology.add_node(name, t_sf, t_sl)
+    for src, dst in spec.get("edges", []):
+        topology.add_edge(src, dst)
+    for flow in spec.get("flows", []):
+        topology.add_flow(flow["name"], flow["path"], flow.get("share", 1.0))
+    return topology
+
+
+def cmd_trace(args) -> int:
+    factory_args = argparse.Namespace(**vars(args))
+    factory_args.rate = args.rate
+    scenario = _build_scenario(factory_args)
+    trace = scenario.enable_trace()
+    scenario.start()
+    scenario.loop.run_until(args.calls / (args.rate / args.scale) + 1.0)
+    scenario.stop_load()
+    scenario.loop.run_until(scenario.loop.now + 2.0)
+    for call_id in trace.call_ids()[: args.calls]:
+        print(f"--- {call_id} ---")
+        print(render_ladder(trace.call_flow(call_id)))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SERvartuka reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="*",
+                       help=f"figure ids ({', '.join(FIGURE_COMMANDS)}) or 'all'")
+    p_fig.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_exp = sub.add_parser(
+        "experiments", help="run the reproduction suite, export JSON/Markdown"
+    )
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    p_exp.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
+    p_exp.add_argument("--json", help="write machine-readable results here")
+    p_exp.add_argument("--markdown", help="write a Markdown report here")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_sweep = sub.add_parser("sweep", help="throughput sweep to saturation")
+    _add_scenario_args(p_sweep)
+    p_sweep.add_argument("--start", type=float, default=6000)
+    p_sweep.add_argument("--stop", type=float, default=12000)
+    p_sweep.add_argument("--step", type=float, default=1000)
+    p_sweep.add_argument("--duration", type=float, default=8.0)
+    p_sweep.add_argument("--warmup", type=float, default=3.0)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_run = sub.add_parser("run", help="measure one load point")
+    _add_scenario_args(p_run)
+    p_run.add_argument("--rate", type=float, default=8000)
+    p_run.add_argument("--duration", type=float, default=8.0)
+    p_run.add_argument("--warmup", type=float, default=3.0)
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_lp = sub.add_parser("lp", help="solve the state-distribution LP")
+    p_lp.add_argument("topology_file", help="JSON topology description")
+    p_lp.add_argument("--free-routing", action="store_true")
+    p_lp.set_defaults(func=cmd_lp)
+
+    p_trace = sub.add_parser("trace", help="print call ladder diagrams")
+    _add_scenario_args(p_trace)
+    p_trace.add_argument("--rate", type=float, default=100)
+    p_trace.add_argument("--calls", type=int, default=2)
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

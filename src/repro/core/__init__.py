@@ -1,0 +1,41 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.costmodel` -- Figure-3-calibrated CPU cost model,
+- :mod:`repro.core.topology` -- server graph with imaginary source/sink,
+- :mod:`repro.core.lp` -- the section 4.1 linear program,
+- :mod:`repro.core.analysis` -- equation (8) and closed-form optima,
+- :mod:`repro.core.static_policy` / :mod:`repro.core.servartuka` --
+  per-node state policies: the static baselines and Algorithms 1 & 2,
+- :mod:`repro.core.overload` -- the overload/clear control messages.
+"""
+
+from repro.core.costmodel import CostModel, Feature, MessageKind, FIG3_FEATURE_EVENTS
+from repro.core.topology import Topology, Flow
+from repro.core.lp import StateDistributionLP, LPSolution
+from repro.core.analysis import (
+    optimal_stateful_rate,
+    series_optimal_throughput,
+    static_series_throughput,
+)
+from repro.core.static_policy import StaticPolicy, StaticMode
+from repro.core.servartuka import ServartukaPolicy, ServartukaConfig
+from repro.core.overload import OverloadReport
+
+__all__ = [
+    "CostModel",
+    "Feature",
+    "MessageKind",
+    "FIG3_FEATURE_EVENTS",
+    "Topology",
+    "Flow",
+    "StateDistributionLP",
+    "LPSolution",
+    "optimal_stateful_rate",
+    "series_optimal_throughput",
+    "static_series_throughput",
+    "StaticPolicy",
+    "StaticMode",
+    "ServartukaPolicy",
+    "ServartukaConfig",
+    "OverloadReport",
+]

@@ -1,0 +1,170 @@
+"""Closed-form results from section 4 of the paper.
+
+- :func:`optimal_stateful_rate` is equation (8): how much of an incoming
+  load a node should hold state for;
+- :func:`series_optimal_throughput` is the LP optimum for N servers in
+  series (the paper works the two-server case: 11,240 cps when both
+  servers hold state for 5,620 cps each);
+- :func:`static_series_throughput` / :func:`best_static_series` are the
+  statically configured baselines (one node stateful, rest stateless);
+- :func:`parallel_fork_throughput` covers the Figure 8 topology.
+
+All functions operate on (t_sf, t_sl) capacity pairs so they can be fed
+either the paper's measured thresholds or values derived from the
+calibrated cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def _check_pair(t_sf: float, t_sl: float) -> None:
+    if t_sf <= 0 or t_sl <= 0:
+        raise ValueError("capacities must be positive")
+    if t_sf > t_sl:
+        raise ValueError("t_sf must not exceed t_sl")
+
+
+def optimal_stateful_rate(incoming: float, t_sf: float, t_sl: float) -> float:
+    """Equation (8): stateful load a node should carry at ``incoming`` cps.
+
+    Below the stateful saturation limit the node can hold state for
+    everything; above it, state is shed linearly so total utilization
+    stays at 1::
+
+        t_SF(t) = t                          if t <= T_SF
+                  (1 - beta t) / (alpha - beta)   otherwise
+
+    The result is clamped at 0: past the stateless saturation limit the
+    node cannot even forward the load, let alone hold state.
+
+    >>> round(optimal_stateful_rate(5000, 10360, 12300), 1)
+    5000.0
+    >>> round(optimal_stateful_rate(11240, 10360, 12300), 0)
+    5657.0
+    """
+    if incoming < 0:
+        raise ValueError("incoming load must be >= 0")
+    _check_pair(t_sf, t_sl)
+    if incoming <= t_sf:
+        return incoming
+    alpha = 1.0 / t_sf
+    beta = 1.0 / t_sl
+    return max(0.0, (1.0 - beta * incoming) / (alpha - beta))
+
+
+def series_optimal_throughput(
+    capacities: Sequence[Tuple[float, float]],
+) -> Tuple[float, List[float]]:
+    """LP optimum for N servers in series sharing one flow.
+
+    Every server is fully utilized at the optimum; solving the tight
+    system gives::
+
+        L = sum_i 1/(a_i - b_i)  /  (1 + sum_i b_i/(a_i - b_i))
+
+    with per-node stateful rates ``x_i = (1 - b_i L) / (a_i - b_i)``.
+    For homogeneous nodes this reduces to ``L = n / (a + (n-1) b)``.
+    Valid while every ``x_i >= 0`` (heterogeneous capacities can push a
+    node's share negative, in which case callers should fall back to
+    the LP); a ValueError is raised in that regime.
+
+    >>> throughput, shares = series_optimal_throughput(
+    ...     [(10360, 12300), (10360, 12300)])
+    >>> round(throughput)   # paper section 4.1: ~11,240 cps
+    11247
+    >>> [round(s) for s in shares]
+    [5623, 5623]
+    """
+    if not capacities:
+        raise ValueError("need at least one server")
+    numerator = 0.0
+    denominator = 1.0
+    for t_sf, t_sl in capacities:
+        _check_pair(t_sf, t_sl)
+        alpha = 1.0 / t_sf
+        beta = 1.0 / t_sl
+        if alpha == beta:
+            raise ValueError("state must cost something (t_sf < t_sl)")
+        numerator += 1.0 / (alpha - beta)
+        denominator += beta / (alpha - beta)
+    throughput = numerator / denominator
+    shares = []
+    for t_sf, t_sl in capacities:
+        alpha = 1.0 / t_sf
+        beta = 1.0 / t_sl
+        share = (1.0 - beta * throughput) / (alpha - beta)
+        if share < -1e-9:
+            raise ValueError(
+                "closed form invalid: a node's optimal stateful share is "
+                "negative; solve the LP instead"
+            )
+        shares.append(max(0.0, share))
+    return throughput, shares
+
+
+def static_series_throughput(
+    capacities: Sequence[Tuple[float, float]], stateful_index: int
+) -> float:
+    """Max load for a static series config with one stateful node.
+
+    The stateful node caps the system at its t_sf; every stateless node
+    caps it at its t_sl; the minimum rules (paper section 4, case ii).
+    """
+    if not 0 <= stateful_index < len(capacities):
+        raise IndexError("stateful_index out of range")
+    limit = float("inf")
+    for index, (t_sf, t_sl) in enumerate(capacities):
+        _check_pair(t_sf, t_sl)
+        limit = min(limit, t_sf if index == stateful_index else t_sl)
+    return limit
+
+
+def best_static_series(
+    capacities: Sequence[Tuple[float, float]],
+) -> Tuple[float, int]:
+    """Best statically configured series: (throughput, stateful node index).
+
+    Scans which single node should be the stateful one.  For homogeneous
+    nodes every choice gives t_sf -- the paper's case (ii).
+    """
+    best = (-1.0, -1)
+    for index in range(len(capacities)):
+        throughput = static_series_throughput(capacities, index)
+        if throughput > best[0]:
+            best = (throughput, index)
+    return best
+
+
+def parallel_fork_throughput(
+    front: Tuple[float, float],
+    upper: Tuple[float, float],
+    lower: Tuple[float, float],
+    upper_share: float = 0.5,
+    front_stateful: bool = False,
+) -> float:
+    """Static throughput of the Figure 8 fork under a fixed split.
+
+    With the conventional static assignment (front stateless, forks
+    stateful) the front caps the system at its t_sl and each fork at
+    ``t_sf / share``.
+    """
+    if not 0.0 < upper_share < 1.0:
+        raise ValueError("upper_share must be strictly inside (0, 1)")
+    for pair in (front, upper, lower):
+        _check_pair(*pair)
+    front_cap = front[0] if front_stateful else front[1]
+    upper_cap = (upper[1] if front_stateful else upper[0]) / upper_share
+    lower_cap = (lower[1] if front_stateful else lower[0]) / (1.0 - upper_share)
+    return min(front_cap, upper_cap, lower_cap)
+
+
+def utilization_at(
+    stateful_cps: float, stateless_cps: float, t_sf: float, t_sl: float
+) -> float:
+    """Constraint (4)'s left-hand side for a single node."""
+    if stateful_cps < 0 or stateless_cps < 0:
+        raise ValueError("rates must be >= 0")
+    _check_pair(t_sf, t_sl)
+    return stateful_cps / t_sf + stateless_cps / t_sl

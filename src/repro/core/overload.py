@@ -1,0 +1,91 @@
+"""SERvartuka overload signalling (paper section 4.2 / algorithm 2).
+
+When a node can no longer expand the state it holds (exit nodes with no
+downstream to delegate to, or interior nodes whose downstream paths are
+all saturated), it "communicates back an overload message to the
+upstream servers".  The message carries ``c_asf``: the stateful call
+rate the reporting path can still sustain for that upstream -- the
+quantity the upstream's Algorithm 2 uses to compute how much state it
+must absorb itself (``t_ip - c_ASF_ip - t_FASF_ip``).
+
+Reports are tiny control datagrams; the cost model charges them as
+:attr:`repro.core.costmodel.MessageKind.CONTROL`.
+"""
+
+from __future__ import annotations
+
+
+class OverloadReport:
+    """A single overload / clear notification from ``origin``.
+
+    Attributes
+    ----------
+    origin:
+        Name of the reporting (downstream) node.
+    overloaded:
+        True to declare the path saturated, False to clear it.
+    c_asf_rate:
+        Stateful calls/second the downstream path can still sustain for
+        the receiving upstream (only meaningful when ``overloaded``).
+    sequence:
+        Monotonic per-origin sequence number; receivers ignore stale
+        reports that arrive out of order.
+    resource:
+        Which distributed function the report concerns.  The paper
+        distributes transaction state (``"state"``); the same machinery
+        distributes authentication (``"auth"``) -- its section 6.2 /
+        conclusion extension.
+    """
+
+    __slots__ = ("origin", "overloaded", "c_asf_rate", "sequence", "resource")
+
+    def __init__(
+        self,
+        origin: str,
+        overloaded: bool,
+        c_asf_rate: float,
+        sequence: int,
+        resource: str = "state",
+    ):
+        if c_asf_rate < 0:
+            raise ValueError("c_asf_rate must be >= 0")
+        if sequence < 0:
+            raise ValueError("sequence must be >= 0")
+        self.origin = origin
+        self.overloaded = overloaded
+        self.c_asf_rate = c_asf_rate
+        self.sequence = sequence
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "OVERLOAD" if self.overloaded else "CLEAR"
+        return (
+            f"<OverloadReport {kind} from {self.origin} "
+            f"c_asf={self.c_asf_rate:.1f}cps seq={self.sequence}>"
+        )
+
+
+class PathOverloadState:
+    """Upstream-side view of one downstream path's overload status."""
+
+    __slots__ = ("overloaded", "c_asf_rate", "last_sequence", "since")
+
+    def __init__(self) -> None:
+        self.overloaded = False
+        self.c_asf_rate = 0.0
+        self.last_sequence = -1
+        self.since = 0.0
+
+    def apply(self, report: OverloadReport, now: float) -> bool:
+        """Apply a report; returns False for stale (out-of-order) ones."""
+        if report.sequence <= self.last_sequence:
+            return False
+        self.last_sequence = report.sequence
+        self.overloaded = report.overloaded
+        self.c_asf_rate = report.c_asf_rate if report.overloaded else 0.0
+        self.since = now
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "overloaded" if self.overloaded else "clear"
+        return f"<PathOverloadState {state} c_asf={self.c_asf_rate:.1f}>"

@@ -1,0 +1,63 @@
+"""Experiment harness: run scenarios, sweep loads, regenerate figures.
+
+- :mod:`repro.harness.runner` -- run one scenario at one load and
+  collect a structured :class:`~repro.harness.runner.RunResult`,
+- :mod:`repro.harness.saturation` -- load sweeps and saturation search,
+- :mod:`repro.harness.figures` -- one function per paper table/figure,
+- :mod:`repro.harness.report` -- text rendering and paper-vs-measured
+  comparison tables.
+"""
+
+from repro.harness.runner import RunResult, run_scenario
+from repro.harness.saturation import (
+    SweepPoint,
+    SweepResult,
+    sweep_loads,
+    find_capacity,
+)
+from repro.harness.report import format_table, render_figure
+from repro.harness.experiments import ExperimentSuite
+from repro.harness.regression import RegressionReport, compare, compare_files
+from repro.harness.figures import (
+    FigureData,
+    Quality,
+    QUICK,
+    STANDARD,
+    FULL,
+    figure3_profile,
+    figure4_utilization,
+    figure5_two_series,
+    figure6_response_times,
+    figure7_changing_load,
+    figure8_parallel,
+    three_series_text,
+    lp_optima,
+)
+
+__all__ = [
+    "RunResult",
+    "run_scenario",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_loads",
+    "find_capacity",
+    "format_table",
+    "render_figure",
+    "ExperimentSuite",
+    "RegressionReport",
+    "compare",
+    "compare_files",
+    "FigureData",
+    "Quality",
+    "QUICK",
+    "STANDARD",
+    "FULL",
+    "figure3_profile",
+    "figure4_utilization",
+    "figure5_two_series",
+    "figure6_response_times",
+    "figure7_changing_load",
+    "figure8_parallel",
+    "three_series_text",
+    "lp_optima",
+]

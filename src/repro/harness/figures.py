@@ -1,0 +1,642 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figureN_*`` function runs the corresponding experiment on the
+simulated testbed and returns a :class:`FigureData` with the same
+rows/series the paper reports, plus a paper-vs-measured comparison.
+Absolute numbers are in paper-equivalent cps (the scenario scale factor
+is already folded out); the *shape* -- who wins, by what factor, where
+the knees fall -- is the reproduction target.
+
+Paper reference values (from the text and figures):
+
+- Figure 3: 362 / 412 / 707 / 803 / 983 CPU events per call,
+- Figure 4: saturation at ~10,360 (stateful) and ~12,300 cps (stateless),
+- Section 4.1 LP: two-in-series optimum ~11,240 cps (5,620 each),
+- Figure 5: static 8,540 vs SERvartuka 9,790 cps (+15%),
+- three in series: static 8,780 vs SERvartuka 10,180 cps (+16%),
+- Figure 6: stateful response times < 200 ms, stateless spikes past its
+  knee, SERvartuka tracks the stateful curve,
+- Figure 7: peak gain ~20% at 80/20 external/internal (9,540 vs 11,410;
+  LP bound 11,960),
+- Figure 8: static 11,990 vs SERvartuka 12,830 cps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import series_optimal_throughput
+from repro.core.costmodel import CostModel, FIG3_TOTALS, Feature
+from repro.core.lp import FlowPathLP, StateDistributionLP
+from repro.core.topology import Topology, series_topology, two_series_topology
+from repro.harness.runner import run_scenario
+from repro.harness.saturation import (
+    SweepResult,
+    find_capacity,
+    refine_peak,
+    sweep_loads,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+)
+
+PAPER = {
+    "fig3_totals": dict(FIG3_TOTALS),
+    "fig4_t_sf": 10360.0,
+    "fig4_t_sl": 12300.0,
+    "lp_two_series": 11240.0,
+    "lp_two_series_share": 5620.0,
+    "fig5_static": 8540.0,
+    "fig5_servartuka": 9790.0,
+    "three_series_static": 8780.0,
+    "three_series_servartuka": 10180.0,
+    "fig6_stateful_bound_ms": 200.0,
+    "fig7_peak_fraction": 0.8,
+    "fig7_static_at_peak": 9540.0,
+    "fig7_servartuka_at_peak": 11410.0,
+    "fig7_lp_at_peak": 11960.0,
+    "fig8_static": 11990.0,
+    "fig8_servartuka": 12830.0,
+}
+
+
+class Quality:
+    """Fidelity/runtime trade-off for figure regeneration."""
+
+    def __init__(
+        self,
+        name: str,
+        scale: float,
+        duration: float,
+        warmup: float,
+        sweep_points: int,
+        fig7_fractions: Sequence[float],
+        seed: int = 1,
+    ):
+        self.name = name
+        self.scale = scale
+        self.duration = duration
+        self.warmup = warmup
+        self.sweep_points = sweep_points
+        self.fig7_fractions = list(fig7_fractions)
+        self.seed = seed
+
+    def scenario_config(self, **overrides) -> ScenarioConfig:
+        kwargs = dict(scale=self.scale, seed=self.seed)
+        kwargs.update(overrides)
+        return ScenarioConfig(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Quality {self.name} scale={self.scale}>"
+
+
+QUICK = Quality("quick", scale=25.0, duration=6.0, warmup=3.0, sweep_points=4,
+                fig7_fractions=[0.0, 0.5, 0.8, 1.0])
+STANDARD = Quality("standard", scale=10.0, duration=12.0, warmup=4.0, sweep_points=6,
+                   fig7_fractions=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+FULL = Quality("full", scale=5.0, duration=20.0, warmup=6.0, sweep_points=8,
+               fig7_fractions=[i / 10 for i in range(11)])
+
+
+class FigureData:
+    """Structured result of one reproduced table/figure."""
+
+    def __init__(
+        self,
+        figure_id: str,
+        title: str,
+        columns: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        description: str = "",
+        comparisons: Optional[Sequence[Sequence[object]]] = None,
+        series: Optional[Dict[str, List[Tuple[float, float]]]] = None,
+        notes: str = "",
+    ):
+        self.figure_id = figure_id
+        self.title = title
+        self.columns = list(columns)
+        self.rows = [list(r) for r in rows]
+        self.description = description
+        self.comparisons = [list(c) for c in (comparisons or [])]
+        self.series = series or {}
+        self.notes = notes
+
+    def measured(self, label: str) -> float:
+        """Measured value from a comparison row by label."""
+        for row in self.comparisons:
+            if row[0] == label:
+                return float(row[2])
+        raise KeyError(label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FigureData {self.figure_id} rows={len(self.rows)}>"
+
+
+# ----------------------------------------------------------------------
+# Depth-aware analytic hints (what the LP predicts for our simulator)
+# ----------------------------------------------------------------------
+def chain_node_thresholds(
+    cost_model: CostModel, n: int, lookup_at_exit: bool = True
+) -> List[Tuple[float, float]]:
+    """(t_sf, t_sl) per node of an N-chain, in paper cps (scale folded out)."""
+    out = []
+    for depth in range(n):
+        features = {Feature.BASE}
+        if lookup_at_exit and depth == n - 1:
+            features.add(Feature.LOOKUP)
+        t_sf, t_sl = cost_model.node_thresholds(features, depth=float(depth))
+        out.append((t_sf * cost_model.scale, t_sl * cost_model.scale))
+    return out
+
+
+def _series_lp_bound(thresholds: Sequence[Tuple[float, float]]) -> float:
+    """Fixed-routing LP optimum for a chain with per-depth thresholds."""
+    topology = series_topology(list(thresholds))
+    return FlowPathLP(topology).solve().throughput
+
+
+def _series_hints(cost_model: CostModel, n: int) -> Tuple[float, float]:
+    """(static hint, optimal hint) for an N-chain, paper cps.
+
+    The closed form of :func:`series_optimal_throughput` assumes every
+    node is exactly saturated, which breaks once depth penalties make
+    the nodes heterogeneous; the LP handles that regime.
+    """
+    thresholds = chain_node_thresholds(cost_model, n)
+    # Static (paper case (i), all nodes stateful): the weakest stateful
+    # node caps the chain.
+    static = min(t_sf for t_sf, _t_sl in thresholds)
+    return static, _series_lp_bound(thresholds)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: per-functionality CPU profile
+# ----------------------------------------------------------------------
+def figure3_profile(quality: Quality = QUICK) -> FigureData:
+    """CPU events/call by mode, model vs simulation measurement.
+
+    The model columns restate the calibrated Figure 3 profile; the
+    measured column runs each mode at low load (the paper profiles at 1
+    cps) and recovers events/call from the per-component CPU seconds
+    the simulated proxy accumulated.
+    """
+    config = quality.scenario_config()
+    cost_model = config.make_cost_model()
+    rows = []
+    comparisons = []
+    low_load = 400.0  # well below every saturation point
+    for mode in FIG3_TOTALS:
+        model_events = sum(cost_model.fig3_profile()[mode].values())
+        scenario = single_proxy(low_load, mode=mode, config=config)
+        run_scenario(scenario, duration=quality.duration, warmup=quality.warmup)
+        proxy = scenario.proxies["P1"]
+        calls = scenario.servers[0].calls_completed
+        measured_events = 0.0
+        if calls:
+            functional_seconds = sum(
+                seconds
+                for component, seconds in proxy.cpu.component_seconds.items()
+                if component != "baseline"
+            )
+            measured_events = functional_seconds / (
+                cost_model.k_seconds_per_event * cost_model.scale
+            ) / calls
+        rows.append([mode, FIG3_TOTALS[mode], model_events, round(measured_events, 1)])
+        comparisons.append([f"{mode} events/call", FIG3_TOTALS[mode],
+                            round(measured_events, 1),
+                            round(measured_events / FIG3_TOTALS[mode], 3)])
+    return FigureData(
+        "Figure 3",
+        "Server functionality costs (CPU events per call)",
+        ["mode", "paper", "model", "simulated"],
+        rows,
+        description=(
+            "Per-mode CPU cost profile; the model encodes the paper's bar "
+            "totals exactly and the simulation recovers them from the "
+            "component accounting of a low-load run."
+        ),
+        comparisons=comparisons,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: utilization vs offered load, stateful vs stateless
+# ----------------------------------------------------------------------
+def figure4_utilization(quality: Quality = QUICK) -> FigureData:
+    """CPU utilization vs offered load and the two saturation points."""
+    config_factory = quality.scenario_config
+    results: Dict[str, SweepResult] = {}
+    saturation: Dict[str, float] = {}
+    for label, mode, anchor in (
+        ("stateful", "transaction_stateful", PAPER["fig4_t_sf"]),
+        ("stateless", "stateless", PAPER["fig4_t_sl"]),
+    ):
+        loads = [anchor * (0.2 + 0.95 * i / (quality.sweep_points + 1))
+                 for i in range(quality.sweep_points + 2)]
+        sweep = sweep_loads(
+            lambda load, m=mode: single_proxy(load, mode=m, config=config_factory()),
+            loads,
+            duration=quality.duration,
+            warmup=quality.warmup,
+            label=label,
+        )
+        results[label] = sweep
+        saturation[label] = sweep.max_throughput
+
+    rows = []
+    for label, sweep in results.items():
+        for point in sweep:
+            rows.append([
+                label,
+                round(point.offered_cps),
+                round(point.result.proxy_utilization.get("P1", 0.0), 3),
+                round(point.result.throughput_cps),
+            ])
+    comparisons = [
+        ["stateful saturation cps", PAPER["fig4_t_sf"], round(saturation["stateful"]),
+         round(saturation["stateful"] / PAPER["fig4_t_sf"], 3)],
+        ["stateless saturation cps", PAPER["fig4_t_sl"], round(saturation["stateless"]),
+         round(saturation["stateless"] / PAPER["fig4_t_sl"], 3)],
+    ]
+    return FigureData(
+        "Figure 4",
+        "CPU utilization under increasing load (stateful vs stateless)",
+        ["mode", "offered_cps", "utilization", "throughput_cps"],
+        rows,
+        description=(
+            "Utilization grows linearly through the origin in both modes "
+            "and the stateful server saturates earlier -- the basis of the "
+            "whole state-distribution idea."
+        ),
+        comparisons=comparisons,
+        series={
+            f"{label}_utilization": sweep.utilization_series("P1")
+            for label, sweep in results.items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.1: LP optima
+# ----------------------------------------------------------------------
+def lp_optima(quality: Quality = QUICK) -> FigureData:
+    """The LP's headline numbers, solved exactly (no simulation)."""
+    topology = two_series_topology(PAPER["fig4_t_sf"], PAPER["fig4_t_sl"])
+    free = StateDistributionLP(topology).solve()
+    fixed = FlowPathLP(topology).solve()
+    closed_form, shares = series_optimal_throughput(
+        [(PAPER["fig4_t_sf"], PAPER["fig4_t_sl"])] * 2
+    )
+    rows = [
+        ["free-routing LP", round(free.throughput, 1)],
+        ["fixed-routing LP", round(fixed.throughput, 1)],
+        ["closed form", round(closed_form, 1)],
+        ["per-node stateful share", round(shares[0], 1)],
+    ]
+    comparisons = [
+        ["two-series LP optimum", PAPER["lp_two_series"], round(fixed.throughput),
+         round(fixed.throughput / PAPER["lp_two_series"], 3)],
+        ["per-node stateful share", PAPER["lp_two_series_share"], round(shares[0]),
+         round(shares[0] / PAPER["lp_two_series_share"], 3)],
+    ]
+    return FigureData(
+        "Section 4.1",
+        "State-distribution LP optimum for two servers in series",
+        ["quantity", "value_cps"],
+        rows,
+        description=(
+            "Static configs top out at T_SF ~= 10,360 cps; letting each "
+            "server hold state for half the calls raises the bound to "
+            "~11,240 cps."
+        ),
+        comparisons=comparisons,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: two servers in series, throughput
+# ----------------------------------------------------------------------
+def _series_sweep(
+    quality: Quality,
+    n: int,
+    policy: str,
+    loads: Sequence[float],
+    refine: bool = True,
+) -> SweepResult:
+    def factory(load: float) -> Scenario:
+        return n_series(n, load, policy=policy, config=quality.scenario_config())
+
+    sweep = sweep_loads(
+        factory, loads, duration=quality.duration, warmup=quality.warmup,
+        label=f"{n}-series/{policy}",
+    )
+    if refine:
+        sweep = refine_peak(
+            factory, sweep, duration=quality.duration, warmup=quality.warmup
+        )
+    return sweep
+
+
+def _series_loads(quality: Quality, n: int) -> List[float]:
+    cost_model = quality.scenario_config().make_cost_model()
+    static_hint, optimal_hint = _series_hints(cost_model, n)
+    lo = 0.55 * static_hint
+    hi = 1.15 * optimal_hint
+    points = max(quality.sweep_points + 2, 4)
+    return [lo + (hi - lo) * i / (points - 1) for i in range(points)]
+
+
+def figure5_two_series(quality: Quality = QUICK) -> FigureData:
+    """Throughput vs offered load: static vs SERvartuka, two in series."""
+    loads = _series_loads(quality, 2)
+    static = _series_sweep(quality, 2, "static", loads)
+    dynamic = _series_sweep(quality, 2, "servartuka", loads)
+
+    rows = []
+    for label, sweep in (("static", static), ("servartuka", dynamic)):
+        for point in sweep:
+            rows.append([
+                label,
+                round(point.offered_cps),
+                round(point.result.throughput_cps),
+                round(point.result.trying_ratio, 3),
+            ])
+    gain = dynamic.max_throughput / static.max_throughput - 1.0
+    paper_gain = PAPER["fig5_servartuka"] / PAPER["fig5_static"] - 1.0
+    comparisons = [
+        ["static saturation", PAPER["fig5_static"], round(static.max_throughput),
+         round(static.max_throughput / PAPER["fig5_static"], 3)],
+        ["servartuka saturation", PAPER["fig5_servartuka"], round(dynamic.max_throughput),
+         round(dynamic.max_throughput / PAPER["fig5_servartuka"], 3)],
+        ["gain (ratio)", round(1 + paper_gain, 3), round(1 + gain, 3),
+         round((1 + gain) / (1 + paper_gain), 3)],
+    ]
+    return FigureData(
+        "Figure 5",
+        "Two servers in series -- throughput",
+        ["config", "offered_cps", "throughput_cps", "trying_ratio"],
+        rows,
+        description=(
+            "SERvartuka delegates state from the loaded exit server to the "
+            "underutilized upstream one, raising the saturation plateau."
+        ),
+        comparisons=comparisons,
+        series={
+            "static": static.throughput_series(),
+            "servartuka": dynamic.throughput_series(),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: two servers in series, response times
+# ----------------------------------------------------------------------
+def figure6_response_times(quality: Quality = QUICK) -> FigureData:
+    """INVITE response time vs offered load for the three configurations."""
+    loads = _series_loads(quality, 2)
+
+    def all_stateless_factory(load: float) -> Scenario:
+        scenario = n_series(2, load, policy="stateless",
+                            config=quality.scenario_config())
+        return scenario
+
+    sweeps = {
+        "stateful": _series_sweep(quality, 2, "static", loads, refine=False),
+        "servartuka": _series_sweep(quality, 2, "servartuka", loads, refine=False),
+        "stateless": sweep_loads(
+            all_stateless_factory, loads, duration=quality.duration,
+            warmup=quality.warmup, label="2-series/all-stateless",
+        ),
+    }
+    rows = []
+    for label, sweep in sweeps.items():
+        for point in sweep:
+            rt = point.result.invite_rt
+            rows.append([
+                label,
+                round(point.offered_cps),
+                round(rt.get("mean", 0.0) * 1e3, 2),
+                round(rt.get("p95", 0.0) * 1e3, 2),
+                point.result.retransmissions,
+            ])
+    # Response-time bound check at the static stateful saturation zone.
+    def rt_below_knee(sweep: SweepResult, knee: float) -> float:
+        candidates = [
+            p.result.invite_rt.get("p95", 0.0)
+            for p in sweep
+            if p.offered_cps <= knee * 1.0
+        ]
+        return max(candidates) * 1e3 if candidates else 0.0
+
+    static_knee = sweeps["stateful"].max_throughput
+    comparisons = [
+        ["stateful p95 ms below knee", PAPER["fig6_stateful_bound_ms"],
+         round(rt_below_knee(sweeps["stateful"], static_knee), 1), 0.0],
+        ["servartuka p95 ms below its knee", PAPER["fig6_stateful_bound_ms"],
+         round(rt_below_knee(sweeps["servartuka"],
+                             sweeps["servartuka"].max_throughput), 1), 0.0],
+    ]
+    for row in comparisons:
+        row[3] = round(row[2] / row[1], 3) if row[1] else 0.0
+    return FigureData(
+        "Figure 6",
+        "Two servers in series -- response times",
+        ["config", "offered_cps", "rt_mean_ms", "rt_p95_ms", "retransmissions"],
+        rows,
+        description=(
+            "Stateful configurations bound response times (~<200 ms) "
+            "because retransmissions are absorbed in-network; the all-"
+            "stateless system spikes once it saturates.  SERvartuka keeps "
+            "the stateful bound while reaching higher throughput."
+        ),
+        comparisons=comparisons,
+        series={
+            label: [(p.offered_cps, p.result.invite_rt.get("mean", 0.0) * 1e3)
+                    for p in sweep]
+            for label, sweep in sweeps.items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: changing internal/external load distribution
+# ----------------------------------------------------------------------
+def _fig7_lp_bound(cost_model: CostModel, fraction: float) -> float:
+    """Fixed-routing LP bound for the internal/external mix, paper cps."""
+    s1 = cost_model.node_thresholds({Feature.BASE, Feature.LOOKUP}, depth=0.0)
+    s2 = cost_model.node_thresholds({Feature.BASE, Feature.LOOKUP}, depth=1.0)
+    scale = cost_model.scale
+    topology = Topology()
+    topology.add_node("S1", s1[0] * scale, s1[1] * scale)
+    topology.add_node("S2", s2[0] * scale, s2[1] * scale)
+    topology.add_edge("S1", "S2")
+    if fraction > 0:
+        topology.add_flow("external", ["S1", "S2"], share=fraction)
+    if fraction < 1:
+        topology.add_flow("internal", ["S1"], share=1.0 - fraction)
+    return FlowPathLP(topology).solve().throughput
+
+
+def figure7_changing_load(quality: Quality = QUICK) -> FigureData:
+    """Maximal throughput vs external-load fraction, static vs SERvartuka."""
+    cost_model = quality.scenario_config().make_cost_model()
+    rows = []
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "static": [], "servartuka": [], "lp": [],
+    }
+    for fraction in quality.fig7_fractions:
+        lp_bound = _fig7_lp_bound(cost_model, fraction)
+        capacities = {}
+        for policy in ("static", "servartuka"):
+            def factory(load: float, p=policy, f=fraction) -> Scenario:
+                return internal_external(
+                    load, f, policy=p, config=quality.scenario_config()
+                )
+            sweep = find_capacity(
+                factory, hint=lp_bound, duration=quality.duration,
+                warmup=quality.warmup, span=0.4,
+                points=quality.sweep_points,
+                label=f"fig7/{policy}/f={fraction}",
+            )
+            capacities[policy] = sweep.max_throughput
+        rows.append([
+            round(fraction, 2),
+            round(capacities["static"]),
+            round(capacities["servartuka"]),
+            round(lp_bound),
+            round(capacities["servartuka"] / capacities["static"], 3),
+        ])
+        series["static"].append((fraction, capacities["static"]))
+        series["servartuka"].append((fraction, capacities["servartuka"]))
+        series["lp"].append((fraction, lp_bound))
+
+    best = max(rows, key=lambda r: r[4])
+    # Compare against the paper at ITS peak mix (0.8); fall back to our
+    # best-gain row when 0.8 was not part of the sweep.
+    at_08 = next((row for row in rows if abs(row[0] - 0.8) < 1e-9), best)
+    comparisons = [
+        ["best gain fraction", PAPER["fig7_peak_fraction"], best[0],
+         round(best[0] / PAPER["fig7_peak_fraction"], 3)
+         if PAPER["fig7_peak_fraction"] else 0.0],
+        ["static cps at mix 0.8", PAPER["fig7_static_at_peak"], at_08[1],
+         round(at_08[1] / PAPER["fig7_static_at_peak"], 3)],
+        ["servartuka cps at mix 0.8", PAPER["fig7_servartuka_at_peak"],
+         at_08[2], round(at_08[2] / PAPER["fig7_servartuka_at_peak"], 3)],
+        ["LP bound at mix 0.8", PAPER["fig7_lp_at_peak"], at_08[3],
+         round(at_08[3] / PAPER["fig7_lp_at_peak"], 3)],
+    ]
+    return FigureData(
+        "Figure 7",
+        "Response to varying load distribution (external fraction 0..1)",
+        ["external_fraction", "static_cps", "servartuka_cps", "lp_cps", "gain"],
+        rows,
+        description=(
+            "With two distinct flows (external S1->S2, internal "
+            "terminating at S1), SERvartuka tracks the best state split "
+            "for every mix; static provisioning can only be right for one."
+        ),
+        comparisons=comparisons,
+        series=series,
+        notes=(
+            "Static = both proxies stateful (the deployed OpenSER default; "
+            "at f=1 the paper's fig7 static equals its fig5 static, which "
+            "matches that interpretation).  S1 must hold internal-call "
+            "state in any valid static config."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: three-server parallel (fork) configuration
+# ----------------------------------------------------------------------
+def figure8_parallel(quality: Quality = QUICK) -> FigureData:
+    """Throughput for the load-balancing fork, static vs SERvartuka."""
+    cost_model = quality.scenario_config().make_cost_model()
+    scale = cost_model.scale
+    front = cost_model.node_thresholds({Feature.BASE}, depth=0.0)
+    fork = cost_model.node_thresholds({Feature.BASE, Feature.LOOKUP}, depth=1.0)
+    static_hint = min(front[1], 2 * fork[0]) * scale
+    loads_lo = 0.6 * static_hint
+    loads_hi = 1.2 * static_hint
+    points = max(quality.sweep_points + 1, 4)
+    loads = [loads_lo + (loads_hi - loads_lo) * i / (points - 1) for i in range(points)]
+
+    sweeps = {}
+    for policy in ("static", "servartuka"):
+        def factory(load: float, p=policy) -> Scenario:
+            return parallel_fork(load, policy=p, config=quality.scenario_config())
+        coarse = sweep_loads(
+            factory, loads, duration=quality.duration, warmup=quality.warmup,
+            label=f"fig8/{policy}",
+        )
+        sweeps[policy] = refine_peak(
+            factory, coarse, duration=quality.duration, warmup=quality.warmup
+        )
+
+    rows = []
+    for label, sweep in sweeps.items():
+        for point in sweep:
+            rows.append([
+                label,
+                round(point.offered_cps),
+                round(point.result.throughput_cps),
+                round(point.result.trying_ratio, 3),
+            ])
+    comparisons = [
+        ["static saturation", PAPER["fig8_static"],
+         round(sweeps["static"].max_throughput),
+         round(sweeps["static"].max_throughput / PAPER["fig8_static"], 3)],
+        ["servartuka saturation", PAPER["fig8_servartuka"],
+         round(sweeps["servartuka"].max_throughput),
+         round(sweeps["servartuka"].max_throughput / PAPER["fig8_servartuka"], 3)],
+    ]
+    return FigureData(
+        "Figure 8",
+        "Three-server parallel configuration",
+        ["config", "offered_cps", "throughput_cps", "trying_ratio"],
+        rows,
+        description=(
+            "A stateless front forking to two stateful paths is already "
+            "near-optimal here (the front is the bottleneck), so the "
+            "expected SERvartuka behaviour is parity; the paper measured a "
+            "further ~7% which its authors could not explain (section 6.2)."
+        ),
+        comparisons=comparisons,
+        series={label: sweep.throughput_series() for label, sweep in sweeps.items()},
+        notes="worst case for SERvartuka: should do no worse than static.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Three servers in series (section 6.2, text result)
+# ----------------------------------------------------------------------
+def three_series_text(quality: Quality = QUICK) -> FigureData:
+    """Static vs SERvartuka for three servers in series."""
+    loads = _series_loads(quality, 3)
+    static = _series_sweep(quality, 3, "static", loads)
+    dynamic = _series_sweep(quality, 3, "servartuka", loads)
+    rows = []
+    for label, sweep in (("static", static), ("servartuka", dynamic)):
+        for point in sweep:
+            rows.append([label, round(point.offered_cps),
+                         round(point.result.throughput_cps)])
+    comparisons = [
+        ["static saturation", PAPER["three_series_static"],
+         round(static.max_throughput),
+         round(static.max_throughput / PAPER["three_series_static"], 3)],
+        ["servartuka saturation", PAPER["three_series_servartuka"],
+         round(dynamic.max_throughput),
+         round(dynamic.max_throughput / PAPER["three_series_servartuka"], 3)],
+    ]
+    return FigureData(
+        "Section 6.1 (three in series)",
+        "Three servers in series -- saturation throughput",
+        ["config", "offered_cps", "throughput_cps"],
+        rows,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,132 @@
+"""Regression comparison between two experiment-suite JSON exports.
+
+Intended CI flow::
+
+    python -m repro experiments --json baseline.json     # once, checked in
+    python -m repro experiments --json current.json      # per change
+    # then programmatically:
+    report = compare_files("baseline.json", "current.json")
+    assert not report.regressions(threshold=0.05)
+
+Comparisons are on the paper-vs-measured rows of each experiment: a
+*regression* is a measured value whose ratio-to-baseline drifts beyond
+the threshold in the direction that worsens agreement with the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Delta:
+    """One compared quantity across two runs."""
+
+    __slots__ = ("experiment", "quantity", "baseline", "current", "paper")
+
+    def __init__(self, experiment: str, quantity: str,
+                 baseline: float, current: float, paper: float):
+        self.experiment = experiment
+        self.quantity = quantity
+        self.baseline = baseline
+        self.current = current
+        self.paper = paper
+
+    @property
+    def drift(self) -> float:
+        """Relative change of the measured value vs baseline."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    @property
+    def agreement_change(self) -> float:
+        """Positive = closer to the paper than the baseline was."""
+        if self.paper == 0:
+            return 0.0
+        baseline_error = abs(self.baseline - self.paper) / abs(self.paper)
+        current_error = abs(self.current - self.paper) / abs(self.paper)
+        return baseline_error - current_error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Delta {self.experiment}/{self.quantity} "
+            f"{self.baseline} -> {self.current} (drift {self.drift:+.1%})>"
+        )
+
+
+class RegressionReport:
+    """All deltas between two exports plus convenience filters."""
+
+    def __init__(self, deltas: List[Delta], missing: List[str],
+                 added: List[str]):
+        self.deltas = deltas
+        self.missing = missing  # experiments in baseline but not current
+        self.added = added      # experiments only in current
+
+    def regressions(self, threshold: float = 0.05) -> List[Delta]:
+        """Deltas that drifted beyond ``threshold`` AND moved away from
+        the paper's value."""
+        return [
+            delta for delta in self.deltas
+            if abs(delta.drift) > threshold and delta.agreement_change < 0
+        ]
+
+    def improvements(self, threshold: float = 0.05) -> List[Delta]:
+        return [
+            delta for delta in self.deltas
+            if abs(delta.drift) > threshold and delta.agreement_change > 0
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.deltas)} quantities compared; "
+            f"{len(self.regressions())} regressions, "
+            f"{len(self.improvements())} improvements"
+        ]
+        for delta in self.regressions():
+            lines.append(
+                f"  REGRESSION {delta.experiment}/{delta.quantity}: "
+                f"{delta.baseline} -> {delta.current} "
+                f"(paper {delta.paper}, drift {delta.drift:+.1%})"
+            )
+        if self.missing:
+            lines.append(f"  missing experiments: {self.missing}")
+        return "\n".join(lines)
+
+
+def compare(baseline: dict, current: dict) -> RegressionReport:
+    """Compare two ExperimentSuite.to_dict() payloads."""
+    base_experiments = baseline.get("experiments", {})
+    curr_experiments = current.get("experiments", {})
+    deltas: List[Delta] = []
+    for name, base_exp in base_experiments.items():
+        curr_exp = curr_experiments.get(name)
+        if curr_exp is None:
+            continue
+        base_rows = {
+            row["quantity"]: row for row in base_exp.get("comparisons", [])
+        }
+        curr_rows = {
+            row["quantity"]: row for row in curr_exp.get("comparisons", [])
+        }
+        for quantity, base_row in base_rows.items():
+            curr_row = curr_rows.get(quantity)
+            if curr_row is None:
+                continue
+            deltas.append(Delta(
+                name, quantity,
+                float(base_row["measured"]), float(curr_row["measured"]),
+                float(base_row["paper"]),
+            ))
+    missing = sorted(set(base_experiments) - set(curr_experiments))
+    added = sorted(set(curr_experiments) - set(base_experiments))
+    return RegressionReport(deltas, missing, added)
+
+
+def compare_files(baseline_path: str, current_path: str) -> RegressionReport:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(current_path) as handle:
+        current = json.load(handle)
+    return compare(baseline, current)

@@ -1,0 +1,210 @@
+"""Run one scenario at one offered load and collect measurements.
+
+Methodology mirrors the paper's:
+
+- throughput is measured at the SIPp *server* side (completed calls per
+  second at the :class:`~repro.servers.uas.AnsweringServer`),
+- response times are collected at the client,
+- CPU utilization comes from the per-node utilization windows (their
+  ``top`` logs),
+- statefulness is checked via "#calls sent == #100 Trying received"
+  (:attr:`RunResult.trying_ratio` should be ~1.0 whenever the system
+  claims to be stateful for all calls),
+- a warmup interval is discarded before the measurement window opens.
+
+All rates in the result are *paper-equivalent* cps (measured rate times
+the scenario's scale factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.servartuka import ServartukaPolicy
+from repro.workloads.scenarios import Scenario
+
+
+class RunResult:
+    """Measurements from one (scenario, offered-load) run."""
+
+    def __init__(self, scenario_name: str, offered_cps: float, duration: float):
+        self.scenario_name = scenario_name
+        self.offered_cps = offered_cps
+        self.duration = duration
+        self.throughput_cps = 0.0          # completed calls (UAS side)
+        self.delivered_cps = 0.0           # INVITEs reaching the UAS
+        self.attempted_cps = 0.0
+        self.completed_uac_cps = 0.0
+        self.failed_calls = 0
+        self.retransmissions = 0
+        self.server_busy_500 = 0
+        self.dropped_messages = 0
+        self.trying_ratio = 0.0
+        self.stateful_coverage = 0.0
+        self.invite_rt: Dict[str, float] = {}
+        self.bye_rt: Dict[str, float] = {}
+        self.proxy_utilization: Dict[str, float] = {}
+        self.proxy_stateful_cps: Dict[str, float] = {}
+        self.proxy_stateless_cps: Dict[str, float] = {}
+        self.proxy_overloaded: Dict[str, bool] = {}
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Completed / offered; ~1 below saturation, <1 beyond it."""
+        if self.offered_cps <= 0:
+            return 0.0
+        return self.throughput_cps / self.offered_cps
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario_name,
+            "offered_cps": round(self.offered_cps, 1),
+            "throughput_cps": round(self.throughput_cps, 1),
+            "goodput_ratio": round(self.goodput_ratio, 4),
+            "failed_calls": self.failed_calls,
+            "retransmissions": self.retransmissions,
+            "server_busy_500": self.server_busy_500,
+            "trying_ratio": round(self.trying_ratio, 4),
+            "invite_rt_ms": {k: round(v * 1e3, 2) for k, v in self.invite_rt.items()},
+            "proxy_utilization": {
+                k: round(v, 3) for k, v in self.proxy_utilization.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RunResult {self.scenario_name} offered={self.offered_cps:.0f} "
+            f"throughput={self.throughput_cps:.0f}cps>"
+        )
+
+
+class _Snapshot:
+    """Counter values at a point in time (start of measurement window)."""
+
+    def __init__(self, scenario: Scenario):
+        self.time = scenario.loop.now
+        self.uas_completed = sum(s.calls_completed for s in scenario.servers)
+        self.uas_received = sum(s.calls_received for s in scenario.servers)
+        self.uac_attempted = sum(g.calls_attempted for g in scenario.generators)
+        self.uac_completed = sum(g.calls_completed for g in scenario.generators)
+        self.uac_failed = sum(g.calls_failed for g in scenario.generators)
+        self.uac_with_100 = sum(g.calls_with_100 for g in scenario.generators)
+        self.retransmissions = sum(g.retransmissions() for g in scenario.generators)
+        self.invite_rt_counts = [
+            g.metrics.histogram("invite_response_time").count
+            for g in scenario.generators
+        ]
+        self.bye_rt_counts = [
+            g.metrics.histogram("bye_response_time").count
+            for g in scenario.generators
+        ]
+        self.proxy_busy = {
+            name: proxy.cpu.busy_seconds for name, proxy in scenario.proxies.items()
+        }
+        self.proxy_500 = {
+            name: proxy.metrics.counter("rejected_500").value
+            for name, proxy in scenario.proxies.items()
+        }
+        self.proxy_dropped = {
+            name: proxy.metrics.counter("messages_dropped_overload").value
+            for name, proxy in scenario.proxies.items()
+        }
+        self.proxy_sf = {
+            name: proxy.metrics.counter("invites_stateful").value
+            for name, proxy in scenario.proxies.items()
+        }
+        self.proxy_sl = {
+            name: proxy.metrics.counter("invites_stateless").value
+            for name, proxy in scenario.proxies.items()
+        }
+
+
+def _merged_rt_stats(scenario: Scenario, name: str, start_counts) -> Dict[str, float]:
+    samples = []
+    for generator, start in zip(scenario.generators, start_counts):
+        samples.extend(generator.metrics.histogram(name).samples[start:])
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def pct(p: float) -> float:
+        import math
+        rank = max(1, math.ceil(p / 100.0 * n))
+        return ordered[rank - 1]
+
+    return {
+        "count": n,
+        "mean": sum(samples) / n,
+        "p50": pct(50),
+        "p95": pct(95),
+        "max": ordered[-1],
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    duration: float = 20.0,
+    warmup: float = 5.0,
+    drain: float = 0.0,
+) -> RunResult:
+    """Run a scenario and measure over [warmup, warmup + duration].
+
+    ``drain`` optionally lets in-flight calls settle after the window
+    closes (it does not change the measured rates, which come from the
+    counter deltas inside the window).
+    """
+    if duration <= 0 or warmup < 0:
+        raise ValueError("need duration > 0, warmup >= 0")
+    scenario.start()
+    loop = scenario.loop
+    loop.run_until(loop.now + warmup)
+    before = _Snapshot(scenario)
+    loop.run_until(loop.now + duration)
+    after = _Snapshot(scenario)
+    scenario.stop_load()
+    if drain > 0:
+        loop.run_until(loop.now + drain)
+
+    scale = scenario.config.scale
+    elapsed = after.time - before.time
+    result = RunResult(scenario.name, scenario.offered_paper_cps, elapsed)
+    result.throughput_cps = (after.uas_completed - before.uas_completed) / elapsed * scale
+    result.delivered_cps = (after.uas_received - before.uas_received) / elapsed * scale
+    result.attempted_cps = (after.uac_attempted - before.uac_attempted) / elapsed * scale
+    result.completed_uac_cps = (
+        (after.uac_completed - before.uac_completed) / elapsed * scale
+    )
+    result.failed_calls = after.uac_failed - before.uac_failed
+    result.retransmissions = after.retransmissions - before.retransmissions
+    attempted = after.uac_attempted - before.uac_attempted
+    got_100 = after.uac_with_100 - before.uac_with_100
+    result.trying_ratio = (got_100 / attempted) if attempted else 0.0
+    # Paper's statefulness check restricted to *admitted* calls: ones the
+    # overloaded system shed with a 500 never saw a dialog at all.
+    admitted = attempted - result.failed_calls
+    result.stateful_coverage = (got_100 / admitted) if admitted > 0 else 0.0
+
+    result.invite_rt = _merged_rt_stats(
+        scenario, "invite_response_time", before.invite_rt_counts
+    )
+    result.bye_rt = _merged_rt_stats(
+        scenario, "bye_response_time", before.bye_rt_counts
+    )
+
+    for name, proxy in scenario.proxies.items():
+        busy = after.proxy_busy[name] - before.proxy_busy[name]
+        result.proxy_utilization[name] = min(1.0, busy / elapsed)
+        result.server_busy_500 += after.proxy_500[name] - before.proxy_500[name]
+        result.dropped_messages += (
+            after.proxy_dropped[name] - before.proxy_dropped[name]
+        )
+        result.proxy_stateful_cps[name] = (
+            (after.proxy_sf[name] - before.proxy_sf[name]) / elapsed * scale
+        )
+        result.proxy_stateless_cps[name] = (
+            (after.proxy_sl[name] - before.proxy_sl[name]) / elapsed * scale
+        )
+        if isinstance(proxy.policy, ServartukaPolicy):
+            result.proxy_overloaded[name] = proxy.policy.is_overloaded
+    return result

@@ -1,0 +1,191 @@
+"""Load sweeps and saturation search.
+
+The paper determines saturation by offering increasing load until the
+server pegs at 100% CPU and the delivered call rate stops growing; the
+reported "saturation throughput" of a configuration is the plateau of
+delivered calls per second.  :func:`sweep_loads` replays that
+methodology (one fresh scenario per offered load, like their separate
+runs), and :func:`find_capacity` wraps it with a coarse-to-fine search
+so figure generation does not need a wide, dense sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.harness.runner import RunResult, run_scenario
+from repro.workloads.scenarios import Scenario
+
+ScenarioFactory = Callable[[float], Scenario]
+
+
+class SweepPoint:
+    """One (offered load, measurements) pair."""
+
+    __slots__ = ("offered_cps", "result")
+
+    def __init__(self, offered_cps: float, result: RunResult):
+        self.offered_cps = offered_cps
+        self.result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SweepPoint offered={self.offered_cps:.0f} "
+            f"throughput={self.result.throughput_cps:.0f}>"
+        )
+
+
+class SweepResult:
+    """An ordered collection of sweep points plus summary queries."""
+
+    def __init__(self, label: str, points: Sequence[SweepPoint]):
+        self.label = label
+        self.points = sorted(points, key=lambda p: p.offered_cps)
+
+    @property
+    def max_throughput(self) -> float:
+        """The plateau: the paper's saturation throughput."""
+        if not self.points:
+            return 0.0
+        return max(p.result.throughput_cps for p in self.points)
+
+    @property
+    def knee_offered(self) -> float:
+        """Highest offered load still served at >= 95% goodput."""
+        best = 0.0
+        for point in self.points:
+            if point.result.goodput_ratio >= 0.95:
+                best = max(best, point.offered_cps)
+        return best
+
+    def throughput_series(self) -> List[tuple]:
+        return [(p.offered_cps, p.result.throughput_cps) for p in self.points]
+
+    def utilization_series(self, node: str) -> List[tuple]:
+        return [
+            (p.offered_cps, p.result.proxy_utilization.get(node, 0.0))
+            for p in self.points
+        ]
+
+    def response_time_series(self, stat: str = "mean") -> List[tuple]:
+        return [
+            (p.offered_cps, p.result.invite_rt.get(stat, 0.0)) for p in self.points
+        ]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SweepResult {self.label} points={len(self.points)}>"
+
+
+def sweep_loads(
+    factory: ScenarioFactory,
+    loads: Sequence[float],
+    duration: float = 15.0,
+    warmup: float = 5.0,
+    label: str = "",
+) -> SweepResult:
+    """Run one fresh scenario per offered load (paper-equivalent cps)."""
+    if not loads:
+        raise ValueError("need at least one load point")
+    points = []
+    for load in loads:
+        scenario = factory(load)
+        result = run_scenario(scenario, duration=duration, warmup=warmup)
+        points.append(SweepPoint(load, result))
+    return SweepResult(label or "sweep", points)
+
+
+def staircase(start: float, stop: float, step: float) -> List[float]:
+    """The paper's 20-cps-increment style load list (paper cps units)."""
+    if step <= 0 or start <= 0 or stop < start:
+        raise ValueError("need 0 < start <= stop, step > 0")
+    loads = []
+    load = start
+    while load <= stop + 1e-9:
+        loads.append(round(load, 6))
+        load += step
+    return loads
+
+
+def refine_peak(
+    factory: ScenarioFactory,
+    coarse: SweepResult,
+    duration: float = 10.0,
+    warmup: float = 4.0,
+) -> SweepResult:
+    """Add fine-grained points around a coarse sweep's throughput peak.
+
+    Returns a new :class:`SweepResult` containing the original points
+    plus probes between the peak and its grid neighbours.
+    """
+    if len(coarse.points) < 2:
+        return coarse
+    best_index = max(
+        range(len(coarse.points)),
+        key=lambda i: coarse.points[i].result.throughput_cps,
+    )
+    best = coarse.points[best_index]
+    neighbours = [
+        coarse.points[i].offered_cps
+        for i in (best_index - 1, best_index + 1)
+        if 0 <= i < len(coarse.points)
+    ]
+    probes = [
+        best.offered_cps + (neighbour - best.offered_cps) * frac
+        for neighbour in neighbours
+        for frac in (0.33, 0.66)
+    ]
+    fine = sweep_loads(
+        factory, probes, duration=duration, warmup=warmup, label=coarse.label
+    )
+    return SweepResult(coarse.label, list(coarse.points) + list(fine.points))
+
+
+def find_capacity(
+    factory: ScenarioFactory,
+    hint: float,
+    duration: float = 10.0,
+    warmup: float = 4.0,
+    span: float = 0.35,
+    points: int = 6,
+    label: str = "",
+    refine: bool = True,
+) -> SweepResult:
+    """Saturation search around an analytic hint.
+
+    Stage 1 sweeps ``points`` loads across ``hint * (1 ± span)``.
+    Stage 2 (``refine``) re-sweeps a one-grid-spacing bracket around the
+    best stage-1 point: past saturation the goodput *collapses* rather
+    than plateauing, so a coarse grid can under-read the peak by up to
+    one spacing; the refinement recovers it.  The hint typically comes
+    from the LP/cost model, so a ±35% bracket comfortably contains the
+    real knee even when retransmission losses shift it.
+    """
+    if hint <= 0:
+        raise ValueError("hint must be positive")
+    if points < 2:
+        raise ValueError("need at least two points")
+    lo = hint * (1.0 - span)
+    hi = hint * (1.0 + span)
+    spacing = (hi - lo) / (points - 1)
+    loads = [lo + spacing * i for i in range(points)]
+    coarse = sweep_loads(factory, loads, duration=duration, warmup=warmup, label=label)
+    if not refine:
+        return coarse
+    best = max(coarse.points, key=lambda p: p.result.throughput_cps)
+    center = best.offered_cps
+    fine_loads = [
+        load
+        for load in (center - 0.5 * spacing, center + 0.33 * spacing,
+                     center + 0.66 * spacing)
+        if load > 0
+    ]
+    fine = sweep_loads(
+        factory, fine_loads, duration=duration, warmup=warmup, label=label
+    )
+    return SweepResult(label or "capacity", list(coarse.points) + list(fine.points))

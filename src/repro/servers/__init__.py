@@ -1,0 +1,32 @@
+"""Simulated SIP network elements.
+
+- :mod:`repro.servers.node` -- base class wiring a CPU model, metrics
+  and the network fabric together,
+- :mod:`repro.servers.location` -- the location service (registrar DB),
+- :mod:`repro.servers.proxy` -- the OpenSER-like proxy with the paper's
+  five functionality modes and pluggable state policies,
+- :mod:`repro.servers.uac` -- the SIPp-like call generator,
+- :mod:`repro.servers.uas` -- the SIPp-like answering server.
+"""
+
+from repro.servers.node import Node
+from repro.servers.location import Binding, LocationService
+from repro.servers.proxy import ProxyServer, ProxyConfig, RouteTable, DELIVER_ACTION
+from repro.servers.uac import CallGenerator, CallGeneratorConfig, CallRecord
+from repro.servers.uas import AnsweringServer
+from repro.servers.registrar_client import RegistrarClient
+
+__all__ = [
+    "RegistrarClient",
+    "Node",
+    "Binding",
+    "LocationService",
+    "ProxyServer",
+    "ProxyConfig",
+    "RouteTable",
+    "DELIVER_ACTION",
+    "CallGenerator",
+    "CallGeneratorConfig",
+    "CallRecord",
+    "AnsweringServer",
+]

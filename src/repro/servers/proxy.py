@@ -1,0 +1,831 @@
+"""OpenSER-like SIP proxy with pluggable state policies.
+
+This node reproduces the server the paper instruments: it can run any of
+the five functionality modes of section 3.1 (stateless / lookup /
+transaction-stateful / dialog-stateful / authentication) and, through a
+:class:`~repro.core.static_policy.StatePolicy`, either a *static*
+configuration (the baseline) or the *SERvartuka* dynamic algorithm.
+
+Key behaviours reproduced:
+
+- **Stateful handling** of a request creates a proxy transaction that
+  absorbs retransmissions (replaying the stored response), emits ``100
+  Trying`` upstream, and Record-Routes itself so it also owns the
+  dialog's BYE transaction.
+- **Stateless handling** forwards with a deterministic Via branch (RFC
+  3261 16.11) and relays *everything*, including retransmissions and
+  ``100 Trying`` responses from downstream -- which is what makes the
+  paper's "#calls == #100 Trying at the client" statefulness check work
+  when the stateful node is further down the chain.
+- **State delegation marking**: a node that takes state stamps
+  ``X-Servartuka-State: held`` on the forwarded request so downstream
+  SERvartuka nodes know the FASF bit of section 4.1.
+- **Overload behaviour**: when the CPU backlog exceeds a threshold the
+  proxy answers new INVITEs with ``500`` (the paper's "large increase
+  in SIP 500 Server Busy messages" at the knee); beyond that, admission
+  control drops messages like a full socket buffer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costmodel import CostModel, Feature, MessageKind
+from repro.core.overload import OverloadReport
+from repro.core.static_policy import PolicyDecision, StatePolicy, stateful_policy
+from repro.servers.location import LocationService
+from repro.servers.node import Node, classify_sip_kind
+from repro.sim.events import EventLoop
+from repro.sim.network import Network, Packet
+from repro.sip.digest import CredentialStore, make_challenge
+from repro.sip.dialog import DialogId, DialogStore
+from repro.sip.headers import SipHeaderError, Via
+from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
+
+#: Route-table action meaning "this proxy delivers to the end point".
+DELIVER_ACTION = "__deliver__"
+
+#: Header carrying the FASF ("state already maintained upstream") bit.
+STATE_HEADER = "X-Servartuka-State"
+STATE_HELD = "held"
+
+#: Header marking that a call has been authenticated upstream (the
+#: authentication-distribution extension, paper section 6.2).
+AUTH_HEADER = "X-Servartuka-Auth"
+AUTH_DONE = "done"
+
+
+class RouteTable:
+    """Domain-based next-hop routing.
+
+    The paper's call paths are fixed by "underlying network routing
+    mechanisms"; here that is a map from request-URI domain to either
+    the next proxy's node name or :data:`DELIVER_ACTION`.
+    """
+
+    def __init__(self, default: Optional[str] = None):
+        self._routes: Dict[str, str] = {}
+        self.default = default
+
+    def add(self, domain: str, action: str) -> "RouteTable":
+        self._routes[domain.lower()] = action
+        return self
+
+    def action_for(self, host: str) -> Optional[str]:
+        return self._routes.get(host.lower(), self.default)
+
+    def domains(self) -> List[str]:
+        return list(self._routes)
+
+    def has_deliver(self) -> bool:
+        """True when any route terminates at this proxy (exit node)."""
+        return DELIVER_ACTION in self._routes.values() or self.default == DELIVER_ACTION
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RouteTable {self._routes}>"
+
+
+class ProxyConfig:
+    """Behavioural knobs for one proxy."""
+
+    def __init__(
+        self,
+        auth_enabled: bool = False,
+        realm: str = "repro.example.com",
+        nonce: str = "repro-nonce",
+        reject_queue_delay: float = 0.30,
+        txn_linger: float = 4.0,
+        monitor_period: float = 1.0,
+        record_route_when_stateful: bool = True,
+    ):
+        if reject_queue_delay < 0 or txn_linger < 0:
+            raise ValueError("delays must be >= 0")
+        if monitor_period <= 0:
+            raise ValueError("monitor_period must be positive")
+        self.auth_enabled = auth_enabled
+        self.realm = realm
+        self.nonce = nonce
+        self.reject_queue_delay = reject_queue_delay
+        self.txn_linger = txn_linger
+        self.monitor_period = monitor_period
+        self.record_route_when_stateful = record_route_when_stateful
+
+
+class ProxyTransaction:
+    """Server-side state a stateful proxy keeps for one transaction.
+
+    Besides absorbing upstream retransmissions, a stateful proxy runs a
+    *client* transaction toward the next hop: the forwarded request is
+    retransmitted on the T1-doubling schedule until any response
+    arrives (RFC 3261 16.6 step 10).  This is what lets a stateful
+    chain recover from loss between proxies without the end points ever
+    noticing -- the mechanism behind the paper's bounded response times
+    in Figure 6.
+    """
+
+    __slots__ = (
+        "key", "method", "upstream", "forwarded_branch", "last_upstream_response",
+        "created_at", "completed", "forwarded_message", "next_hop",
+        "retransmit_handle", "retransmit_interval", "downstream_retransmits",
+        "response_seen",
+    )
+
+    def __init__(
+        self, key: Tuple[str, str, str], method: str, upstream: str,
+        forwarded_branch: str, created_at: float,
+    ):
+        self.key = key
+        self.method = method
+        self.upstream = upstream
+        self.forwarded_branch = forwarded_branch
+        self.last_upstream_response: Optional[SipResponse] = None
+        self.created_at = created_at
+        self.completed = False
+        self.forwarded_message: Optional[SipRequest] = None
+        self.next_hop: Optional[str] = None
+        self.retransmit_handle = None
+        self.retransmit_interval = 0.0
+        self.downstream_retransmits = 0
+        self.response_seen = False
+
+    def stop_retransmitting(self) -> None:
+        if self.retransmit_handle is not None:
+            self.retransmit_handle.cancel()
+            self.retransmit_handle = None
+
+
+class _Plan:
+    """Outcome of classifying+routing a message at receive time."""
+
+    __slots__ = (
+        "action", "message", "src", "kind", "features", "extra_vias",
+        "next_hop", "ds_key", "is_exit", "decision", "status", "do_auth",
+    )
+
+    def __init__(self, action: str, message, src: str, kind: MessageKind,
+                 features: frozenset, extra_vias: int):
+        self.action = action
+        self.message = message
+        self.src = src
+        self.kind = kind
+        self.features = features
+        self.extra_vias = extra_vias
+        self.next_hop: Optional[str] = None
+        self.ds_key: Optional[str] = None
+        self.is_exit = False
+        self.decision: Optional[PolicyDecision] = None
+        self.status: int = 0
+        self.do_auth = False
+
+
+class ProxyServer(Node):
+    """A SIP proxy node; see module docstring."""
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        network: Network,
+        route_table: RouteTable,
+        location: Optional[LocationService] = None,
+        policy: Optional[StatePolicy] = None,
+        config: Optional[ProxyConfig] = None,
+        credentials: Optional[CredentialStore] = None,
+        cost_model: Optional[CostModel] = None,
+        timers: TimerPolicy = DEFAULT_TIMERS,
+        auth_policy: Optional[StatePolicy] = None,
+        **kwargs,
+    ):
+        super().__init__(name, loop, network, cost_model=cost_model, **kwargs)
+        self.route_table = route_table
+        self.location = location or LocationService()
+        self.policy = policy or stateful_policy()
+        self.config = config or ProxyConfig()
+        self.credentials = credentials
+        self.timers = timers
+        # Optional dynamic distribution of the authentication function;
+        # None means "authenticate here whenever auth is enabled".
+        self.auth_policy = auth_policy
+
+        self._transactions: Dict[Tuple[str, str, str], ProxyTransaction] = {}
+        self._by_forwarded_branch: Dict[str, ProxyTransaction] = {}
+        self.dialogs = DialogStore()
+        self._branch_counter = 0
+        self._via_ema = 0.0
+        self._upstream_new_calls: Dict[str, float] = {}
+        self.policy.attach(self)
+        if self.auth_policy is not None:
+            self.auth_policy.attach(self)
+        self.loop.schedule(self.config.monitor_period, self._monitor)
+
+    # ==================================================================
+    # Receive path: plan (classification + routing + policy), then charge
+    # ==================================================================
+    def receive(self, packet: Packet) -> None:
+        self.metrics.counter("packets_received").increment()
+        payload = packet.payload
+        if isinstance(payload, OverloadReport):
+            cost, components = self.cost_model.message_cost(MessageKind.CONTROL)
+            self.cpu.submit(
+                cost, self._handle_control, payload, components=components
+            )
+            return
+        if not isinstance(payload, SipMessage):
+            self.metrics.counter("unknown_payloads").increment()
+            return
+
+        if isinstance(payload, SipRequest):
+            plan = self._plan_request(payload, packet.src)
+        else:
+            plan = self._plan_response(payload, packet.src)
+        if plan is None:
+            return
+        cost, components = self.cost_model.message_cost(
+            plan.kind, plan.features, plan.extra_vias
+        )
+        job = self.cpu.submit(cost, self._execute, plan, components=components)
+        if job is None:
+            self.metrics.counter("messages_dropped_overload").increment()
+
+    # ------------------------------------------------------------------
+    # Request planning
+    # ------------------------------------------------------------------
+    def _plan_request(self, request: SipRequest, src: str) -> Optional[_Plan]:
+        extra_vias = max(0, len(request.get_all("Via")) - 1)
+        kind = classify_sip_kind(request)
+
+        # Retransmission / ACK / CANCEL handling by an existing transaction.
+        transaction = self._find_transaction(request)
+        if transaction is not None:
+            if request.method == "ACK":
+                plan = _Plan("ack_stateful", request, src, MessageKind.ACK,
+                             frozenset({Feature.BASE}), extra_vias)
+                return plan
+            if request.method == "CANCEL":
+                plan = _Plan("cancel_stateful", request, src,
+                             MessageKind.GENERIC, frozenset({Feature.BASE}),
+                             extra_vias)
+                return plan
+            plan = _Plan("absorb", request, src, MessageKind.ABSORB_RETRANSMIT,
+                         frozenset(), extra_vias)
+            return plan
+
+        if request.method == "REGISTER":
+            return _Plan("register", request, src, MessageKind.REGISTER,
+                         frozenset({Feature.BASE, Feature.LOOKUP}), extra_vias)
+
+        # Routing.
+        action = self.route_table.action_for(request.uri.host)
+        if action is None:
+            plan = _Plan("reject", request, src, MessageKind.REJECT,
+                         frozenset(), extra_vias)
+            plan.status = 404
+            return plan
+        is_exit = action == DELIVER_ACTION
+        ds_key = action
+
+        features = {Feature.BASE}
+        if is_exit:
+            features.add(Feature.LOOKUP)
+
+        if request.method == "INVITE":
+            # Overload shedding: answer 500 when the backlog is deep.
+            if (
+                self.config.reject_queue_delay > 0
+                and self.cpu.queue_delay() > self.config.reject_queue_delay
+            ):
+                self.policy.note_rejected(ds_key, is_exit)
+                if self.auth_policy is not None:
+                    self.auth_policy.note_rejected(ds_key, is_exit)
+                plan = _Plan("reject", request, src, MessageKind.REJECT,
+                             frozenset(), extra_vias)
+                plan.status = 500
+                return plan
+
+            do_auth = False
+            if self.config.auth_enabled:
+                already_authed = request.get(AUTH_HEADER) == AUTH_DONE
+                if self.auth_policy is not None:
+                    # Authentication distribution: decide whether *this*
+                    # node performs the credential check or delegates it
+                    # downstream, exactly like state.
+                    do_auth = self.auth_policy.decide(
+                        ds_path=ds_key,
+                        already_stateful=already_authed,
+                        in_transaction=False,
+                        is_exit=is_exit,
+                    ).stateful
+                else:
+                    do_auth = not already_authed
+                if do_auth:
+                    features.add(Feature.AUTH)
+                    if not self._check_auth(request):
+                        plan = _Plan("reject", request, src, MessageKind.REJECT,
+                                     frozenset({Feature.AUTH}), extra_vias)
+                        plan.status = 407
+                        return plan
+
+            already_stateful = request.get(STATE_HEADER) == STATE_HELD
+            decision = self.policy.decide(
+                ds_path=ds_key,
+                already_stateful=already_stateful,
+                in_transaction=False,
+                is_exit=is_exit,
+            )
+            if decision.stateful:
+                features.add(Feature.TXN_STATE)
+                if decision.dialog_stateful:
+                    features.add(Feature.DIALOG_STATE)
+            self._track_via_ema(extra_vias)
+            self._upstream_new_calls[src] = self._upstream_new_calls.get(src, 0.0) + 1.0
+
+            plan = _Plan("forward_invite", request, src, kind,
+                         frozenset(features), extra_vias)
+            plan.decision = decision
+            plan.do_auth = do_auth
+        elif request.method == "BYE":
+            owns = self._owns_dialog(request)
+            if owns:
+                features.add(Feature.TXN_STATE)
+            plan = _Plan("forward_bye", request, src, kind,
+                         frozenset(features), extra_vias)
+            plan.decision = PolicyDecision(stateful=owns)
+        else:
+            plan = _Plan("forward_other", request, src, kind,
+                         frozenset(features), extra_vias)
+
+        plan.next_hop = None if is_exit else action
+        plan.ds_key = ds_key
+        plan.is_exit = is_exit
+        return plan
+
+    def _find_transaction(self, request: SipRequest) -> Optional[ProxyTransaction]:
+        try:
+            key = request.transaction_key()
+        except SipHeaderError:
+            return None
+        return self._transactions.get(key)
+
+    def _owns_dialog(self, request: SipRequest) -> bool:
+        """True when this node Record-Routed itself into the dialog."""
+        for value in request.get_all("Route"):
+            if self.name in value:
+                return True
+        return False
+
+    def _check_auth(self, request: SipRequest) -> bool:
+        if self.credentials is None:
+            return True
+        header = request.get("Proxy-Authorization")
+        if header is None:
+            return False
+        return self.credentials.verify(header, request.method)
+
+    def _track_via_ema(self, extra_vias: int) -> None:
+        self._via_ema = 0.95 * self._via_ema + 0.05 * float(extra_vias)
+
+    # ------------------------------------------------------------------
+    # Response planning
+    # ------------------------------------------------------------------
+    def _plan_response(self, response: SipResponse, src: str) -> Optional[_Plan]:
+        extra_vias = max(0, len(response.get_all("Via")) - 1)
+        kind = classify_sip_kind(response)
+        top = response.top_via
+        if top is None or top.host != self.name:
+            self.metrics.counter("stray_responses").increment()
+            return None
+        return _Plan("forward_response", response, src, kind,
+                     frozenset({Feature.BASE}), extra_vias)
+
+    # ==================================================================
+    # Execution (runs after the CPU job completes)
+    # ==================================================================
+    def _execute(self, plan: _Plan) -> None:
+        handler = {
+            "absorb": self._do_absorb,
+            "ack_stateful": self._do_ack_stateful,
+            "cancel_stateful": self._do_cancel_stateful,
+            "register": self._do_register,
+            "reject": self._do_reject,
+            "forward_invite": self._do_forward_request,
+            "forward_bye": self._do_forward_request,
+            "forward_other": self._do_forward_request,
+            "forward_response": self._do_forward_response,
+        }[plan.action]
+        handler(plan)
+
+    # ------------------------------------------------------------------
+    # Stateful absorption
+    # ------------------------------------------------------------------
+    def _do_absorb(self, plan: _Plan) -> None:
+        transaction = self._find_transaction(plan.message)
+        self.metrics.counter("retransmits_absorbed").increment()
+        if transaction is None:
+            return  # transaction expired between plan and execution
+        if transaction.last_upstream_response is not None:
+            self.send(transaction.upstream, transaction.last_upstream_response.copy())
+        elif transaction.method == "INVITE":
+            self._send_trying(plan.message, transaction.upstream)
+
+    def _do_ack_stateful(self, plan: _Plan) -> None:
+        # ACK for a non-2xx final answered by our stored response; it is
+        # hop-by-hop and stops here.
+        self.metrics.counter("acks_consumed").increment()
+
+    def _do_cancel_stateful(self, plan: _Plan) -> None:
+        """CANCEL for an INVITE transaction we hold (RFC 3261 16.10):
+        answer it 200 hop-by-hop and issue our own CANCEL downstream on
+        the branch of the forwarded INVITE."""
+        request: SipRequest = plan.message
+        transaction = self._find_transaction(request)
+        self.metrics.counter("cancels_handled").increment()
+        self._send_response_upstream(
+            SipResponse.for_request(request, 200), plan.src
+        )
+        if transaction is None or transaction.completed:
+            return  # too late: a final response already went upstream
+        if transaction.next_hop is None:
+            return
+        transaction.stop_retransmitting()
+        forwarded = request.copy()
+        try:
+            forwarded.decrement_max_forwards()
+        except SipHeaderError:
+            pass
+        forwarded.push_via(Via(self.name, branch=transaction.forwarded_branch))
+        self.send(transaction.next_hop, forwarded)
+
+    # ------------------------------------------------------------------
+    # Local responses
+    # ------------------------------------------------------------------
+    def _do_register(self, plan: _Plan) -> None:
+        request: SipRequest = plan.message
+        contact = request.get("Contact")
+        aor = request.to.uri.aor
+        contact_host = plan.src
+        if contact:
+            try:
+                from repro.sip.headers import NameAddr
+                contact_host = NameAddr.parse(contact).uri.host
+            except (ValueError, SipHeaderError):
+                pass
+        expires_at = None
+        expires_header = request.get("Expires")
+        if expires_header is not None:
+            try:
+                expires_at = self.loop.now + float(expires_header)
+            except ValueError:
+                pass
+        self.location.register(aor, contact_host, expires_at=expires_at)
+        self.metrics.counter("registrations").increment()
+        self._respond_locally(request, 200)
+
+    def _do_reject(self, plan: _Plan) -> None:
+        request: SipRequest = plan.message
+        self.metrics.counter(f"rejected_{plan.status}").increment()
+        if plan.status == 500:
+            self.metrics.counter("server_busy_sent").increment()
+        response = SipResponse.for_request(request, plan.status)
+        if plan.status == 407:
+            response.set(
+                "Proxy-Authenticate",
+                make_challenge(self.config.realm, self.config.nonce),
+            )
+        # A locally generated final is inherently stateful (RFC 3261
+        # 16.7): remember it briefly so retransmits are absorbed and the
+        # client's ACK for a non-2xx is consumed here, not forwarded.
+        if request.method == "INVITE":
+            try:
+                key = request.transaction_key()
+            except SipHeaderError:
+                key = None
+            if key is not None and key not in self._transactions:
+                self._branch_counter += 1
+                branch = f"reject-{self.name}-{self._branch_counter}"
+                transaction = ProxyTransaction(
+                    key, request.method, plan.src, branch, self.loop.now
+                )
+                transaction.last_upstream_response = response
+                transaction.completed = True
+                self._transactions[key] = transaction
+                self.loop.schedule(
+                    self.config.txn_linger, self._expire_transaction, key, branch
+                )
+        self._send_response_upstream(response, plan.src)
+
+    def _respond_locally(self, request: SipRequest, status: int) -> None:
+        response = SipResponse.for_request(request, status)
+        self._send_response_upstream(response, None)
+
+    def _send_response_upstream(self, response: SipResponse, fallback: Optional[str]) -> None:
+        via = response.top_via
+        target = via.host if via is not None and self.network.has_node(via.host) else fallback
+        if target is None:
+            self.metrics.counter("unroutable_responses").increment()
+            return
+        self.send(target, response)
+
+    def _send_trying(self, request: SipRequest, upstream: str) -> None:
+        trying = SipResponse.for_request(request, 100)
+        self.metrics.counter("trying_sent").increment()
+        self.send(upstream, trying)
+
+    # ------------------------------------------------------------------
+    # Request forwarding
+    # ------------------------------------------------------------------
+    def _next_branch(self) -> str:
+        self._branch_counter += 1
+        return f"{Via.MAGIC_COOKIE}-{self.name}-{self._branch_counter}"
+
+    def _stateless_branch(self, request: SipRequest) -> str:
+        """Deterministic branch so stateless retransmit forwarding maps
+        to the same downstream transaction (RFC 3261 16.11).
+
+        The seed uses the *transaction* method: a CANCEL carries its
+        INVITE's branch end-to-end, so both must map to the same
+        downstream branch for the stateful element past us to match
+        them up.
+        """
+        top = request.top_via
+        method = request.method
+        if method in ("ACK", "CANCEL"):
+            method = "INVITE"
+        seed = f"{self.name}:{top.branch if top else ''}:{method}"
+        digest = hashlib.md5(seed.encode("utf-8")).hexdigest()[:16]
+        return f"{Via.MAGIC_COOKIE}-sl-{digest}"
+
+    def _do_forward_request(self, plan: _Plan) -> None:
+        request: SipRequest = plan.message
+        try:
+            remaining = request.decrement_max_forwards()
+        except SipHeaderError:
+            remaining = -1
+        if remaining < 0:
+            plan.status = 483
+            self._do_reject(plan)
+            return
+
+        next_hop = plan.next_hop
+        if plan.is_exit:
+            binding = self.location.lookup(request.uri.aor, self.loop.now)
+            if binding is None:
+                plan.status = 404
+                self._do_reject(plan)
+                return
+            next_hop = binding.node
+
+        forwarded = request.copy()
+        # Pop our own Route entry if present (loose routing).
+        routes = forwarded.get_all("Route")
+        if routes and self.name in routes[0]:
+            remaining_routes = routes[1:]
+            forwarded.remove("Route")
+            for value in remaining_routes:
+                forwarded.add("Route", value)
+
+        if plan.do_auth:
+            forwarded.set(AUTH_HEADER, AUTH_DONE)
+            self.metrics.counter("invites_authenticated").increment()
+
+        stateful = plan.decision is not None and plan.decision.stateful
+        if stateful:
+            branch = self._next_branch()
+            self._create_transaction(request, plan.src, branch, plan)
+            if request.method == "INVITE":
+                self._send_trying(request, plan.src)
+                forwarded.set(STATE_HEADER, STATE_HELD)
+                if self.config.record_route_when_stateful:
+                    forwarded.add("Record-Route", f"<sip:{self.name};lr>", at_top=True)
+                self.metrics.counter("invites_stateful").increment()
+            else:
+                self.metrics.counter("byes_stateful").increment()
+        else:
+            branch = self._stateless_branch(request)
+            if request.method == "INVITE":
+                self.metrics.counter("invites_stateless").increment()
+            elif request.method == "BYE":
+                self.metrics.counter("byes_stateless").increment()
+
+        forwarded.push_via(Via(self.name, branch=branch))
+        self.metrics.counter("requests_forwarded").increment()
+        self.send(next_hop, forwarded)
+        if stateful:
+            self._arm_downstream_retransmit(request, forwarded, next_hop)
+
+    def _arm_downstream_retransmit(
+        self, request: SipRequest, forwarded: SipRequest, next_hop: str
+    ) -> None:
+        """Start the proxy's client-transaction retransmission schedule."""
+        try:
+            key = request.transaction_key()
+        except SipHeaderError:
+            return
+        transaction = self._transactions.get(key)
+        if transaction is None:
+            return
+        transaction.forwarded_message = forwarded
+        transaction.next_hop = next_hop
+        transaction.retransmit_interval = self.timers.t1
+        transaction.retransmit_handle = self.loop.schedule(
+            transaction.retransmit_interval,
+            self._retransmit_downstream,
+            key,
+        )
+
+    def _retransmit_downstream(self, key) -> None:
+        transaction = self._transactions.get(key)
+        if (
+            transaction is None
+            or transaction.response_seen
+            or transaction.forwarded_message is None
+        ):
+            return
+        # Give up at the Timer B horizon like any client transaction.
+        if self.loop.now - transaction.created_at > self.timers.timer_b:
+            return
+        transaction.downstream_retransmits += 1
+        self.metrics.counter("downstream_retransmits").increment()
+        self.send(transaction.next_hop, transaction.forwarded_message.copy())
+        transaction.retransmit_interval = self.timers.next_retransmit_interval(
+            transaction.retransmit_interval, invite=transaction.method == "INVITE"
+        )
+        transaction.retransmit_handle = self.loop.schedule(
+            transaction.retransmit_interval, self._retransmit_downstream, key
+        )
+
+    def _create_transaction(
+        self, request: SipRequest, upstream: str, branch: str, plan: _Plan
+    ) -> None:
+        try:
+            key = request.transaction_key()
+        except SipHeaderError:
+            return
+        transaction = ProxyTransaction(
+            key, request.method, upstream, branch, self.loop.now
+        )
+        self._transactions[key] = transaction
+        self._by_forwarded_branch[branch] = transaction
+        self.metrics.counter("transactions_created").increment()
+        # Hard lifetime bound: Timer C equivalent.
+        self.loop.schedule(self.timers.timer_b, self._expire_transaction, key, branch)
+
+        if plan.decision is not None and plan.decision.dialog_stateful:
+            dialog_id = DialogId.from_message(request, local_is_from=True)
+            if self.dialogs.find(dialog_id) is None:
+                self.dialogs.create(dialog_id, self.loop.now)
+                self.metrics.counter("dialogs_created").increment()
+
+    def _expire_transaction(self, key, branch: str) -> None:
+        transaction = self._transactions.pop(key, None)
+        if transaction is not None:
+            transaction.stop_retransmitting()
+        self._by_forwarded_branch.pop(branch, None)
+
+    # ------------------------------------------------------------------
+    # Response forwarding
+    # ------------------------------------------------------------------
+    def _do_forward_response(self, plan: _Plan) -> None:
+        response: SipResponse = plan.message
+        forwarded = response.copy()
+        own_via = forwarded.pop_via()
+        if own_via is None:
+            return
+        transaction = self._by_forwarded_branch.get(own_via.branch or "")
+        if transaction is not None:
+            transaction.response_seen = True
+            transaction.stop_retransmitting()
+            try:
+                cseq_method = response.cseq.method
+            except SipHeaderError:
+                cseq_method = ""
+            if cseq_method == "CANCEL":
+                # Hop-by-hop: we already answered the upstream CANCEL
+                # ourselves; the downstream 200 stops here.
+                self.metrics.counter("cancel_responses_absorbed").increment()
+                return
+
+        if response.status == 100:
+            if transaction is not None:
+                # We generated our own 100 upstream; absorb this one.
+                self.metrics.counter("trying_absorbed").increment()
+                return
+            # Stateless relay of a downstream node's 100 (see docstring).
+            self.metrics.counter("trying_relayed").increment()
+
+        if transaction is not None and response.is_final:
+            transaction.last_upstream_response = forwarded
+            if not transaction.completed:
+                transaction.completed = True
+                self.loop.schedule(
+                    self.config.txn_linger,
+                    self._expire_transaction,
+                    transaction.key,
+                    transaction.forwarded_branch,
+                )
+            if transaction.method == "BYE" and response.is_success:
+                dialog = self.dialogs.find_by_call_id(response.call_id)
+                if dialog is not None:
+                    dialog.on_terminated(self.loop.now)
+                    self.dialogs.remove(dialog)
+
+        next_via = forwarded.top_via
+        if next_via is None or not self.network.has_node(next_via.host):
+            self.metrics.counter("unroutable_responses").increment()
+            return
+        self.metrics.counter("responses_forwarded").increment()
+        self.send(next_via.host, forwarded.copy() if transaction is not None else forwarded)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_control(self, report: OverloadReport) -> None:
+        self.metrics.counter("overload_reports_received").increment()
+        if report.resource == "auth" and self.auth_policy is not None:
+            self.auth_policy.on_overload_report(report, self.loop.now)
+        else:
+            self.policy.on_overload_report(report, self.loop.now)
+
+    def broadcast_overload(
+        self,
+        overloaded: bool,
+        c_asf_rate: float,
+        sequence: int,
+        resource: str = "state",
+    ) -> None:
+        """Send an overload/clear report to every known upstream,
+        splitting the sustainable rate by their traffic share."""
+        total = sum(self._upstream_new_calls.values())
+        if total <= 0:
+            return
+        self.metrics.counter("overload_reports_sent").increment()
+        for upstream, count in self._upstream_new_calls.items():
+            share = count / total
+            report = OverloadReport(
+                origin=self.name,
+                overloaded=overloaded,
+                c_asf_rate=c_asf_rate * share,
+                sequence=sequence,
+                resource=resource,
+            )
+            self.send(upstream, report)
+
+    def _base_features(self) -> set:
+        features = {Feature.BASE}
+        if self.route_table.has_deliver():
+            features.add(Feature.LOOKUP)
+        return features
+
+    def state_thresholds(self) -> Tuple[float, float]:
+        """(T_SF, T_SL) for this node under its current message mix."""
+        features = self._base_features()
+        if self.config.auth_enabled:
+            features.add(Feature.AUTH)
+        return self.cost_model.node_thresholds(features, depth=self._via_ema)
+
+    def auth_thresholds(self) -> Tuple[float, float]:
+        """Capacity with and without the authentication function.
+
+        Both include the transaction-state feature: the state and auth
+        policies plan independently, so each must assume the other
+        function runs here too -- conservative, which keeps the combined
+        plan feasible (never above 100% utilization).
+        """
+        features = self._base_features() | {Feature.TXN_STATE}
+        with_auth = self.cost_model.capacity_cps(
+            features | {Feature.AUTH}, depth=self._via_ema
+        )
+        without = self.cost_model.capacity_cps(features, depth=self._via_ema)
+        return with_auth, without
+
+    def resource_thresholds(self, resource: str) -> Tuple[float, float]:
+        """Dispatch for :class:`~repro.core.servartuka.ServartukaPolicy`."""
+        if resource == "auth":
+            return self.auth_thresholds()
+        if resource == "state":
+            return self.state_thresholds()
+        raise ValueError(f"unknown distributed resource {resource!r}")
+
+    def _monitor(self) -> None:
+        now = self.loop.now
+        self.policy.on_period(now)
+        if self.auth_policy is not None:
+            self.auth_policy.on_period(now)
+        self.cpu.tick(now)
+        # Upstream shares decay so old traffic does not skew the split.
+        for upstream in list(self._upstream_new_calls):
+            self._upstream_new_calls[upstream] *= 0.5
+            if self._upstream_new_calls[upstream] < 0.5:
+                del self._upstream_new_calls[upstream]
+        self.loop.schedule(self.config.monitor_period, self._monitor)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_transactions(self) -> int:
+        return len(self._transactions)
+
+    def handle_message(self, payload, src: str) -> None:  # pragma: no cover
+        raise AssertionError("ProxyServer overrides receive(); unused")

@@ -1,0 +1,485 @@
+"""SIPp-like call generator (UAC).
+
+Open-loop load generation exactly like the paper's SIPp clients: calls
+are originated at a configured rate regardless of how the system is
+coping, each call runs the make-and-break scenario
+
+    INVITE -> (100) -> 180 -> 200 -> ACK -> [hold] -> BYE -> 200
+
+with full RFC 3261 client transactions (Timer A/B retransmission for
+the INVITE, Timer E/F for the BYE).  The generator keeps the statistics
+the paper's evaluation reads:
+
+- attempted / completed / failed call counters (throughput),
+- INVITE and BYE response-time histograms (Figure 6),
+- per-call ``100 Trying`` accounting -- the paper's statefulness check
+  is "the number of calls sent by the SIPp client is equal to the
+  number of 100 Trying messages that it receives",
+- retransmission counters (the overload symptom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.servers.node import Node
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sip.digest import make_authorization
+from repro.sip.headers import Via
+from repro.sip.sdp import SessionDescription
+from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
+from repro.sip.transaction import ClientTransaction
+
+
+class CallGeneratorConfig:
+    """Workload description for one generator."""
+
+    def __init__(
+        self,
+        rate: float,
+        first_hop: str,
+        destinations: Sequence[str],
+        from_domain: str = "clients.example.com",
+        arrival: str = "poisson",
+        hold_time: float = 0.0,
+        max_calls: Optional[int] = None,
+        auth_username: Optional[str] = None,
+        auth_password: Optional[str] = None,
+        auth_realm: Optional[str] = None,
+        auth_nonce: str = "repro-nonce",
+        abandon_after: Optional[float] = None,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not destinations:
+            raise ValueError("need at least one destination AOR")
+        if arrival not in ("poisson", "uniform"):
+            raise ValueError(f"unknown arrival process {arrival!r}")
+        if hold_time < 0:
+            raise ValueError("hold_time must be >= 0")
+        if abandon_after is not None and abandon_after <= 0:
+            raise ValueError("abandon_after must be positive")
+        self.rate = rate
+        self.first_hop = first_hop
+        self.destinations = list(destinations)
+        self.from_domain = from_domain
+        self.arrival = arrival
+        self.hold_time = hold_time
+        self.max_calls = max_calls
+        self.auth_username = auth_username
+        self.auth_password = auth_password
+        self.auth_realm = auth_realm
+        self.auth_nonce = auth_nonce
+        #: Give up (CANCEL) calls still unanswered after this many
+        #: seconds; None disables caller abandonment.
+        self.abandon_after = abandon_after
+
+    @property
+    def wants_auth(self) -> bool:
+        return bool(self.auth_username and self.auth_realm)
+
+
+class CallRecord:
+    """Lifecycle of one call at the UAC."""
+
+    __slots__ = (
+        "call_id", "destination", "created_at", "answered_at", "completed_at",
+        "state", "got_100", "got_180", "to_tag", "route_set", "cseq",
+        "invite_branch", "from_uri", "from_tag",
+    )
+
+    def __init__(self, call_id: str, destination: str, created_at: float):
+        self.call_id = call_id
+        self.destination = destination
+        self.created_at = created_at
+        self.from_uri = ""
+        self.from_tag = ""
+        self.answered_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.state = "inviting"
+        self.got_100 = False
+        self.got_180 = False
+        self.to_tag: Optional[str] = None
+        self.route_set: List[str] = []
+        self.cseq = 1
+        self.invite_branch: Optional[str] = None
+
+
+class CallGenerator(Node):
+    """Originates calls through a first-hop proxy at a configured rate."""
+
+    def __init__(
+        self,
+        name: str,
+        loop: EventLoop,
+        network: Network,
+        config: CallGeneratorConfig,
+        timers: TimerPolicy = DEFAULT_TIMERS,
+        **kwargs,
+    ):
+        kwargs.setdefault("model_cpu", False)
+        super().__init__(name, loop, network, **kwargs)
+        self.config = config
+        self.timers = timers
+        self._arrival_rng = self.rng.spawn("arrivals")
+        self._calls: Dict[str, CallRecord] = {}
+        self._transactions: Dict[tuple, ClientTransaction] = {}  # (branch, method)
+        self._call_counter = 0
+        self._branch_counter = 0
+        self._running = False
+        self._dest_index = 0
+
+    # ------------------------------------------------------------------
+    # Load control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next_arrival(first=True)
+
+    def stop(self) -> None:
+        """Stop *originating*; in-flight calls still complete."""
+        self._running = False
+
+    def set_rate(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.config.rate = rate
+
+    def _schedule_next_arrival(self, first: bool = False) -> None:
+        if not self._running:
+            return
+        if self.config.max_calls is not None and self._call_counter >= self.config.max_calls:
+            self._running = False
+            return
+        mean = 1.0 / self.config.rate
+        if self.config.arrival == "poisson":
+            delay = self._arrival_rng.exponential(mean)
+        else:
+            delay = 0.0 if first else mean
+        self.loop.schedule(delay, self._originate)
+
+    def _originate(self) -> None:
+        if not self._running:
+            return
+        self._start_call()
+        self._schedule_next_arrival()
+
+    # ------------------------------------------------------------------
+    # Call setup
+    # ------------------------------------------------------------------
+    def _next_branch(self) -> str:
+        self._branch_counter += 1
+        return f"{Via.MAGIC_COOKIE}-{self.name}-{self._branch_counter}"
+
+    def _start_call(self) -> None:
+        self._call_counter += 1
+        destination = self.config.destinations[self._dest_index]
+        self._dest_index = (self._dest_index + 1) % len(self.config.destinations)
+        call_id = f"{self.name}-call-{self._call_counter}"
+        from_uri = f"sip:user{self._call_counter}@{self.config.from_domain}"
+
+        invite = SipRequest.build(
+            "INVITE",
+            uri=destination,
+            from_addr=from_uri,
+            to_addr=destination,
+            call_id=call_id,
+            cseq=1,
+            from_tag=f"uac-{self._call_counter}",
+            body=SessionDescription.offer(self.name).to_body(),
+        )
+        invite.set("Contact", f"<sip:{self.name}>")
+        invite.set("Content-Type", "application/sdp")
+        if self.config.wants_auth:
+            invite.set(
+                "Proxy-Authorization",
+                make_authorization(
+                    self.config.auth_username,
+                    self.config.auth_realm,
+                    self.config.auth_password or "",
+                    "INVITE",
+                    destination,
+                    self.config.auth_nonce,
+                ),
+            )
+        branch = self._next_branch()
+        invite.push_via(Via(self.name, branch=branch))
+
+        record = CallRecord(call_id, destination, self.loop.now)
+        record.invite_branch = branch
+        record.from_uri = from_uri
+        record.from_tag = f"uac-{self._call_counter}"
+        self._calls[call_id] = record
+        self.metrics.counter("calls_attempted").increment()
+        if self.config.abandon_after is not None:
+            self.loop.schedule(
+                self.config.abandon_after, self._maybe_abandon, call_id
+            )
+
+        transaction = ClientTransaction(
+            invite,
+            self.loop,
+            send_fn=self._make_sender("invites_sent"),
+            on_response=lambda response: self._on_invite_response(call_id, response),
+            on_timeout=lambda: self._on_invite_timeout(call_id),
+            timers=self.timers,
+        )
+        self._transactions[(branch, "INVITE")] = transaction
+        transaction.start()
+
+    def _make_sender(self, counter: str):
+        def send(message: SipRequest) -> None:
+            self.metrics.counter(counter).increment()
+            self.send(self.config.first_hop, message)
+        return send
+
+    # ------------------------------------------------------------------
+    # INVITE responses
+    # ------------------------------------------------------------------
+    def _on_invite_response(self, call_id: str, response: SipResponse) -> None:
+        record = self._calls.get(call_id)
+        if record is None:
+            return
+        if response.status == 100:
+            if not record.got_100:
+                record.got_100 = True
+                self.metrics.counter("calls_with_100").increment()
+            return
+        if response.is_provisional:
+            record.got_180 = True
+            return
+        if response.is_success:
+            self._on_call_answered(record, response)
+        else:
+            self._fail_call(record, f"invite_{response.status}")
+
+    def _on_call_answered(self, record: CallRecord, response: SipResponse) -> None:
+        if record.state != "inviting":
+            return
+        record.state = "answered"
+        record.answered_at = self.loop.now
+        record.to_tag = response.to.tag
+        record.route_set = list(response.get_all("Record-Route"))
+        self.metrics.histogram("invite_response_time").observe(
+            record.answered_at - record.created_at
+        )
+        self._send_ack(record)
+        if self.config.hold_time > 0:
+            self.loop.schedule(self.config.hold_time, self._send_bye, record.call_id)
+        else:
+            self._send_bye(record.call_id)
+
+    def _send_ack(self, record: CallRecord) -> None:
+        ack = SipRequest.build(
+            "ACK",
+            uri=record.destination,
+            from_addr=record.from_uri,
+            to_addr=record.destination,
+            call_id=record.call_id,
+            cseq=record.cseq,
+            from_tag=record.from_tag,
+            to_tag=record.to_tag,
+        )
+        ack.set("CSeq", f"{record.cseq} ACK")
+        for route in record.route_set:
+            ack.add("Route", route)
+        ack.push_via(Via(self.name, branch=self._next_branch()))
+        self.metrics.counter("acks_sent").increment()
+        self.send(self.config.first_hop, ack)
+
+    def _maybe_abandon(self, call_id: str) -> None:
+        record = self._calls.get(call_id)
+        if record is None or record.state != "inviting":
+            return
+        self.metrics.counter("calls_abandoned").increment()
+        cancel = SipRequest.build(
+            "CANCEL",
+            uri=record.destination,
+            from_addr=record.from_uri,
+            to_addr=record.destination,
+            call_id=call_id,
+            cseq=1,
+            from_tag=record.from_tag,
+        )
+        cancel.set("CSeq", "1 CANCEL")
+        cancel.push_via(Via(self.name, branch=record.invite_branch))
+        transaction = ClientTransaction(
+            cancel,
+            self.loop,
+            send_fn=self._make_sender("cancels_sent"),
+            on_response=lambda response: self._on_cancel_response(
+                call_id, response
+            ),
+            on_timeout=lambda: None,
+            timers=self.timers,
+        )
+        self._transactions[(record.invite_branch, "CANCEL")] = transaction
+        transaction.start()
+
+    def _on_cancel_response(self, call_id: str, response: SipResponse) -> None:
+        # The 200 for the CANCEL is hop-by-hop bookkeeping; the call
+        # itself ends when the 487 arrives on the INVITE transaction.
+        record = self._calls.get(call_id)
+        if record is not None and record.invite_branch:
+            self._transactions.pop((record.invite_branch, "CANCEL"), None)
+
+    def _on_invite_timeout(self, call_id: str) -> None:
+        record = self._calls.get(call_id)
+        if record is None:
+            return
+        self._fail_call(record, "invite_timeout")
+
+    # ------------------------------------------------------------------
+    # Tear-down
+    # ------------------------------------------------------------------
+    def _send_bye(self, call_id: str) -> None:
+        record = self._calls.get(call_id)
+        if record is None or record.state != "answered":
+            return
+        record.state = "leaving"
+        record.cseq += 1
+        bye = SipRequest.build(
+            "BYE",
+            uri=record.destination,
+            from_addr=record.from_uri,
+            to_addr=record.destination,
+            call_id=call_id,
+            cseq=record.cseq,
+            from_tag=record.from_tag,
+            to_tag=record.to_tag,
+        )
+        for route in record.route_set:
+            bye.add("Route", route)
+        branch = self._next_branch()
+        bye.push_via(Via(self.name, branch=branch))
+        bye_sent_at = self.loop.now
+        transaction = ClientTransaction(
+            bye,
+            self.loop,
+            send_fn=self._make_sender("byes_sent"),
+            on_response=lambda response: self._on_bye_response(
+                call_id, branch, bye_sent_at, response
+            ),
+            on_timeout=lambda: self._on_bye_timeout(call_id, branch),
+            timers=self.timers,
+        )
+        self._transactions[(branch, "BYE")] = transaction
+        transaction.start()
+
+    def _reap_bye_transaction(self, branch: str) -> None:
+        transaction = self._transactions.pop((branch, "BYE"), None)
+        if transaction is not None:
+            self.metrics.counter("retransmits_harvested").increment(
+                transaction.retransmit_count
+            )
+
+    def _on_bye_response(
+        self, call_id: str, branch: str, sent_at: float, response: SipResponse
+    ) -> None:
+        record = self._calls.get(call_id)
+        if record is None or response.is_provisional:
+            return
+        self._reap_bye_transaction(branch)
+        self.metrics.histogram("bye_response_time").observe(self.loop.now - sent_at)
+        if response.is_success:
+            record.state = "completed"
+            record.completed_at = self.loop.now
+            self.metrics.counter("calls_completed").increment()
+            self._finish_call(record)
+        else:
+            self._fail_call(record, f"bye_{response.status}")
+
+    def _on_bye_timeout(self, call_id: str, branch: str) -> None:
+        self._reap_bye_transaction(branch)
+        record = self._calls.get(call_id)
+        if record is None:
+            return
+        self._fail_call(record, "bye_timeout")
+
+    def _fail_call(self, record: CallRecord, reason: str) -> None:
+        if record.state in ("completed", "failed"):
+            return
+        record.state = "failed"
+        self.metrics.counter("calls_failed").increment()
+        self.metrics.counter(f"failure_{reason}").increment()
+        self._finish_call(record)
+
+    def _finish_call(self, record: CallRecord) -> None:
+        self._calls.pop(record.call_id, None)
+        if record.invite_branch:
+            transaction = self._transactions.pop(
+                (record.invite_branch, "INVITE"), None
+            )
+            if transaction is not None:
+                self.metrics.counter("retransmits_harvested").increment(
+                    transaction.retransmit_count
+                )
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, payload, src: str) -> None:
+        if not isinstance(payload, SipMessage):
+            return  # UACs ignore control traffic (overload reports)
+        if isinstance(payload, SipResponse):
+            self._dispatch_response(payload)
+        else:
+            self.metrics.counter("stray_requests").increment()
+
+    def _dispatch_response(self, response: SipResponse) -> None:
+        via = response.top_via
+        branch = via.branch if via is not None else None
+        try:
+            method = response.cseq.method
+        except Exception:
+            method = "INVITE"
+        if method == "ACK":
+            method = "INVITE"
+        transaction = (
+            self._transactions.get((branch, method)) if branch else None
+        )
+        if transaction is not None and transaction.state.value != "terminated":
+            transaction.receive_response(response)
+            return
+        # Late/duplicate responses: a retransmitted 200 for an already
+        # terminated INVITE transaction means our ACK was lost; re-ACK.
+        record = self._calls.get(response.call_id)
+        if record is not None and response.is_success and record.state in (
+            "answered", "leaving",
+        ):
+            try:
+                if response.cseq.method == "INVITE":
+                    self.metrics.counter("acks_resent").increment()
+                    self._send_ack(record)
+                    return
+            except Exception:
+                pass
+        self.metrics.counter("late_responses").increment()
+
+    # ------------------------------------------------------------------
+    # Harness-facing statistics
+    # ------------------------------------------------------------------
+    @property
+    def calls_attempted(self) -> int:
+        return self.metrics.counter("calls_attempted").value
+
+    @property
+    def calls_completed(self) -> int:
+        return self.metrics.counter("calls_completed").value
+
+    @property
+    def calls_failed(self) -> int:
+        return self.metrics.counter("calls_failed").value
+
+    @property
+    def calls_with_100(self) -> int:
+        return self.metrics.counter("calls_with_100").value
+
+    def retransmissions(self) -> int:
+        """Total request retransmissions across all transactions so far."""
+        live = sum(txn.retransmit_count for txn in self._transactions.values())
+        return self.metrics.counter("retransmits_harvested").value + live

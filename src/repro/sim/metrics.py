@@ -1,0 +1,244 @@
+"""Measurement primitives for the experiment harness.
+
+The paper's harness is SIPp statistics plus ``top`` logs; ours is this
+module.  The types are intentionally simple:
+
+- :class:`Counter` -- monotonically increasing count with a helper for
+  windowed rates,
+- :class:`Histogram` -- reservoir-free exact histogram over float samples
+  with percentile queries (response times),
+- :class:`TimeSeries` -- ``(t, value)`` pairs (utilization over time),
+- :class:`RateMeter` -- events-per-second over a sliding tumbling window,
+- :class:`MetricsRegistry` -- a per-node namespace for all of the above.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value", "_marks")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+        self._marks: List[Tuple[float, int]] = []
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def mark(self, now: float) -> None:
+        """Record (time, value) so windowed rates can be computed later."""
+        self._marks.append((now, self.value))
+
+    def rate_between(self, t0: float, t1: float) -> float:
+        """Average events/second between the marks nearest t0 and t1."""
+        if t1 <= t0:
+            raise ValueError("t1 must be after t0")
+        v0 = self._value_at(t0)
+        v1 = self._value_at(t1)
+        return (v1 - v0) / (t1 - t0)
+
+    def _value_at(self, t: float) -> int:
+        if not self._marks:
+            return self.value
+        times = [m[0] for m in self._marks]
+        idx = bisect.bisect_right(times, t) - 1
+        if idx < 0:
+            return 0
+        return self._marks[idx][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Exact histogram over float samples with percentile queries.
+
+    Samples are kept in insertion order (so measurement windows can be
+    carved out with :meth:`stats_since`); percentile queries sort into a
+    cache invalidated on append.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted_cache: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted_cache = None
+
+    def _sorted(self) -> List[float]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._samples)
+        return self._sorted_cache
+
+    @property
+    def samples(self) -> List[float]:
+        """Samples in insertion order (do not mutate)."""
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        return self._sorted()[0] if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._sorted()[-1] if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._samples:
+            return 0.0
+        ordered = self._sorted()
+        if p == 0:
+            return ordered[0]
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def stddev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self._samples) / (n - 1))
+
+    def stats_since(self, start_index: int) -> Dict[str, float]:
+        """Summary stats over samples appended at/after ``start_index``."""
+        window = self._samples[start_index:]
+        if not window:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        ordered = sorted(window)
+        n = len(ordered)
+
+        def pct(p: float) -> float:
+            rank = max(1, math.ceil(p / 100.0 * n))
+            return ordered[rank - 1]
+
+        return {
+            "count": n,
+            "mean": sum(window) / n,
+            "p50": pct(50),
+            "p95": pct(95),
+            "max": ordered[-1],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeSeries:
+    """Append-only (time, value) series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time series must be appended in time order")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise IndexError("empty time series")
+        return self.times[-1], self.values[-1]
+
+    def mean_over(self, t0: float, t1: float) -> float:
+        """Unweighted mean of samples with t0 <= t <= t1."""
+        selected = [v for t, v in zip(self.times, self.values) if t0 <= t <= t1]
+        if not selected:
+            return 0.0
+        return sum(selected) / len(selected)
+
+    def max_value(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+
+class RateMeter:
+    """Tumbling-window events-per-second meter.
+
+    ``tick(now)`` is called once per window boundary by the owner; the
+    per-window rates accumulate into a :class:`TimeSeries`.
+    """
+
+    def __init__(self, name: str = "", window: float = 1.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.window = window
+        self.series = TimeSeries(name)
+        self._count_in_window = 0
+
+    def record(self, amount: int = 1) -> None:
+        self._count_in_window += amount
+
+    def tick(self, now: float) -> float:
+        """Close the current window; returns the window's rate."""
+        rate = self._count_in_window / self.window
+        self.series.append(now, rate)
+        self._count_in_window = 0
+        return rate
+
+
+class MetricsRegistry:
+    """A namespace of metrics, typically one per node."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.name}.{name}")
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(f"{self.name}.{name}")
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(f"{self.name}.{name}")
+        return self._series[name]
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of all counter values (for reports and tests)."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MetricsRegistry {self.name} counters={len(self._counters)} "
+            f"histograms={len(self._histograms)} series={len(self._series)}>"
+        )

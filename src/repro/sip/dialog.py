@@ -1,0 +1,169 @@
+"""SIP dialog identification and state (RFC 3261 section 12 subset).
+
+A *dialog-stateful* server (paper section 2.2) keeps state for the whole
+call so that later transactions (re-INVITE, BYE) can be tied back to the
+INVITE that created the dialog -- the paper's example use cases are
+accounting and conference servers.  This module provides the dialog id,
+a minimal state machine (EARLY -> CONFIRMED -> TERMINATED) and a store
+with both full (UA-side) and call-id (proxy-side) lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.sip.message import SipMessage, SipRequest, SipResponse
+
+
+class DialogState(enum.Enum):
+    EARLY = "early"            # INVITE sent/received, non-final or 1xx
+    CONFIRMED = "confirmed"    # 2xx exchanged
+    TERMINATED = "terminated"  # BYE completed or setup failed
+
+
+class DialogId:
+    """(Call-ID, local tag, remote tag) triple.
+
+    The same dialog has mirrored ids at caller and callee; ``normalized``
+    gives an orientation-free key that proxies can use.
+    """
+
+    __slots__ = ("call_id", "local_tag", "remote_tag")
+
+    def __init__(self, call_id: str, local_tag: Optional[str], remote_tag: Optional[str]):
+        self.call_id = call_id
+        self.local_tag = local_tag
+        self.remote_tag = remote_tag
+
+    @property
+    def normalized(self) -> Tuple[str, Tuple[Optional[str], ...]]:
+        tags = tuple(sorted((self.local_tag or "", self.remote_tag or "")))
+        return (self.call_id, tags)
+
+    @classmethod
+    def from_message(cls, message: SipMessage, local_is_from: bool) -> "DialogId":
+        from_tag = message.from_.tag
+        to_tag = message.to.tag
+        if local_is_from:
+            return cls(message.call_id, from_tag, to_tag)
+        return cls(message.call_id, to_tag, from_tag)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DialogId):
+            return NotImplemented
+        return self.normalized == other.normalized
+
+    def __hash__(self) -> int:
+        return hash(self.normalized)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DialogId({self.call_id!r}, {self.local_tag!r}, {self.remote_tag!r})"
+
+
+class Dialog:
+    """State for one dialog at one element."""
+
+    def __init__(self, dialog_id: DialogId, created_at: float = 0.0):
+        self.id = dialog_id
+        self.state = DialogState.EARLY
+        self.created_at = created_at
+        self.confirmed_at: Optional[float] = None
+        self.terminated_at: Optional[float] = None
+        self.route_set: List[str] = []
+        self.local_cseq = 0
+        self.remote_cseq = 0
+        self.transactions_seen = 0
+
+    def on_confirmed(self, now: float) -> None:
+        if self.state == DialogState.TERMINATED:
+            raise ValueError("cannot confirm a terminated dialog")
+        self.state = DialogState.CONFIRMED
+        self.confirmed_at = now
+
+    def on_terminated(self, now: float) -> None:
+        self.state = DialogState.TERMINATED
+        self.terminated_at = now
+
+    @property
+    def is_active(self) -> bool:
+        return self.state != DialogState.TERMINATED
+
+    def duration(self) -> Optional[float]:
+        """Confirmed-to-terminated call length, if the call completed."""
+        if self.confirmed_at is None or self.terminated_at is None:
+            return None
+        return self.terminated_at - self.confirmed_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Dialog {self.id.call_id} {self.state.value}>"
+
+
+class DialogStore:
+    """Dialog table used by dialog-stateful elements.
+
+    Proxies match in-dialog requests by Call-ID (they may see the
+    request before learning the remote tag), UAs by the full id; both
+    lookups are provided.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[DialogId, Dialog] = {}
+        self._by_call_id: Dict[str, Dialog] = {}
+        self.created_total = 0
+        self.terminated_total = 0
+
+    def create(self, dialog_id: DialogId, now: float) -> Dialog:
+        if dialog_id in self._by_id:
+            raise ValueError(f"dialog already exists: {dialog_id}")
+        dialog = Dialog(dialog_id, created_at=now)
+        self._by_id[dialog_id] = dialog
+        self._by_call_id[dialog_id.call_id] = dialog
+        self.created_total += 1
+        return dialog
+
+    def find(self, dialog_id: DialogId) -> Optional[Dialog]:
+        return self._by_id.get(dialog_id)
+
+    def find_by_call_id(self, call_id: str) -> Optional[Dialog]:
+        return self._by_call_id.get(call_id)
+
+    def find_for_message(self, message: SipMessage) -> Optional[Dialog]:
+        dialog = self.find(DialogId.from_message(message, local_is_from=True))
+        if dialog is None:
+            dialog = self.find(DialogId.from_message(message, local_is_from=False))
+        if dialog is None:
+            dialog = self.find_by_call_id(message.call_id)
+        return dialog
+
+    def remove(self, dialog: Dialog) -> None:
+        self._by_id.pop(dialog.id, None)
+        self._by_call_id.pop(dialog.id.call_id, None)
+        self.terminated_total += 1
+
+    @property
+    def active_count(self) -> int:
+        return len(self._by_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DialogStore active={self.active_count} created={self.created_total}>"
+
+
+def classify_for_dialog(message: SipMessage) -> str:
+    """Rough classification used by dialog-stateful proxies.
+
+    Returns one of ``"creates"`` (INVITE without to-tag), ``"in-dialog"``
+    (request with a to-tag), or ``"other"``.
+    """
+    if isinstance(message, SipRequest):
+        if message.method == "INVITE" and message.to.tag is None:
+            return "creates"
+        if message.to.tag is not None:
+            return "in-dialog"
+        return "other"
+    if isinstance(message, SipResponse):
+        return "in-dialog" if message.to.tag is not None else "other"
+    return "other"

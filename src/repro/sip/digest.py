@@ -1,0 +1,118 @@
+"""RFC 2617 digest authentication.
+
+The paper's costliest proxy mode ("Dialog Stateful with Authentication",
+983 CPU events/call) checks client credentials on call setup.  We
+implement real MD5 digest so the authentication code path is genuinely
+exercised: the proxy issues a 407 challenge with a nonce, the client
+computes the digest response, and the proxy verifies it against its
+credential store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.sip.headers import format_auth_params, parse_auth_params
+
+
+def _md5_hex(text: str) -> str:
+    return hashlib.md5(text.encode("utf-8")).hexdigest()
+
+
+def compute_digest(
+    username: str,
+    realm: str,
+    password: str,
+    method: str,
+    uri: str,
+    nonce: str,
+) -> str:
+    """RFC 2617 digest (no qop / no cnonce variant, as OpenSER defaults).
+
+    response = MD5(MD5(user:realm:pass) : nonce : MD5(method:uri))
+    """
+    ha1 = _md5_hex(f"{username}:{realm}:{password}")
+    ha2 = _md5_hex(f"{method}:{uri}")
+    return _md5_hex(f"{ha1}:{nonce}:{ha2}")
+
+
+def make_challenge(realm: str, nonce: str) -> str:
+    """Proxy-Authenticate header value for a 407 challenge."""
+    return format_auth_params("Digest", {"realm": realm, "nonce": nonce})
+
+
+def make_authorization(
+    username: str,
+    realm: str,
+    password: str,
+    method: str,
+    uri: str,
+    nonce: str,
+) -> str:
+    """Proxy-Authorization header value answering a challenge."""
+    response = compute_digest(username, realm, password, method, uri, nonce)
+    return format_auth_params(
+        "Digest",
+        {
+            "username": username,
+            "realm": realm,
+            "nonce": nonce,
+            "uri": uri,
+            "response": response,
+        },
+    )
+
+
+class CredentialStore:
+    """Username -> password table with digest verification."""
+
+    def __init__(self, realm: str):
+        self.realm = realm
+        self._passwords: Dict[str, str] = {}
+        self.checks = 0
+        self.failures = 0
+
+    def add_user(self, username: str, password: str) -> None:
+        self._passwords[username] = password
+
+    def has_user(self, username: str) -> bool:
+        return username in self._passwords
+
+    def verify(self, authorization: str, method: str) -> bool:
+        """Check a Proxy-Authorization value; counts every attempt."""
+        self.checks += 1
+        try:
+            scheme, params = parse_auth_params(authorization)
+        except ValueError:
+            self.failures += 1
+            return False
+        if scheme.lower() != "digest":
+            self.failures += 1
+            return False
+        username = params.get("username")
+        nonce = params.get("nonce")
+        uri = params.get("uri")
+        claimed = params.get("response")
+        if not username or not nonce or not uri or not claimed:
+            self.failures += 1
+            return False
+        password = self._passwords.get(username)
+        if password is None:
+            self.failures += 1
+            return False
+        expected = compute_digest(username, self.realm, password, method, uri, nonce)
+        if claimed != expected:
+            self.failures += 1
+            return False
+        return True
+
+    def extract_username(self, authorization: str) -> Optional[str]:
+        try:
+            _scheme, params = parse_auth_params(authorization)
+        except ValueError:
+            return None
+        return params.get("username")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CredentialStore realm={self.realm!r} users={len(self._passwords)}>"

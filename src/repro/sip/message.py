@@ -1,0 +1,368 @@
+"""SIP request/response model with lazy header parsing.
+
+Headers are stored as an ordered list of ``(canonical-name, raw-value)``
+pairs.  Structured views (:class:`~repro.sip.headers.Via`,
+:class:`~repro.sip.headers.NameAddr`, :class:`~repro.sip.headers.CSeq`)
+are built on first access and cached; :attr:`SipMessage.parse_touches`
+counts how many lazy parses a message has triggered, which the cost
+model uses to charge parsing the way the paper observes OpenSER doing
+("parsing in most SIP servers is lazy ... richer services require more
+of the message to be parsed").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sip.headers import (
+    CSeq,
+    NameAddr,
+    SipHeaderError,
+    Via,
+    canonical_name,
+)
+from repro.sip.uri import SipUri, parse_uri
+
+SIP_VERSION = "SIP/2.0"
+
+# Methods the simulator understands; others parse fine but have no
+# special transaction semantics.
+KNOWN_METHODS = ("INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "OPTIONS")
+
+# Reason phrases for the status codes the evaluation produces.
+REASON_PHRASES = {
+    100: "Trying",
+    180: "Ringing",
+    183: "Session Progress",
+    200: "OK",
+    202: "Accepted",
+    302: "Moved Temporarily",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    407: "Proxy Authentication Required",
+    408: "Request Timeout",
+    481: "Call/Transaction Does Not Exist",
+    482: "Loop Detected",
+    483: "Too Many Hops",
+    486: "Busy Here",
+    487: "Request Terminated",
+    500: "Server Internal Error",
+    503: "Service Unavailable",
+}
+
+
+class SipMessage:
+    """Shared base for requests and responses."""
+
+    def __init__(self, headers: Optional[List[Tuple[str, str]]] = None, body: str = ""):
+        self.headers: List[Tuple[str, str]] = list(headers) if headers else []
+        self.body = body
+        self.parse_touches = 0
+        self._cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Raw header access
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[str]:
+        """First raw value for a header, or None."""
+        wanted = canonical_name(name)
+        for header, value in self.headers:
+            if header == wanted:
+                return value
+        return None
+
+    def get_all(self, name: str) -> List[str]:
+        wanted = canonical_name(name)
+        return [value for header, value in self.headers if header == wanted]
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all instances of a header with a single value."""
+        wanted = canonical_name(name)
+        self.headers = [(h, v) for h, v in self.headers if h != wanted]
+        self.headers.append((wanted, value))
+        self._invalidate(wanted)
+
+    def add(self, name: str, value: str, at_top: bool = False) -> None:
+        """Append (or prepend) one more instance of a header."""
+        wanted = canonical_name(name)
+        if at_top:
+            self.headers.insert(0, (wanted, value))
+        else:
+            self.headers.append((wanted, value))
+        self._invalidate(wanted)
+
+    def remove(self, name: str) -> int:
+        """Remove all instances; returns how many were removed."""
+        wanted = canonical_name(name)
+        before = len(self.headers)
+        self.headers = [(h, v) for h, v in self.headers if h != wanted]
+        self._invalidate(wanted)
+        return before - len(self.headers)
+
+    def has(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def _invalidate(self, name: str) -> None:
+        self._cache.pop(name, None)
+
+    def _cached(self, key: str, builder) -> object:
+        if key not in self._cache:
+            self.parse_touches += 1
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Structured views (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def vias(self) -> List[Via]:
+        """All Via entries, topmost first."""
+        return self._cached("Via", lambda: [Via.parse(v) for v in self.get_all("Via")])
+
+    @property
+    def top_via(self) -> Optional[Via]:
+        vias = self.vias
+        return vias[0] if vias else None
+
+    def push_via(self, via: Via) -> None:
+        self.add("Via", str(via), at_top=True)
+
+    def pop_via(self) -> Optional[Via]:
+        """Remove and return the topmost Via (response forwarding)."""
+        top = self.top_via
+        if top is None:
+            return None
+        wanted = canonical_name("Via")
+        for index, (header, _value) in enumerate(self.headers):
+            if header == wanted:
+                del self.headers[index]
+                break
+        self._invalidate(wanted)
+        return top
+
+    @property
+    def from_(self) -> NameAddr:
+        raw = self.get("From")
+        if raw is None:
+            raise SipHeaderError("missing From header")
+        return self._cached("From", lambda: NameAddr.parse(raw))
+
+    @property
+    def to(self) -> NameAddr:
+        raw = self.get("To")
+        if raw is None:
+            raise SipHeaderError("missing To header")
+        return self._cached("To", lambda: NameAddr.parse(raw))
+
+    @property
+    def cseq(self) -> CSeq:
+        raw = self.get("CSeq")
+        if raw is None:
+            raise SipHeaderError("missing CSeq header")
+        return self._cached("CSeq", lambda: CSeq.parse(raw))
+
+    @property
+    def call_id(self) -> str:
+        raw = self.get("Call-ID")
+        if raw is None:
+            raise SipHeaderError("missing Call-ID header")
+        return raw
+
+    @property
+    def record_routes(self) -> List[NameAddr]:
+        return self._cached(
+            "Record-Route",
+            lambda: [NameAddr.parse(v) for v in self.get_all("Record-Route")],
+        )
+
+    @property
+    def routes(self) -> List[NameAddr]:
+        return self._cached(
+            "Route", lambda: [NameAddr.parse(v) for v in self.get_all("Route")]
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction / dialog identification
+    # ------------------------------------------------------------------
+    def transaction_key(self) -> Tuple[str, str, str]:
+        """RFC 3261 17.2.3 transaction key: (branch, sent-by, method).
+
+        ACK and CANCEL match the INVITE transaction they refer to, so
+        their method component maps to INVITE.
+        """
+        via = self.top_via
+        if via is None or not via.branch:
+            raise SipHeaderError("cannot compute transaction key without a Via branch")
+        method = self.cseq.method
+        if method in ("ACK", "CANCEL"):
+            method = "INVITE"
+        return (via.branch, via.sent_by, method)
+
+    def dialog_key(self) -> Tuple[str, Optional[str], Optional[str]]:
+        """(Call-ID, from-tag, to-tag) -- unordered dialog identifier."""
+        return (self.call_id, self.from_.tag, self.to.tag)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def start_line(self) -> str:
+        raise NotImplementedError
+
+    def to_wire(self) -> str:
+        """Render the message in wire format (CRLF line endings)."""
+        lines = [self.start_line()]
+        has_length = False
+        for header, value in self.headers:
+            if header == "Content-Length":
+                has_length = True
+            lines.append(f"{header}: {value}")
+        if not has_length:
+            lines.append(f"Content-Length: {len(self.body.encode('utf-8'))}")
+        return "\r\n".join(lines) + "\r\n\r\n" + self.body
+
+    def size_bytes(self) -> int:
+        return len(self.to_wire().encode("utf-8"))
+
+    @property
+    def is_request(self) -> bool:
+        return isinstance(self, SipRequest)
+
+    @property
+    def is_response(self) -> bool:
+        return isinstance(self, SipResponse)
+
+
+class SipRequest(SipMessage):
+    """A SIP request: method, request-URI, headers, body."""
+
+    def __init__(
+        self,
+        method: str,
+        uri: SipUri,
+        headers: Optional[List[Tuple[str, str]]] = None,
+        body: str = "",
+    ):
+        super().__init__(headers, body)
+        self.method = method.upper()
+        self.uri = uri
+
+    def start_line(self) -> str:
+        return f"{self.method} {self.uri} {SIP_VERSION}"
+
+    def copy(self) -> "SipRequest":
+        """Independent copy (headers list is duplicated; URIs are shared
+        since they are treated as immutable)."""
+        clone = SipRequest(self.method, self.uri, list(self.headers), self.body)
+        return clone
+
+    def decrement_max_forwards(self) -> int:
+        """Decrement Max-Forwards in place; returns the new value.
+
+        Raises :class:`SipHeaderError` when the header is absent or
+        malformed -- a proxy must reject such requests with 483.
+        """
+        raw = self.get("Max-Forwards")
+        if raw is None:
+            raise SipHeaderError("missing Max-Forwards")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SipHeaderError(f"bad Max-Forwards: {raw!r}") from None
+        value -= 1
+        self.set("Max-Forwards", str(value))
+        return value
+
+    @classmethod
+    def build(
+        cls,
+        method: str,
+        uri: str,
+        from_addr: str,
+        to_addr: str,
+        call_id: str,
+        cseq: int,
+        from_tag: Optional[str] = None,
+        to_tag: Optional[str] = None,
+        max_forwards: int = 70,
+        body: str = "",
+    ) -> "SipRequest":
+        """Construct a well-formed request (no Via; the sender pushes it)."""
+        request = cls(method, parse_uri(uri), body=body)
+        from_na = NameAddr(parse_uri(from_addr), tag=from_tag)
+        to_na = NameAddr(parse_uri(to_addr), tag=to_tag)
+        request.set("From", str(from_na))
+        request.set("To", str(to_na))
+        request.set("Call-ID", call_id)
+        request.set("CSeq", str(CSeq(cseq, method)))
+        request.set("Max-Forwards", str(max_forwards))
+        return request
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipRequest {self.method} {self.uri}>"
+
+
+class SipResponse(SipMessage):
+    """A SIP response: status code, reason phrase, headers, body."""
+
+    def __init__(
+        self,
+        status: int,
+        reason: Optional[str] = None,
+        headers: Optional[List[Tuple[str, str]]] = None,
+        body: str = "",
+    ):
+        super().__init__(headers, body)
+        if not 100 <= status <= 699:
+            raise ValueError(f"status out of range: {status}")
+        self.status = status
+        self.reason = reason if reason is not None else REASON_PHRASES.get(status, "Unknown")
+
+    def start_line(self) -> str:
+        return f"{SIP_VERSION} {self.status} {self.reason}"
+
+    @property
+    def is_provisional(self) -> bool:
+        return 100 <= self.status < 200
+
+    @property
+    def is_final(self) -> bool:
+        return self.status >= 200
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.status < 300
+
+    def copy(self) -> "SipResponse":
+        return SipResponse(self.status, self.reason, list(self.headers), self.body)
+
+    @classmethod
+    def for_request(
+        cls,
+        request: SipRequest,
+        status: int,
+        reason: Optional[str] = None,
+        to_tag: Optional[str] = None,
+    ) -> "SipResponse":
+        """Build a response per RFC 3261 8.2.6: copy Via stack, From,
+        To (optionally adding a tag), Call-ID and CSeq from the request.
+        """
+        response = cls(status, reason)
+        for value in request.get_all("Via"):
+            response.add("Via", value)
+        response.set("From", request.get("From") or "")
+        to_value = request.get("To") or ""
+        if to_tag is not None and ";tag=" not in to_value:
+            to_value = f"{to_value};tag={to_tag}"
+        response.set("To", to_value)
+        response.set("Call-ID", request.call_id)
+        response.set("CSeq", request.get("CSeq") or "")
+        # Record-Route is mirrored into responses so dialogs learn the
+        # proxy route set (RFC 3261 16.7).
+        for value in request.get_all("Record-Route"):
+            response.add("Record-Route", value)
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SipResponse {self.status} {self.reason}>"

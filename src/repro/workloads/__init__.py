@@ -1,0 +1,32 @@
+"""Workload construction: canonical topologies and load profiles.
+
+:mod:`repro.workloads.scenarios` builds complete simulations of the
+paper's evaluation topologies (single proxy, N in series, the Figure 7
+internal/external mix, the Figure 8 parallel fork);
+:mod:`repro.workloads.callgen` provides load profiles (steps, ramps)
+for time-varying experiments.
+"""
+
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    single_proxy,
+    n_series,
+    two_series,
+    internal_external,
+    parallel_fork,
+)
+from repro.workloads.callgen import LoadProfile, LoadStep, apply_profile
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "single_proxy",
+    "n_series",
+    "two_series",
+    "internal_external",
+    "parallel_fork",
+    "LoadProfile",
+    "LoadStep",
+    "apply_profile",
+]

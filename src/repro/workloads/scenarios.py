@@ -1,0 +1,477 @@
+"""Complete simulations of the paper's evaluation topologies.
+
+Every builder returns a ready-to-run :class:`Scenario`:
+
+- :func:`single_proxy` -- section 3's profiling/saturation setups,
+- :func:`two_series` / :func:`n_series` -- Figures 5/6 and the
+  three-in-series result,
+- :func:`internal_external` -- Figure 7's two-flow mix,
+- :func:`parallel_fork` -- Figure 8's load balancer.
+
+Rates are specified in *paper-equivalent* calls/second; the scenario
+divides them by ``config.scale`` internally (the cost model multiplies
+costs by the same factor), so results read back in paper units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.costmodel import CostModel, PAPER_T_SF, PAPER_T_SL
+from repro.core.servartuka import ServartukaConfig, ServartukaPolicy
+from repro.core.static_policy import (
+    StatePolicy,
+    stateful_policy,
+    stateless_policy,
+)
+from repro.servers.location import LocationService
+from repro.servers.proxy import (
+    DELIVER_ACTION,
+    ProxyConfig,
+    ProxyServer,
+    RouteTable,
+)
+from repro.servers.uac import CallGenerator, CallGeneratorConfig
+from repro.servers.uas import AnsweringServer
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.digest import CredentialStore
+from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
+
+# Shared digest-auth material for scenarios with authentication: the
+# clients pre-authorize (SIPp-style) against this realm/nonce.
+AUTH_REALM = "repro.example.com"
+AUTH_NONCE = "repro-nonce"
+AUTH_USER = "loadgen"
+AUTH_PASSWORD = "sipp-secret"
+
+
+class ScenarioConfig:
+    """Shared knobs for all scenario builders.
+
+    ``scale`` divides every capacity: scale=10 turns the paper's
+    ~10,000 cps regime into ~1,000 cps so sweeps run an order of
+    magnitude faster with identical economics (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        scale: float = 10.0,
+        seed: int = 1,
+        noise_sigma: float = 0.30,
+        arrival: str = "poisson",
+        monitor_period: float = 1.0,
+        via_overhead: float = 0.20,
+        reject_queue_delay: Optional[float] = None,
+        max_queue_delay: Optional[float] = None,
+        t_sf: float = PAPER_T_SF,
+        t_sl: float = PAPER_T_SL,
+        hold_time: float = 0.0,
+        timers: Optional[TimerPolicy] = None,
+        servartuka: Optional[ServartukaConfig] = None,
+    ):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.noise_sigma = noise_sigma
+        self.arrival = arrival
+        self.monitor_period = monitor_period
+        self.via_overhead = via_overhead
+        self.t_sf = t_sf
+        self.t_sl = t_sl
+        self.hold_time = hold_time
+        self.timers = timers or DEFAULT_TIMERS
+        # Overload shedding must engage *before* the client retransmission
+        # timer (T1), otherwise a backlog turns into a retransmit storm
+        # before any 500s shed the excess.  Defaults derive from T1
+        # (0.3 s and 1.0 s for the standard 0.5 s T1).
+        if reject_queue_delay is None:
+            reject_queue_delay = 0.6 * self.timers.t1
+        if max_queue_delay is None:
+            max_queue_delay = 2.0 * self.timers.t1
+        self.reject_queue_delay = reject_queue_delay
+        self.max_queue_delay = max_queue_delay
+        self.servartuka = servartuka or ServartukaConfig(period=monitor_period)
+
+    def make_cost_model(self) -> CostModel:
+        return CostModel(
+            t_sf=self.t_sf,
+            t_sl=self.t_sl,
+            scale=self.scale,
+            via_overhead=self.via_overhead,
+        )
+
+    def make_policy(self, spec: str) -> StatePolicy:
+        """Build a policy from a spec string.
+
+        ``"servartuka"``, ``"stateless"``, ``"stateful"`` or
+        ``"dialog"``.
+        """
+        if spec == "servartuka":
+            cfg = self.servartuka
+            return ServartukaPolicy(
+                ServartukaConfig(
+                    period=cfg.period,
+                    headroom=cfg.headroom,
+                    clear_utilization=cfg.clear_utilization,
+                    clear_periods=cfg.clear_periods,
+                    dialog_state=cfg.dialog_state,
+                )
+            )
+        if spec == "stateless":
+            return stateless_policy()
+        if spec == "stateful":
+            return stateful_policy()
+        if spec == "dialog":
+            return stateful_policy(dialog=True)
+        raise ValueError(f"unknown policy spec {spec!r}")
+
+
+class Scenario:
+    """A wired-up simulation: loop, network, nodes and generators."""
+
+    def __init__(self, name: str, config: ScenarioConfig):
+        self.name = name
+        self.config = config
+        self.loop = EventLoop()
+        self.rng = RngStream(config.seed, name)
+        self.network = Network(self.loop, self.rng.spawn("net"))
+        self.cost_model = config.make_cost_model()
+        self.location = LocationService()
+        self.proxies: Dict[str, ProxyServer] = {}
+        self.generators: List[CallGenerator] = []
+        self.servers: List[AnsweringServer] = []
+        self.trace = None
+
+    def enable_trace(self, max_entries: int = 100_000):
+        """Record every packet for ladder diagrams / flow inspection.
+
+        Returns the :class:`repro.sim.trace.MessageTrace`.  Costs one
+        object per message; leave off for capacity sweeps.
+        """
+        from repro.sim.trace import MessageTrace
+
+        if self.trace is None:
+            self.trace = MessageTrace(self.network, max_entries)
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Construction helpers used by the builders
+    # ------------------------------------------------------------------
+    def add_proxy(
+        self,
+        name: str,
+        route_table: RouteTable,
+        policy_spec: str,
+        auth_enabled: bool = False,
+        distribute_auth: bool = False,
+    ) -> ProxyServer:
+        credentials = None
+        auth_policy = None
+        if auth_enabled:
+            credentials = CredentialStore(AUTH_REALM)
+            credentials.add_user(AUTH_USER, AUTH_PASSWORD)
+            if distribute_auth:
+                auth_policy = ServartukaPolicy(
+                    ServartukaConfig(period=self.config.monitor_period),
+                    resource="auth",
+                )
+        proxy = ProxyServer(
+            name,
+            self.loop,
+            self.network,
+            route_table=route_table,
+            location=self.location,
+            policy=self.config.make_policy(policy_spec),
+            config=ProxyConfig(
+                auth_enabled=auth_enabled,
+                realm=AUTH_REALM,
+                nonce=AUTH_NONCE,
+                reject_queue_delay=self.config.reject_queue_delay,
+                monitor_period=self.config.monitor_period,
+            ),
+            credentials=credentials,
+            auth_policy=auth_policy,
+            cost_model=self.cost_model,
+            timers=self.config.timers,
+            rng=self.rng,
+            noise_sigma=self.config.noise_sigma,
+            max_queue_delay=self.config.max_queue_delay,
+        )
+        self.proxies[name] = proxy
+        return proxy
+
+    def add_uas(self, name: str, aors: Sequence[str]) -> AnsweringServer:
+        server = AnsweringServer(
+            name, self.loop, self.network, timers=self.config.timers, rng=self.rng
+        )
+        for aor in aors:
+            self.location.register(aor, name)
+        self.servers.append(server)
+        return server
+
+    def add_uac(
+        self,
+        name: str,
+        rate_paper_cps: float,
+        first_hop: str,
+        destinations: Sequence[str],
+        with_auth: bool = False,
+    ) -> CallGenerator:
+        generator = CallGenerator(
+            name,
+            self.loop,
+            self.network,
+            CallGeneratorConfig(
+                rate=rate_paper_cps / self.config.scale,
+                first_hop=first_hop,
+                destinations=destinations,
+                arrival=self.config.arrival,
+                hold_time=self.config.hold_time,
+                auth_username=AUTH_USER if with_auth else None,
+                auth_password=AUTH_PASSWORD if with_auth else None,
+                auth_realm=AUTH_REALM if with_auth else None,
+                auth_nonce=AUTH_NONCE,
+            ),
+            timers=self.config.timers,
+            rng=self.rng,
+        )
+        self.generators.append(generator)
+        return generator
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for generator in self.generators:
+            generator.start()
+
+    def stop_load(self) -> None:
+        for generator in self.generators:
+            generator.stop()
+
+    @property
+    def offered_paper_cps(self) -> float:
+        return sum(g.config.rate for g in self.generators) * self.config.scale
+
+    def set_total_rate(self, rate_paper_cps: float) -> None:
+        """Rescale all generators preserving their relative shares."""
+        current = sum(g.config.rate for g in self.generators)
+        if current <= 0:
+            raise ValueError("no generators to scale")
+        factor = (rate_paper_cps / self.config.scale) / current
+        for generator in self.generators:
+            generator.set_rate(generator.config.rate * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Scenario {self.name} proxies={list(self.proxies)}>"
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _series_policy_specs(
+    policy: str, names: Sequence[str], static_stateful: Optional[str]
+) -> Dict[str, str]:
+    """Per-node policy specs for a chain of proxies."""
+    if policy == "static":
+        # Paper case (i): every server statically stateful.
+        return {name: "stateful" for name in names}
+    if policy == "static-one":
+        # Paper case (ii): a single stateful node.
+        stateful_node = static_stateful or names[-1]
+        if stateful_node not in names:
+            raise ValueError(f"{stateful_node!r} not in {list(names)}")
+        return {
+            name: ("stateful" if name == stateful_node else "stateless")
+            for name in names
+        }
+    return {name: policy for name in names}
+
+
+#: Figure 3 mode -> (policy spec, lookup?, auth?) for a single proxy.
+SINGLE_PROXY_MODES = {
+    "no_lookup": ("stateless", False, False),
+    "stateless": ("stateless", True, False),
+    "transaction_stateful": ("stateful", True, False),
+    "dialog_stateful": ("dialog", True, False),
+    "authentication": ("dialog", True, True),
+}
+
+
+def single_proxy(
+    rate: float,
+    mode: str = "transaction_stateful",
+    config: Optional[ScenarioConfig] = None,
+) -> Scenario:
+    """Section 3's setup: SIPp clients -> one proxy -> SIPp servers.
+
+    ``mode`` is one of the paper's five functionality modes
+    (:data:`SINGLE_PROXY_MODES`).  In ``no_lookup`` mode the request
+    URI already identifies the end point, so the proxy routes straight
+    to the UAS node without touching the location service.
+    """
+    if mode not in SINGLE_PROXY_MODES:
+        raise ValueError(f"unknown mode {mode!r}; one of {sorted(SINGLE_PROXY_MODES)}")
+    policy_spec, lookup, auth = SINGLE_PROXY_MODES[mode]
+    config = config or ScenarioConfig()
+    scenario = Scenario(f"single_proxy[{mode}]", config)
+    aor = "sip:burdell@edge.example.net"
+    route = RouteTable()
+    if lookup:
+        route.add("edge.example.net", DELIVER_ACTION)
+    else:
+        route.add("edge.example.net", "uas1")
+    scenario.add_proxy("P1", route, policy_spec, auth_enabled=auth)
+    scenario.add_uas("uas1", [aor])
+    scenario.add_uac("uac1", rate, "P1", [aor], with_auth=auth)
+    return scenario
+
+
+def n_series(
+    n: int,
+    rate: float,
+    policy: str = "servartuka",
+    static_stateful: Optional[str] = None,
+    config: Optional[ScenarioConfig] = None,
+    auth: str = "none",
+) -> Scenario:
+    """N proxies in series: UAC -> P1 -> ... -> PN -> UAS.
+
+    ``policy`` applies to every proxy, with two static baselines:
+
+    - ``"static"`` -- every proxy transaction-stateful, the paper's
+      case (i) and the default way OpenSER deployments were configured
+      (each server duplicates the state work);
+    - ``"static-one"`` -- exactly one node stateful
+      (``static_stateful``, default the exit node PN), the paper's
+      case (ii).
+
+    ``auth`` selects how the authentication function is placed (the
+    paper's section 6.2 extension):
+
+    - ``"none"`` -- no authentication,
+    - ``"entry"`` -- the entry proxy P1 authenticates every call (the
+      conventional static placement),
+    - ``"distributed"`` -- every proxy can authenticate and a
+      SERvartuka policy (resource="auth") decides where, per call.
+    """
+    if n < 1:
+        raise ValueError("need at least one proxy")
+    if auth not in ("none", "entry", "distributed"):
+        raise ValueError(f"unknown auth placement {auth!r}")
+    config = config or ScenarioConfig()
+    scenario = Scenario(f"{n}_series", config)
+    names = [f"P{i + 1}" for i in range(n)]
+    domain = "edge.example.net"
+    aor = f"sip:burdell@{domain}"
+
+    specs = _series_policy_specs(policy, names, static_stateful)
+
+    for index, name in enumerate(names):
+        route = RouteTable()
+        if index == n - 1:
+            route.add(domain, DELIVER_ACTION)
+        else:
+            route.add(domain, names[index + 1])
+        auth_here = (auth == "entry" and index == 0) or auth == "distributed"
+        scenario.add_proxy(
+            name, route, specs[name],
+            auth_enabled=auth_here,
+            distribute_auth=auth == "distributed",
+        )
+
+    scenario.add_uas("uas1", [aor])
+    scenario.add_uac("uac1", rate, names[0], [aor], with_auth=auth != "none")
+    return scenario
+
+
+def two_series(
+    rate: float,
+    policy: str = "servartuka",
+    static_stateful: Optional[str] = None,
+    config: Optional[ScenarioConfig] = None,
+) -> Scenario:
+    """The paper's canonical two-servers-in-series configuration."""
+    return n_series(2, rate, policy, static_stateful, config)
+
+
+def internal_external(
+    rate: float,
+    external_fraction: float,
+    policy: str = "servartuka",
+    static_stateful: Optional[str] = None,
+    config: Optional[ScenarioConfig] = None,
+) -> Scenario:
+    """Figure 7: external calls traverse S1 -> S2, internal ones stop at S1.
+
+    ``external_fraction`` in [0, 1] splits the total offered load; the
+    paper varies it from 0 to 1 in steps of 0.1.
+    """
+    if not 0.0 <= external_fraction <= 1.0:
+        raise ValueError("external_fraction must be within [0, 1]")
+    config = config or ScenarioConfig()
+    scenario = Scenario("internal_external", config)
+    ext_domain = "far.example.net"
+    int_domain = "near.example.net"
+    ext_aor = f"sip:hal@{ext_domain}"
+    int_aor = f"sip:burdell@{int_domain}"
+
+    specs = _series_policy_specs(policy, ["S1", "S2"], static_stateful or "S1")
+
+    route1 = RouteTable().add(ext_domain, "S2").add(int_domain, DELIVER_ACTION)
+    route2 = RouteTable().add(ext_domain, DELIVER_ACTION)
+    scenario.add_proxy("S1", route1, specs["S1"])
+    scenario.add_proxy("S2", route2, specs["S2"])
+    scenario.add_uas("uas_ext", [ext_aor])
+    scenario.add_uas("uas_int", [int_aor])
+
+    if external_fraction > 0:
+        scenario.add_uac("uac_ext", rate * external_fraction, "S1", [ext_aor])
+    if external_fraction < 1:
+        scenario.add_uac("uac_int", rate * (1 - external_fraction), "S1", [int_aor])
+    return scenario
+
+
+def parallel_fork(
+    rate: float,
+    policy: str = "servartuka",
+    upper_share: float = 0.5,
+    config: Optional[ScenarioConfig] = None,
+    static_front_stateful: bool = False,
+) -> Scenario:
+    """Figure 8: a front proxy load-balances across two parallel paths.
+
+    The conventional static assignment keeps the front stateless and
+    the two forks stateful; ``static_front_stateful=True`` inverts it
+    (the non-homogeneous ablation in section 6.2).
+    """
+    if not 0.0 < upper_share < 1.0:
+        raise ValueError("upper_share must be strictly inside (0, 1)")
+    config = config or ScenarioConfig()
+    scenario = Scenario("parallel_fork", config)
+    up_domain = "upper.example.net"
+    low_domain = "lower.example.net"
+    up_aor = f"sip:u@{up_domain}"
+    low_aor = f"sip:l@{low_domain}"
+
+    if policy == "static":
+        if static_front_stateful:
+            specs = {"F": "stateful", "U": "stateless", "L": "stateless"}
+        else:
+            specs = {"F": "stateless", "U": "stateful", "L": "stateful"}
+    else:
+        specs = {name: policy for name in ("F", "U", "L")}
+
+    front_route = RouteTable().add(up_domain, "U").add(low_domain, "L")
+    scenario.add_proxy("F", front_route, specs["F"])
+    scenario.add_proxy("U", RouteTable().add(up_domain, DELIVER_ACTION), specs["U"])
+    scenario.add_proxy("L", RouteTable().add(low_domain, DELIVER_ACTION), specs["L"])
+    scenario.add_uas("uas_u", [up_aor])
+    scenario.add_uas("uas_l", [low_aor])
+
+    scenario.add_uac("uac_u", rate * upper_share, "F", [up_aor])
+    scenario.add_uac("uac_l", rate * (1 - upper_share), "F", [low_aor])
+    return scenario

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Simulation-heavy tests use an aggressive scale factor (capacities around
+a few hundred cps) and shortened SIP timers so each test runs in well
+under a second while exercising exactly the same code paths as the
+full-fidelity benchmarks.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+@pytest.fixture
+def rng():
+    return RngStream(1234, "tests")
+
+
+@pytest.fixture
+def network(loop, rng):
+    return Network(loop, rng.spawn("net"))
+
+
+@pytest.fixture
+def cost_model():
+    """Unscaled cost model (paper-unit capacities)."""
+    return CostModel()
+
+
+@pytest.fixture
+def fast_timers():
+    """Short RFC timers so retransmission paths run quickly in tests."""
+    return TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+@pytest.fixture
+def fast_config(fast_timers):
+    """Scenario config for cheap end-to-end runs (capacity ~200-250 cps)."""
+    return ScenarioConfig(
+        scale=50.0,
+        seed=7,
+        noise_sigma=0.30,
+        monitor_period=0.5,
+        timers=fast_timers,
+    )

@@ -1,0 +1,170 @@
+"""Tests for the closed-form results of section 4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    best_static_series,
+    optimal_stateful_rate,
+    parallel_fork_throughput,
+    series_optimal_throughput,
+    static_series_throughput,
+    utilization_at,
+)
+
+T_SF = 10360.0
+T_SL = 12300.0
+
+
+class TestEquation8:
+    def test_below_threshold_takes_everything(self):
+        assert optimal_stateful_rate(5000, T_SF, T_SL) == 5000
+
+    def test_at_threshold_continuous(self):
+        below = optimal_stateful_rate(T_SF - 1e-6, T_SF, T_SL)
+        above = optimal_stateful_rate(T_SF + 1e-6, T_SF, T_SL)
+        assert below == pytest.approx(above, abs=1e-2)
+        assert optimal_stateful_rate(T_SF, T_SF, T_SL) == pytest.approx(T_SF)
+
+    def test_sheds_state_above_threshold(self):
+        assert optimal_stateful_rate(11000, T_SF, T_SL) < 11000
+
+    def test_zero_state_at_stateless_limit(self):
+        assert optimal_stateful_rate(T_SL, T_SF, T_SL) == pytest.approx(0.0, abs=1e-6)
+
+    def test_clamped_beyond_stateless_limit(self):
+        assert optimal_stateful_rate(T_SL * 2, T_SF, T_SL) == 0.0
+
+    def test_utilization_exactly_one_in_shedding_regime(self):
+        """In the second case of eq (8), the node runs at exactly 100%."""
+        for load in (10500, 11000, 11800, 12300):
+            stateful = optimal_stateful_rate(load, T_SF, T_SL)
+            utilization = utilization_at(stateful, load - stateful, T_SF, T_SL)
+            assert utilization == pytest.approx(1.0, rel=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            optimal_stateful_rate(-1, T_SF, T_SL)
+        with pytest.raises(ValueError):
+            optimal_stateful_rate(1, T_SL, T_SF)  # swapped capacities
+
+    @settings(max_examples=60, deadline=None)
+    @given(load=st.floats(min_value=0, max_value=3 * T_SL))
+    def test_feasible_and_monotone_properties(self, load):
+        stateful = optimal_stateful_rate(load, T_SF, T_SL)
+        assert 0.0 <= stateful <= load + 1e-9
+        if load > 0:
+            utilization = utilization_at(
+                stateful, max(0.0, load - stateful), T_SF, T_SL
+            )
+            if load <= T_SL:
+                assert utilization <= 1.0 + 1e-9
+
+
+class TestSeriesOptimal:
+    def test_paper_two_series(self):
+        throughput, shares = series_optimal_throughput([(T_SF, T_SL)] * 2)
+        assert throughput == pytest.approx(11247, abs=5)
+        assert shares[0] == pytest.approx(shares[1], rel=1e-9)
+        assert sum(shares) == pytest.approx(throughput, rel=1e-9)
+
+    def test_single_server_degenerates_to_t_sf(self):
+        throughput, shares = series_optimal_throughput([(T_SF, T_SL)])
+        assert throughput == pytest.approx(T_SF, rel=1e-9)
+        assert shares[0] == pytest.approx(T_SF, rel=1e-9)
+
+    def test_more_servers_more_throughput(self):
+        pairs = [(T_SF, T_SL)]
+        previous = 0.0
+        for _ in range(4):
+            throughput, _ = series_optimal_throughput(pairs)
+            assert throughput > previous
+            previous = throughput
+            pairs.append((T_SF, T_SL))
+
+    def test_throughput_bounded_by_t_sl(self):
+        throughput, _ = series_optimal_throughput([(T_SF, T_SL)] * 10)
+        assert throughput < T_SL
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_optimal_throughput([])
+
+    def test_invalid_when_share_negative(self):
+        """Depth-penalized heterogeneous chains can break the all-tight
+        assumption (these are the two-series thresholds the calibrated
+        cost model produces)."""
+        with pytest.raises(ValueError):
+            series_optimal_throughput([(10638, 12694), (8976, 10537)])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        t_sf=st.floats(min_value=1000, max_value=20000),
+        gap=st.floats(min_value=1.05, max_value=1.5),
+    )
+    def test_homogeneous_formula(self, n, t_sf, gap):
+        """L = n / (alpha + (n-1) beta) for identical nodes."""
+        t_sl = t_sf * gap
+        throughput, shares = series_optimal_throughput([(t_sf, t_sl)] * n)
+        expected = n / (1.0 / t_sf + (n - 1) / t_sl)
+        assert throughput == pytest.approx(expected, rel=1e-9)
+        assert all(s == pytest.approx(throughput / n, rel=1e-6) for s in shares)
+
+
+class TestStaticSeries:
+    def test_homogeneous_static_is_t_sf(self):
+        assert static_series_throughput([(T_SF, T_SL)] * 2, 0) == T_SF
+        assert static_series_throughput([(T_SF, T_SL)] * 2, 1) == T_SF
+
+    def test_stateless_node_can_bind(self):
+        capacity = static_series_throughput([(9000, 9500), (11000, 12000)], 1)
+        assert capacity == 9500  # node 0's stateless limit binds
+
+    def test_best_static_picks_strongest(self):
+        throughput, index = best_static_series([(9000, 12300), (10500, 12300)])
+        assert index == 1
+        assert throughput == 10500
+
+    def test_index_validation(self):
+        with pytest.raises(IndexError):
+            static_series_throughput([(1, 2)], 3)
+
+    def test_optimal_never_below_best_static(self):
+        pairs = [(T_SF, T_SL), (9000, 11000)]
+        static, _ = best_static_series(pairs)
+        optimal, _ = series_optimal_throughput(pairs)
+        assert optimal >= static
+
+
+class TestParallelFork:
+    def test_front_stateless_balanced(self):
+        capacity = parallel_fork_throughput(
+            (T_SF, T_SL), (T_SF, T_SL), (T_SF, T_SL), 0.5
+        )
+        assert capacity == pytest.approx(T_SL)  # front binds
+
+    def test_uneven_split_binds_on_hot_fork(self):
+        capacity = parallel_fork_throughput(
+            (T_SF, T_SL), (T_SF, T_SL), (T_SF, T_SL), 0.9
+        )
+        assert capacity == pytest.approx(T_SF / 0.9)
+
+    def test_front_stateful_variant(self):
+        capacity = parallel_fork_throughput(
+            (T_SF, T_SL), (T_SF, T_SL), (T_SF, T_SL), 0.5, front_stateful=True
+        )
+        assert capacity == pytest.approx(T_SF)
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            parallel_fork_throughput((1, 2), (1, 2), (1, 2), 0.0)
+
+
+class TestUtilization:
+    def test_zero_load_zero_utilization(self):
+        assert utilization_at(0, 0, T_SF, T_SL) == 0.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            utilization_at(-1, 0, T_SF, T_SL)

@@ -1,0 +1,104 @@
+"""Tests for the fluid overload model, including sim cross-validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costmodel import CostModel, scenario_features
+from repro.core.fluid import FluidModel
+from repro.harness.runner import run_scenario
+from repro.workloads.scenarios import single_proxy
+
+
+class TestAnalytics:
+    def test_capacity_matches_cost_model(self, cost_model):
+        model = FluidModel(cost_model)
+        assert model.capacity == pytest.approx(10360, rel=1e-6)
+
+    def test_goodput_linear_below_knee(self, cost_model):
+        model = FluidModel(cost_model)
+        for load in (0, 1000, 5000, 10000):
+            assert model.goodput(load) == load
+
+    def test_goodput_declines_past_knee(self, cost_model):
+        model = FluidModel(cost_model)
+        knee = model.capacity
+        values = [model.goodput(knee * f) for f in (1.0, 1.2, 1.5, 2.0)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < values[0]
+
+    def test_collapse_point(self, cost_model):
+        model = FluidModel(cost_model)
+        assert model.goodput(model.collapse_load * 1.05) == 0.0
+        assert model.collapse_load > model.capacity
+
+    def test_slope_is_negative_and_gentle(self, cost_model):
+        """Rejects are much cheaper than calls, so the decline past the
+        knee is slow -- matching the measured sweeps."""
+        model = FluidModel(cost_model)
+        slope = model.post_knee_slope()
+        assert -0.5 < slope < 0.0
+
+    def test_conservation(self, cost_model):
+        model = FluidModel(cost_model)
+        load = model.capacity * 1.3
+        assert model.goodput(load) + model.rejected(load) == pytest.approx(load)
+
+    def test_amplification_worsens_collapse(self, cost_model):
+        plain = FluidModel(cost_model)
+        stormy = FluidModel(cost_model, retransmission_amplification=2.0)
+        load = plain.capacity * 1.2
+        assert stormy.goodput(load) < plain.goodput(load)
+        assert stormy.collapse_load < plain.collapse_load
+
+    def test_validation(self, cost_model):
+        with pytest.raises(ValueError):
+            FluidModel(cost_model, retransmission_amplification=0.5)
+        model = FluidModel(cost_model)
+        with pytest.raises(ValueError):
+            model.goodput(-1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(load=st.floats(min_value=0, max_value=40000))
+    def test_goodput_bounded_property(self, load):
+        model = FluidModel(CostModel())
+        goodput = model.goodput(load)
+        assert 0.0 <= goodput <= min(load, model.capacity) + 1e-9
+
+
+class TestSimulationCrossValidation:
+    """The simulated single proxy must follow the fluid-model shape."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, ):
+        from repro.workloads.scenarios import ScenarioConfig
+        from repro.sip.timers import TimerPolicy
+
+        config_kwargs = dict(
+            scale=50.0, seed=3, noise_sigma=0.3,
+            timers=TimerPolicy(t1=0.05, t2=0.2, t4=0.2),
+        )
+        points = {}
+        for factor in (0.8, 1.1, 1.4):
+            load = 10360 * factor
+            scenario = single_proxy(
+                load, mode="transaction_stateful",
+                config=ScenarioConfig(**config_kwargs),
+            )
+            points[factor] = run_scenario(scenario, duration=3.0, warmup=1.0)
+        return points
+
+    def test_below_knee_full_goodput(self, sweep):
+        assert sweep[0.8].goodput_ratio > 0.9
+
+    def test_past_knee_declines_not_cliff(self, sweep):
+        """Past the knee, goodput stays positive and well above zero --
+        the gentle fluid-model decline, not a cliff."""
+        model = FluidModel(CostModel())
+        measured = sweep[1.4].throughput_cps
+        predicted = model.goodput(10360 * 1.4)
+        # Within a broad band of the prediction (retransmission noise).
+        assert measured > 0.4 * predicted
+        assert measured < 1.25 * model.capacity
+
+    def test_monotone_decline_in_overload(self, sweep):
+        assert sweep[1.1].throughput_cps >= sweep[1.4].throughput_cps * 0.95

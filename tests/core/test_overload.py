@@ -1,0 +1,50 @@
+"""Tests for overload report plumbing."""
+
+import pytest
+
+from repro.core.overload import OverloadReport, PathOverloadState
+
+
+class TestOverloadReport:
+    def test_fields(self):
+        report = OverloadReport("S2", True, 123.0, 4)
+        assert report.origin == "S2"
+        assert report.overloaded
+        assert report.c_asf_rate == 123.0
+        assert report.sequence == 4
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            OverloadReport("S2", True, -1.0, 0)
+
+    def test_rejects_negative_sequence(self):
+        with pytest.raises(ValueError):
+            OverloadReport("S2", True, 0.0, -1)
+
+
+class TestPathOverloadState:
+    def test_apply_overload(self):
+        state = PathOverloadState()
+        assert state.apply(OverloadReport("x", True, 50.0, 1), now=2.0)
+        assert state.overloaded
+        assert state.c_asf_rate == 50.0
+        assert state.since == 2.0
+
+    def test_clear_resets_rate(self):
+        state = PathOverloadState()
+        state.apply(OverloadReport("x", True, 50.0, 1), 0.0)
+        state.apply(OverloadReport("x", False, 0.0, 2), 1.0)
+        assert not state.overloaded
+        assert state.c_asf_rate == 0.0
+
+    def test_stale_sequence_rejected(self):
+        state = PathOverloadState()
+        state.apply(OverloadReport("x", True, 50.0, 5), 0.0)
+        assert not state.apply(OverloadReport("x", False, 0.0, 4), 1.0)
+        assert state.overloaded  # unchanged
+
+    def test_equal_sequence_rejected(self):
+        state = PathOverloadState()
+        state.apply(OverloadReport("x", True, 50.0, 5), 0.0)
+        assert not state.apply(OverloadReport("x", True, 99.0, 5), 1.0)
+        assert state.c_asf_rate == 50.0

@@ -1,0 +1,325 @@
+"""Unit tests for Algorithms 1 and 2 against a fake proxy.
+
+These drive :class:`ServartukaPolicy` directly with synthetic traffic
+counts and check the ``myshare`` arithmetic against equation (8) by
+hand, without any simulation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.overload import OverloadReport
+from repro.core.servartuka import DELIVER, ServartukaConfig, ServartukaPolicy
+
+T_SF = 1000.0
+T_SL = 1200.0
+ALPHA = 1.0 / T_SF
+BETA = 1.0 / T_SL
+
+
+class FakeProxy:
+    """Just enough proxy surface for the policy."""
+
+    def __init__(self, t_sf=T_SF, t_sl=T_SL):
+        self.thresholds = (t_sf, t_sl)
+        self.broadcasts = []
+
+    def resource_thresholds(self, resource):
+        return self.thresholds
+
+    def broadcast_overload(self, overloaded, c_asf_rate, sequence,
+                           resource="state"):
+        self.broadcasts.append((overloaded, c_asf_rate, sequence))
+
+
+def make_policy(**config):
+    policy = ServartukaPolicy(ServartukaConfig(**config))
+    proxy = FakeProxy()
+    policy.attach(proxy)
+    policy.on_period(0.0)  # opens the first measurement period
+    return policy, proxy
+
+
+def drive(policy, ds_path, count, already_stateful=False, is_exit=False):
+    """Feed `count` new calls through Algorithm 1; returns #stateful."""
+    stateful = 0
+    for _ in range(count):
+        decision = policy.decide(
+            ds_path=ds_path,
+            already_stateful=already_stateful,
+            in_transaction=False,
+            is_exit=is_exit,
+        )
+        stateful += 1 if decision.stateful else 0
+    return stateful
+
+
+class TestAlgorithm1:
+    def test_initially_takes_all_state(self):
+        policy, _ = make_policy()
+        assert drive(policy, "next", 50) == 50
+
+    def test_already_stateful_forwarded_stateless(self):
+        policy, _ = make_policy()
+        assert drive(policy, "next", 20, already_stateful=True) == 0
+        assert policy.path("next").fasf_count == 20
+
+    def test_exit_calls_always_stateful(self):
+        policy, _ = make_policy()
+        policy.path(DELIVER).myshare = 0.0  # even with a zero share
+        assert drive(policy, "ignored", 10, is_exit=True) == 10
+
+    def test_in_transaction_bypasses_share(self):
+        policy, _ = make_policy()
+        policy.path("next").myshare = 0.0
+        decision = policy.decide("next", False, in_transaction=True, is_exit=False)
+        assert decision.stateful
+
+    def test_respects_finite_myshare(self):
+        policy, _ = make_policy()
+        policy.path("next").myshare = 5.0
+        assert drive(policy, "next", 20) == 5
+        assert policy.path("next").nasf_forwarded == 15
+
+    def test_counters_track_totals(self):
+        policy, _ = make_policy()
+        drive(policy, "a", 7)
+        drive(policy, "b", 3, already_stateful=True)
+        assert policy.tot_rcv == 10
+        assert policy.tot_sf == 7
+
+    def test_dialog_state_flag_propagates(self):
+        policy = ServartukaPolicy(ServartukaConfig(dialog_state=True))
+        policy.attach(FakeProxy())
+        decision = policy.decide("n", False, False, False)
+        assert decision.dialog_stateful
+
+
+class TestAlgorithm2BelowThreshold:
+    def test_myshare_infinite_below_t_sf(self):
+        policy, _ = make_policy(period=1.0)
+        drive(policy, "next", 500)  # 500 cps < T_SF
+        policy.on_period(1.0)
+        assert policy.paths["next"].myshare == math.inf
+
+    def test_counters_reset_each_period(self):
+        policy, _ = make_policy()
+        drive(policy, "next", 100)
+        policy.on_period(1.0)
+        assert policy.tot_rcv == 0
+        assert policy.paths["next"].rcv_count == 0
+        assert policy.paths["next"].last_rate == pytest.approx(100.0)
+
+
+class TestAlgorithm2Shedding:
+    def test_single_path_matches_equation_8(self):
+        """One downstream proxy path, load above T_SF: the share must be
+        (1 - beta t) / (alpha - beta) converted to a per-period count."""
+        policy, _ = make_policy(period=1.0)
+        load = 1100
+        drive(policy, "next", load)
+        policy.on_period(1.0)
+        expected_rate = (1.0 - BETA * load) / (ALPHA - BETA)
+        assert policy.paths["next"].myshare == pytest.approx(expected_rate, rel=1e-6)
+
+    def test_share_scales_with_period_length(self):
+        policy, _ = make_policy(period=2.0)
+        drive(policy, "next", 2200)  # 1100 cps over 2 seconds
+        policy.on_period(2.0)
+        expected_rate = (1.0 - BETA * 1100) / (ALPHA - BETA)
+        assert policy.paths["next"].myshare == pytest.approx(
+            expected_rate * 2.0, rel=1e-6
+        )
+
+    def test_two_paths_split_the_feasible_state(self):
+        policy, _ = make_policy(period=1.0)
+        drive(policy, "a", 600)
+        drive(policy, "b", 600)
+        policy.on_period(1.0)
+        total_planned = (
+            policy.paths["a"].myshare + policy.paths["b"].myshare
+        )
+        feasible = (1.0 - BETA * 1200) / (ALPHA - BETA)
+        assert total_planned == pytest.approx(feasible, rel=1e-6)
+
+    def test_fasf_traffic_reduces_required_state(self):
+        """Traffic already stateful upstream only costs beta here, and
+        needs no local share."""
+        policy, _ = make_policy(period=1.0)
+        drive(policy, "next", 550)
+        drive(policy, "next", 550, already_stateful=True)
+        policy.on_period(1.0)
+        # Load is 1100 > T_SF but 550 are FASF: required local state is
+        # only 550, which must be within the feasible level.
+        share = policy.paths["next"].myshare
+        feasible = (1.0 - BETA * 1100) / (ALPHA - BETA)
+        assert share == pytest.approx(feasible, rel=1e-6)
+
+    def test_deliver_path_forces_state(self):
+        policy, proxy = make_policy(period=1.0)
+        drive(policy, "ignored", 400, is_exit=True)
+        drive(policy, "next", 700)
+        policy.on_period(1.0)
+        # Deliver flow (400 cps) must be stateful here; the remaining
+        # feasible state budget goes to the proxy path.
+        share = policy.paths["next"].myshare
+        feasible = (1.0 - BETA * 1100) / (ALPHA - BETA)
+        assert share == pytest.approx(feasible - 400, rel=1e-4)
+        assert policy.paths[DELIVER].myshare == math.inf
+
+
+class TestOverloadHandling:
+    def test_exit_only_node_overloads_when_infeasible(self):
+        policy, proxy = make_policy(period=1.0)
+        drive(policy, "x", 1150, is_exit=True)  # all forced stateful
+        policy.on_period(1.0)
+        assert proxy.broadcasts, "expected an overload report"
+        overloaded, c_asf, seq = proxy.broadcasts[-1]
+        assert overloaded
+        feasible = (1.0 - BETA * 1150) / (ALPHA - BETA)
+        assert c_asf == pytest.approx(feasible, rel=1e-6)
+
+    def test_no_overload_when_feasible(self):
+        policy, proxy = make_policy(period=1.0)
+        drive(policy, "x", 900, is_exit=True)
+        policy.on_period(1.0)
+        assert not proxy.broadcasts
+
+    def test_overloaded_downstream_forces_absorption(self):
+        policy, proxy = make_policy(period=1.0)
+        policy.on_overload_report(OverloadReport("next", True, 300.0, 1), 0.0)
+        drive(policy, "next", 1100)
+        policy.on_period(1.0)
+        # Downstream can hold 300 cps; we must absorb the rest.
+        assert policy.paths["next"].myshare == pytest.approx(800.0, rel=1e-6)
+
+    def test_all_paths_overloaded_propagates_upstream(self):
+        policy, proxy = make_policy(period=1.0)
+        policy.on_overload_report(OverloadReport("next", True, 100.0, 1), 0.0)
+        drive(policy, "next", 1150)
+        policy.on_period(1.0)
+        assert proxy.broadcasts and proxy.broadcasts[-1][0] is True
+
+    def test_clear_after_calm_periods(self):
+        policy, proxy = make_policy(period=1.0, clear_periods=2)
+        drive(policy, "x", 1150, is_exit=True)
+        policy.on_period(1.0)
+        assert policy.is_overloaded
+        drive(policy, "x", 400, is_exit=True)
+        policy.on_period(2.0)
+        drive(policy, "x", 400, is_exit=True)
+        policy.on_period(3.0)
+        assert not policy.is_overloaded
+        assert proxy.broadcasts[-1][0] is False  # clear message
+
+    def test_stale_overload_reports_ignored(self):
+        policy, _ = make_policy()
+        policy.on_overload_report(OverloadReport("next", True, 100.0, 5), 0.0)
+        policy.on_overload_report(OverloadReport("next", False, 0.0, 3), 0.1)
+        assert policy.path("next").overload.overloaded  # seq 3 < 5: stale
+
+
+class TestMixedPathAccounting:
+    """The expanded section-5 equation with every path kind present."""
+
+    def test_overloaded_plus_deliver_plus_unsat(self):
+        """One overloaded proxy path, one deliver flow, one unsaturated
+        proxy path; the constant c must fold the fixed terms so total
+        planned state hits the feasibility level exactly."""
+        policy, _ = make_policy(period=1.0)
+        policy.on_overload_report(OverloadReport("sat", True, 150.0, 1), 0.0)
+        drive(policy, "sat", 300)
+        drive(policy, "ignored", 150, is_exit=True)
+        drive(policy, "free", 600)
+        policy.on_period(1.0)
+
+        forced_sat = max(0.0, 300 - 150)      # rate minus c_asf
+        forced_deliver = 150
+        feasible = (1.0 - BETA * 1050) / (ALPHA - BETA)
+        expected_free = feasible - forced_sat - forced_deliver
+        assert expected_free > 0  # regime chosen to stay feasible
+        assert policy.paths["sat"].myshare == pytest.approx(forced_sat, rel=1e-6)
+        assert policy.paths["free"].myshare == pytest.approx(
+            expected_free, rel=1e-4
+        )
+
+    def test_two_unsat_paths_split_equally_plus_beta_terms(self):
+        """lt_q = c/k - beta*t_q/(alpha-beta): asymmetric loads produce
+        asymmetric shares whose difference is exactly the beta term
+        (loads chosen so neither share clamps at zero)."""
+        policy, _ = make_policy(period=1.0)
+        drive(policy, "a", 560)
+        drive(policy, "b", 540)
+        policy.on_period(1.0)
+        share_a = policy.paths["a"].myshare
+        share_b = policy.paths["b"].myshare
+        inv_ab = 1.0 / (ALPHA - BETA)
+        assert share_a > 0 and share_b > 0
+        assert share_b - share_a == pytest.approx(
+            BETA * (560 - 540) * inv_ab, rel=1e-6
+        )
+        # And together they plan exactly the feasible level.
+        feasible = (1.0 - BETA * 1100) / (ALPHA - BETA)
+        assert share_a + share_b == pytest.approx(feasible, rel=1e-6)
+
+    def test_overload_report_with_generous_c_asf_means_no_forcing(self):
+        """A 'saturated' path that can still absorb more than we send it
+        forces nothing locally."""
+        policy, _ = make_policy(period=1.0)
+        policy.on_overload_report(OverloadReport("sat", True, 900.0, 1), 0.0)
+        drive(policy, "sat", 500)
+        drive(policy, "free", 700)
+        policy.on_period(1.0)
+        assert policy.paths["sat"].myshare == 0.0  # nothing forced
+
+    def test_fasf_on_overloaded_path_reduces_forcing(self):
+        policy, _ = make_policy(period=1.0)
+        policy.on_overload_report(OverloadReport("sat", True, 100.0, 1), 0.0)
+        drive(policy, "sat", 400)
+        drive(policy, "sat", 300, already_stateful=True)
+        drive(policy, "free", 500)
+        policy.on_period(1.0)
+        # Of the 700 on the sat path, 300 are already stateful upstream
+        # and 100 can still be absorbed downstream: force only 300.
+        assert policy.paths["sat"].myshare == pytest.approx(300.0, rel=1e-6)
+
+
+class TestRejectionAccounting:
+    def test_note_rejected_counts_toward_load(self):
+        policy, _ = make_policy(period=1.0)
+        drive(policy, "next", 900)
+        for _ in range(300):
+            policy.note_rejected("next", is_exit=False)
+        policy.on_period(1.0)
+        assert policy.last_msg_rate == pytest.approx(1200.0)
+        # 1200 > T_SF: shedding engaged despite only 900 decided calls.
+        assert policy.paths["next"].myshare != math.inf
+
+    def test_note_rejected_exit_maps_to_deliver(self):
+        policy, _ = make_policy()
+        policy.note_rejected("whatever", is_exit=True)
+        assert policy.path(DELIVER).rcv_count == 1
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period": 0},
+            {"headroom": 0},
+            {"headroom": 1.5},
+            {"clear_utilization": 1.0},
+            {"clear_periods": 0},
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServartukaConfig(**kwargs)
+
+    def test_headroom_scales_thresholds(self):
+        policy = ServartukaPolicy(ServartukaConfig(headroom=0.9))
+        policy.attach(FakeProxy())
+        t_sf, t_sl = policy._thresholds()
+        assert t_sf == pytest.approx(T_SF * 0.9)
+        assert t_sl == pytest.approx(T_SL * 0.9)

@@ -1,0 +1,71 @@
+"""Tests for the static baseline policies."""
+
+import pytest
+
+from repro.core.static_policy import (
+    PolicyDecision,
+    StaticMode,
+    StaticPolicy,
+    parse_static_mode,
+    stateful_policy,
+    stateless_policy,
+)
+
+
+class TestStaticPolicy:
+    def test_stateless_never_takes_state(self):
+        policy = stateless_policy()
+        for already in (True, False):
+            decision = policy.decide("n", already, False, is_exit=True)
+            assert not decision.stateful
+
+    def test_stateful_always_takes_state(self):
+        """Case (i): a static stateful server duplicates state even when
+        an upstream server already holds it -- the paper's waste."""
+        policy = stateful_policy()
+        decision = policy.decide("n", already_stateful=True,
+                                 in_transaction=False, is_exit=False)
+        assert decision.stateful
+        assert not decision.dialog_stateful
+
+    def test_dialog_mode_sets_flag(self):
+        decision = stateful_policy(dialog=True).decide("n", False, False, False)
+        assert decision.dialog_stateful
+
+    def test_policy_names(self):
+        assert stateless_policy().name == "static:stateless"
+        assert stateful_policy().name == "static:transaction_stateful"
+
+    def test_default_hooks_are_noops(self):
+        policy = stateful_policy()
+        policy.on_period(1.0)
+        policy.on_overload_report(object(), 1.0)
+
+
+class TestParseStaticMode:
+    @pytest.mark.parametrize(
+        "text,mode",
+        [
+            ("stateless", StaticMode.STATELESS),
+            ("sl", StaticMode.STATELESS),
+            ("stateful", StaticMode.TRANSACTION_STATEFUL),
+            ("sf", StaticMode.TRANSACTION_STATEFUL),
+            ("txn", StaticMode.TRANSACTION_STATEFUL),
+            ("transaction-stateful", StaticMode.TRANSACTION_STATEFUL),
+            ("dialog", StaticMode.DIALOG_STATEFUL),
+            ("DIALOG_STATEFUL", StaticMode.DIALOG_STATEFUL),
+        ],
+    )
+    def test_aliases(self, text, mode):
+        assert parse_static_mode(text) == mode
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_static_mode("quantum")
+
+
+class TestPolicyDecision:
+    def test_repr_kinds(self):
+        assert "stateless" in repr(PolicyDecision(False))
+        assert "txn" in repr(PolicyDecision(True))
+        assert "dialog" in repr(PolicyDecision(True, True))

@@ -1,0 +1,110 @@
+"""Tests for the figure-regeneration module (cheap paths only).
+
+The full figure functions are exercised by ``benchmarks/``; here we
+test the pure/cheap pieces: the LP check, Figure 3 (sub-second), the
+analytic hint machinery and the FigureData container.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.harness.figures import (
+    FigureData,
+    PAPER,
+    Quality,
+    QUICK,
+    _fig7_lp_bound,
+    _series_hints,
+    chain_node_thresholds,
+    figure3_profile,
+    lp_optima,
+)
+
+
+class TestLpOptima:
+    def test_reproduces_paper_numbers(self):
+        figure = lp_optima(QUICK)
+        assert figure.measured("two-series LP optimum") == pytest.approx(
+            11247, abs=10
+        )
+        assert figure.measured("per-node stateful share") == pytest.approx(
+            5623, abs=10
+        )
+
+    def test_free_and_fixed_agree(self):
+        figure = lp_optima(QUICK)
+        values = {row[0]: row[1] for row in figure.rows}
+        assert values["free-routing LP"] == pytest.approx(
+            values["fixed-routing LP"], rel=1e-4
+        )
+
+
+class TestFigure3:
+    def test_model_column_exact(self):
+        figure = figure3_profile(QUICK)
+        for mode, paper, model, _measured in figure.rows:
+            assert model == paper, mode
+
+    def test_simulated_within_30_percent(self):
+        figure = figure3_profile(QUICK)
+        for row in figure.comparisons:
+            assert 0.7 <= row[3] <= 1.3, row
+
+
+class TestHints:
+    def test_chain_thresholds_shrink_with_depth(self, cost_model):
+        thresholds = chain_node_thresholds(cost_model, 3)
+        t_sfs = [t for t, _ in thresholds]
+        assert t_sfs == sorted(t_sfs, reverse=True)
+
+    def test_first_node_matches_anchor_without_lookup(self, cost_model):
+        thresholds = chain_node_thresholds(cost_model, 2)
+        # Entry node has no lookup: capacity slightly above T_SF.
+        assert thresholds[0][0] > 10360
+        # Exit node at depth 1 with lookup: below T_SF.
+        assert thresholds[1][0] < 10360
+
+    def test_series_hints_ordering(self, cost_model):
+        static, optimal = _series_hints(cost_model, 2)
+        assert optimal > static
+
+    def test_scale_folds_out(self):
+        unscaled = chain_node_thresholds(CostModel(), 2)
+        scaled = chain_node_thresholds(CostModel(scale=10.0), 2)
+        for (a, b), (c, d) in zip(unscaled, scaled):
+            assert a == pytest.approx(c, rel=1e-9)
+            assert b == pytest.approx(d, rel=1e-9)
+
+    def test_fig7_lp_bound_peaks_interior(self):
+        model = CostModel()
+        bounds = {f: _fig7_lp_bound(model, f) for f in (0.0, 0.5, 0.8, 1.0)}
+        assert bounds[0.8] > bounds[0.0]
+        assert bounds[0.8] > bounds[1.0]
+
+
+class TestQualityPresets:
+    def test_scenario_config_uses_scale(self):
+        config = QUICK.scenario_config()
+        assert config.scale == QUICK.scale
+
+    def test_overrides(self):
+        config = QUICK.scenario_config(via_overhead=0.0)
+        assert config.via_overhead == 0.0
+
+    def test_custom_quality(self):
+        quality = Quality("x", scale=5, duration=1, warmup=0.5,
+                          sweep_points=3, fig7_fractions=[0.5])
+        assert quality.fig7_fractions == [0.5]
+
+
+class TestFigureData:
+    def test_measured_and_rows(self):
+        figure = FigureData("F", "t", ["a"], [[1]],
+                            comparisons=[["x", 2.0, 3.0, 1.5]])
+        assert figure.measured("x") == 3.0
+        assert figure.rows == [[1]]
+
+    def test_paper_reference_table_complete(self):
+        for key in ("fig4_t_sf", "fig5_static", "fig5_servartuka",
+                    "fig7_lp_at_peak", "fig8_static", "lp_two_series"):
+            assert key in PAPER

@@ -1,0 +1,97 @@
+"""Tests for the experiment regression comparator."""
+
+import json
+
+import pytest
+
+from repro.harness.regression import Delta, compare, compare_files
+
+
+def payload(measured, paper=100.0, name="fig5", quantity="static saturation"):
+    return {
+        "experiments": {
+            name: {
+                "comparisons": [
+                    {"quantity": quantity, "paper": paper,
+                     "measured": measured, "ratio": measured / paper},
+                ],
+            },
+        },
+    }
+
+
+class TestDelta:
+    def test_drift(self):
+        delta = Delta("e", "q", 100.0, 110.0, 100.0)
+        assert delta.drift == pytest.approx(0.10)
+
+    def test_agreement_change_improvement(self):
+        # Baseline was 20% off the paper, current only 5% off.
+        delta = Delta("e", "q", 120.0, 105.0, 100.0)
+        assert delta.agreement_change > 0
+
+    def test_agreement_change_regression(self):
+        delta = Delta("e", "q", 105.0, 130.0, 100.0)
+        assert delta.agreement_change < 0
+
+    def test_zero_baseline(self):
+        assert Delta("e", "q", 0.0, 5.0, 100.0).drift == float("inf")
+        assert Delta("e", "q", 0.0, 0.0, 100.0).drift == 0.0
+
+
+class TestCompare:
+    def test_no_change_no_regressions(self):
+        report = compare(payload(95.0), payload(95.0))
+        assert report.deltas and not report.regressions()
+
+    def test_drift_away_from_paper_is_regression(self):
+        report = compare(payload(95.0), payload(80.0))
+        regressions = report.regressions(threshold=0.05)
+        assert len(regressions) == 1
+        assert regressions[0].quantity == "static saturation"
+
+    def test_drift_toward_paper_is_improvement(self):
+        report = compare(payload(80.0), payload(98.0))
+        assert not report.regressions()
+        assert len(report.improvements()) == 1
+
+    def test_threshold_suppresses_noise(self):
+        report = compare(payload(95.0), payload(93.0))
+        assert not report.regressions(threshold=0.05)
+        assert report.regressions(threshold=0.01)
+
+    def test_missing_and_added_experiments(self):
+        baseline = payload(95.0, name="fig5")
+        current = payload(95.0, name="fig8")
+        report = compare(baseline, current)
+        assert report.missing == ["fig5"]
+        assert report.added == ["fig8"]
+        assert report.deltas == []
+
+    def test_summary_mentions_regressions(self):
+        report = compare(payload(95.0), payload(70.0))
+        text = report.summary()
+        assert "REGRESSION" in text
+        assert "fig5" in text
+
+
+class TestFiles:
+    def test_compare_files(self, tmp_path):
+        base = tmp_path / "base.json"
+        curr = tmp_path / "curr.json"
+        base.write_text(json.dumps(payload(95.0)))
+        curr.write_text(json.dumps(payload(94.0)))
+        report = compare_files(str(base), str(curr))
+        assert len(report.deltas) == 1
+
+    def test_round_trip_with_real_suite(self, tmp_path):
+        """A suite export compared against itself is regression-free."""
+        from repro.harness.experiments import ExperimentSuite
+        from repro.harness.figures import QUICK
+
+        suite = ExperimentSuite(QUICK)
+        results = suite.run(["lp"])
+        path = tmp_path / "run.json"
+        suite.write_json(results, str(path))
+        report = compare_files(str(path), str(path))
+        assert report.deltas and not report.regressions(threshold=0.001)

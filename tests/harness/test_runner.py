@@ -1,0 +1,87 @@
+"""Tests for the measurement runner."""
+
+import pytest
+
+from repro.harness.runner import RunResult, run_scenario
+from repro.workloads.scenarios import single_proxy, two_series
+
+
+class TestMeasurement:
+    def test_throughput_tracks_offered_below_saturation(self, fast_config):
+        scenario = single_proxy(5000, mode="transaction_stateful",
+                                config=fast_config)
+        result = run_scenario(scenario, duration=3.0, warmup=1.0)
+        assert result.offered_cps == pytest.approx(5000, rel=1e-6)
+        assert result.throughput_cps == pytest.approx(5000, rel=0.15)
+        assert result.goodput_ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_utilization_scales_with_load(self, fast_config):
+        low = run_scenario(
+            single_proxy(3000, mode="transaction_stateful", config=fast_config),
+            duration=3.0, warmup=1.0,
+        )
+        high = run_scenario(
+            single_proxy(8000, mode="transaction_stateful", config=fast_config),
+            duration=3.0, warmup=1.0,
+        )
+        assert high.proxy_utilization["P1"] > 2.0 * low.proxy_utilization["P1"]
+        # Linear through the origin (paper Figure 4): utilization at
+        # ~29% of T_SF should be ~0.29.
+        assert low.proxy_utilization["P1"] == pytest.approx(3000 / 10360, rel=0.2)
+
+    def test_trying_ratio_one_when_stateful(self, fast_config):
+        scenario = single_proxy(4000, mode="transaction_stateful",
+                                config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.trying_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_trying_ratio_zero_when_stateless(self, fast_config):
+        scenario = single_proxy(4000, mode="stateless", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.trying_ratio == 0.0
+
+    def test_response_time_stats_populated(self, fast_config):
+        scenario = two_series(4000, config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.invite_rt["count"] > 0
+        assert 0 < result.invite_rt["mean"] < 0.05
+        assert result.invite_rt["p95"] >= result.invite_rt["p50"]
+        assert result.bye_rt["count"] > 0
+
+    def test_per_proxy_state_split_rates(self, fast_config):
+        scenario = two_series(4000, policy="static-one", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        # Exit node stateful, front stateless.
+        assert result.proxy_stateful_cps["P2"] == pytest.approx(4000, rel=0.25)
+        assert result.proxy_stateful_cps["P1"] == 0.0
+        assert result.proxy_stateless_cps["P1"] == pytest.approx(4000, rel=0.25)
+
+    def test_overload_flags_for_servartuka(self, fast_config):
+        scenario = two_series(3000, policy="servartuka", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.proxy_overloaded == {"P1": False, "P2": False}
+
+    def test_as_dict_round_trip(self, fast_config):
+        scenario = two_series(3000, config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        data = result.as_dict()
+        assert data["scenario"] == "2_series"
+        assert data["offered_cps"] == pytest.approx(3000)
+
+    def test_warmup_excluded_from_window(self, fast_config):
+        """Counters accumulated during warmup must not inflate rates."""
+        scenario = single_proxy(4000, mode="transaction_stateful",
+                                config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=2.0)
+        assert result.throughput_cps < 4000 * 1.2
+
+    def test_validation(self, fast_config):
+        scenario = single_proxy(100, config=fast_config)
+        with pytest.raises(ValueError):
+            run_scenario(scenario, duration=0)
+        with pytest.raises(ValueError):
+            run_scenario(scenario, duration=1, warmup=-1)
+
+    def test_goodput_ratio_zero_offered(self):
+        result = RunResult("x", 0.0, 1.0)
+        assert result.goodput_ratio == 0.0

@@ -1,0 +1,131 @@
+"""Tests for load sweeps and saturation search."""
+
+import pytest
+
+from repro.harness.runner import RunResult
+from repro.harness.saturation import (
+    SweepPoint,
+    SweepResult,
+    find_capacity,
+    refine_peak,
+    staircase,
+    sweep_loads,
+)
+from repro.workloads.scenarios import single_proxy
+
+
+def fake_point(offered, throughput, goodput=None):
+    result = RunResult("fake", offered, 1.0)
+    result.throughput_cps = throughput
+    return SweepPoint(offered, result)
+
+
+class TestSweepResult:
+    def test_points_sorted_by_offered(self):
+        sweep = SweepResult("s", [fake_point(200, 190), fake_point(100, 100)])
+        assert [p.offered_cps for p in sweep.points] == [100, 200]
+
+    def test_max_throughput(self):
+        sweep = SweepResult("s", [
+            fake_point(100, 100), fake_point(200, 180), fake_point(300, 150),
+        ])
+        assert sweep.max_throughput == 180
+
+    def test_knee_offered(self):
+        sweep = SweepResult("s", [
+            fake_point(100, 100), fake_point(200, 196), fake_point(300, 150),
+        ])
+        assert sweep.knee_offered == 200
+
+    def test_series_accessors(self):
+        sweep = SweepResult("s", [fake_point(100, 90)])
+        assert sweep.throughput_series() == [(100, 90)]
+        assert len(sweep) == 1
+
+    def test_empty(self):
+        assert SweepResult("s", []).max_throughput == 0.0
+
+
+class TestStaircase:
+    def test_paper_increments(self):
+        loads = staircase(20, 100, 20)
+        assert loads == [20, 40, 60, 80, 100]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staircase(100, 50, 10)
+        with pytest.raises(ValueError):
+            staircase(10, 50, 0)
+
+
+class TestSweepLoads:
+    def test_runs_each_load_fresh(self, fast_config):
+        def factory(load):
+            return single_proxy(load, mode="transaction_stateful",
+                                config=fast_config)
+
+        sweep = sweep_loads(factory, [2000, 4000], duration=1.5, warmup=0.5)
+        assert len(sweep) == 2
+        # Below saturation throughput tracks offered load.
+        assert sweep.points[0].result.throughput_cps == pytest.approx(2000, rel=0.3)
+        assert sweep.points[1].result.throughput_cps == pytest.approx(4000, rel=0.3)
+
+    def test_empty_loads_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            sweep_loads(lambda load: None, [], duration=1, warmup=0)
+
+
+class TestFindCapacity:
+    def test_brackets_the_hint(self, fast_config):
+        calls = []
+
+        def factory(load):
+            calls.append(load)
+            return single_proxy(load, mode="transaction_stateful",
+                                config=fast_config)
+
+        sweep = find_capacity(factory, hint=10000, duration=1.0, warmup=0.5,
+                              points=3, span=0.3, refine=False)
+        assert min(calls) == pytest.approx(7000)
+        assert max(calls) == pytest.approx(13000)
+        assert len(sweep) == 3
+
+    def test_refinement_adds_points_near_peak(self, fast_config):
+        def factory(load):
+            return single_proxy(load, mode="transaction_stateful",
+                                config=fast_config)
+
+        coarse = find_capacity(factory, hint=10000, duration=1.0, warmup=0.5,
+                               points=3, refine=False)
+        refined = find_capacity(factory, hint=10000, duration=1.0, warmup=0.5,
+                                points=3, refine=True)
+        assert len(refined) > len(coarse)
+        assert refined.max_throughput >= coarse.max_throughput - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_capacity(lambda l: None, hint=0)
+        with pytest.raises(ValueError):
+            find_capacity(lambda l: None, hint=10, points=1)
+
+
+class TestRefinePeak:
+    def test_short_sweeps_returned_unchanged(self):
+        sweep = SweepResult("s", [fake_point(100, 90)])
+        assert refine_peak(lambda l: None, sweep) is sweep
+
+    def test_probes_straddle_peak(self, fast_config):
+        probed = []
+
+        def factory(load):
+            probed.append(load)
+            return single_proxy(load, mode="transaction_stateful",
+                                config=fast_config)
+
+        coarse = SweepResult("s", [
+            fake_point(8000, 7900), fake_point(10000, 9500),
+            fake_point(12000, 7000),
+        ])
+        refined = refine_peak(factory, coarse, duration=1.0, warmup=0.5)
+        assert len(refined) == 7
+        assert all(8000 <= load <= 12000 for load in probed)

@@ -1,0 +1,83 @@
+"""End-to-end CANCEL / caller-abandonment tests.
+
+Callers abandon ringing calls after a patience timeout; the CANCEL must
+traverse the proxy chain correctly in both stateful mode (the proxy
+answers it hop-by-hop and re-issues it downstream on the forwarded
+branch, RFC 3261 16.10) and stateless mode (pure relay with the
+INVITE-consistent deterministic branch).
+"""
+
+import pytest
+
+from repro.harness.runner import run_scenario
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig, two_series
+
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+def make_scenario(policy, ring_delay, abandon_after, rate=1000):
+    config = ScenarioConfig(scale=50.0, seed=13, monitor_period=0.5,
+                            timers=TIMERS)
+    scenario = two_series(rate, policy=policy, config=config)
+    for server in scenario.servers:
+        server.ring_delay = ring_delay
+    for generator in scenario.generators:
+        generator.config.abandon_after = abandon_after
+    return scenario
+
+
+class TestAbandonment:
+    @pytest.mark.parametrize("policy", ["static", "stateless", "servartuka"])
+    def test_impatient_callers_abandon(self, policy):
+        # Phones ring for 1s but callers give up after 0.3s.
+        scenario = make_scenario(policy, ring_delay=1.0, abandon_after=0.3)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        generator = scenario.generators[0]
+        abandoned = generator.metrics.counter("calls_abandoned").value
+        assert abandoned > 0
+        # Every abandoned call ends in a 487 failure, not a timeout.
+        failed_487 = generator.metrics.counter("failure_invite_487").value
+        assert failed_487 == pytest.approx(abandoned, abs=3)
+        assert generator.metrics.counter("failure_invite_timeout").value == 0
+        # UAS agrees about what happened.
+        uas = scenario.servers[0]
+        assert uas.metrics.counter("calls_cancelled").value == pytest.approx(
+            abandoned, abs=3
+        )
+
+    @pytest.mark.parametrize("policy", ["static", "stateless"])
+    def test_patient_callers_unaffected(self, policy):
+        scenario = make_scenario(policy, ring_delay=0.1, abandon_after=5.0)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        generator = scenario.generators[0]
+        assert generator.metrics.counter("calls_abandoned").value == 0
+        assert generator.calls_failed == 0
+        assert generator.calls_completed == generator.calls_attempted
+
+    def test_cancel_too_late_call_proceeds(self):
+        """If the 200 wins the race the CANCEL is a no-op."""
+        scenario = make_scenario("static", ring_delay=0.0, abandon_after=0.001)
+        # abandon fires after the call is already answered.
+        run_scenario(scenario, duration=1.0, warmup=0.3, drain=3.0)
+        generator = scenario.generators[0]
+        assert generator.calls_completed == generator.calls_attempted
+
+    def test_stateful_proxy_answers_cancel_hop_by_hop(self):
+        scenario = make_scenario("static", ring_delay=1.0, abandon_after=0.3,
+                                 rate=500)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        p1 = scenario.proxies["P1"]
+        assert p1.metrics.counter("cancels_handled").value > 0
+        # The downstream 200-for-CANCEL stops at the proxy.
+        assert p1.metrics.counter("cancel_responses_absorbed").value > 0
+
+    def test_call_accounting_still_conserves(self):
+        scenario = make_scenario("servartuka", ring_delay=0.8,
+                                 abandon_after=0.2)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=5.0)
+        generator = scenario.generators[0]
+        assert generator.calls_attempted == (
+            generator.calls_completed + generator.calls_failed
+            + len(generator._calls)
+        )

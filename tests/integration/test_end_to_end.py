@@ -1,0 +1,242 @@
+"""End-to-end behavioural tests of the reproduced system.
+
+These assert the *paper's claims* at test scale (scale factor 50, so
+capacities sit around 180-250 sim-cps and each run takes well under a
+second): SERvartuka beats the static configurations near saturation,
+the system stays stateful for every admitted call, overload reports
+flow upstream, and stateful handling bounds response times under loss.
+"""
+
+import math
+
+import pytest
+
+from repro.core.servartuka import DELIVER, ServartukaPolicy
+from repro.harness.runner import run_scenario
+from repro.workloads.callgen import LoadProfile, apply_profile
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    internal_external,
+    single_proxy,
+    two_series,
+)
+from repro.sip.timers import TimerPolicy
+
+FAST_TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+def config(seed=7, **overrides):
+    kwargs = dict(
+        scale=50.0,
+        seed=seed,
+        noise_sigma=0.30,
+        monitor_period=0.5,
+        timers=FAST_TIMERS,
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestHeadlineResult:
+    """Figure 5 at test scale: dynamic beats static in series."""
+
+    def test_servartuka_beats_static_near_saturation(self):
+        offered = 10000  # above static capacity (~8,976), below LP (~10,537)
+        static = run_scenario(
+            two_series(offered, policy="static", config=config()),
+            duration=6.0, warmup=3.0,
+        )
+        dynamic = run_scenario(
+            two_series(offered, policy="servartuka", config=config()),
+            duration=6.0, warmup=3.0,
+        )
+        assert dynamic.throughput_cps > 1.05 * static.throughput_cps
+        # And every call the dynamic system *admits* is handled
+        # statefully somewhere on the path.
+        assert dynamic.stateful_coverage > 0.95
+
+    def test_equal_below_static_capacity(self):
+        offered = 6000
+        static = run_scenario(
+            two_series(offered, policy="static", config=config()),
+            duration=4.0, warmup=2.0,
+        )
+        dynamic = run_scenario(
+            two_series(offered, policy="servartuka", config=config()),
+            duration=4.0, warmup=2.0,
+        )
+        assert static.throughput_cps == pytest.approx(offered, rel=0.1)
+        assert dynamic.throughput_cps == pytest.approx(offered, rel=0.1)
+
+    def test_static_one_also_beaten(self):
+        offered = 10000
+        static_one = run_scenario(
+            two_series(offered, policy="static-one", config=config()),
+            duration=6.0, warmup=3.0,
+        )
+        dynamic = run_scenario(
+            two_series(offered, policy="servartuka", config=config()),
+            duration=6.0, warmup=3.0,
+        )
+        assert dynamic.throughput_cps >= 0.98 * static_one.throughput_cps
+
+
+class TestStateDelegation:
+    def test_state_splits_across_the_chain(self):
+        """Above the front node's T_SF it sheds state downstream (eq. 8).
+
+        Uses ``via_overhead=0`` (homogeneous nodes, the paper's
+        idealization) so the shedding point sits below system capacity;
+        with depth penalties the LP correctly keeps all state at the
+        front until the system itself saturates.
+        """
+        offered = 11000
+        scenario = two_series(
+            offered, policy="servartuka", config=config(via_overhead=0.0)
+        )
+        result = run_scenario(scenario, duration=6.0, warmup=3.0)
+        sf_p1 = result.proxy_stateful_cps["P1"]
+        sf_p2 = result.proxy_stateful_cps["P2"]
+        assert sf_p1 > 0 and sf_p2 > offered * 0.05
+        # Together they cover (roughly) every admitted call exactly once.
+        delivered = result.delivered_cps
+        assert sf_p1 + sf_p2 == pytest.approx(delivered, rel=0.15)
+
+    def test_below_t_sf_front_node_keeps_everything(self):
+        offered = 6000
+        scenario = two_series(offered, policy="servartuka", config=config())
+        result = run_scenario(scenario, duration=4.0, warmup=2.0)
+        assert result.proxy_stateful_cps["P1"] == pytest.approx(offered, rel=0.1)
+        assert result.proxy_stateful_cps["P2"] == pytest.approx(0.0, abs=150)
+
+    def test_no_double_state_for_delegated_calls(self):
+        scenario = two_series(10200, policy="servartuka", config=config())
+        run_scenario(scenario, duration=6.0, warmup=3.0)
+        p2 = scenario.proxies["P2"]
+        policy = p2.policy
+        assert isinstance(policy, ServartukaPolicy)
+        # Calls marked held upstream arrive as FASF at the exit node.
+        assert policy.path(DELIVER).last_fasf_rate > 0
+
+    def test_internal_external_delegates_external_only(self):
+        offered = 10800
+        scenario = internal_external(
+            offered, 0.8, policy="servartuka", config=config()
+        )
+        result = run_scenario(scenario, duration=6.0, warmup=3.0)
+        # S2 can only hold state for external calls; internal state must
+        # stay at S1 (which also keeps a big stateful share).
+        assert result.proxy_stateful_cps["S2"] > 0
+        assert result.proxy_stateful_cps["S1"] >= 0.2 * offered * 0.8
+        assert result.stateful_coverage > 0.9
+
+
+class TestOverloadSignalling:
+    def test_exit_node_reports_overload_upstream(self):
+        """Push the exit node beyond feasibility: reports must flow."""
+        offered = 12000
+        scenario = two_series(offered, policy="servartuka", config=config())
+        run_scenario(scenario, duration=6.0, warmup=3.0)
+        p2 = scenario.proxies["P2"]
+        p1 = scenario.proxies["P1"]
+        assert p2.metrics.counter("overload_reports_sent").value > 0
+        assert p1.metrics.counter("overload_reports_received").value > 0
+        policy = p1.policy
+        assert policy.path("P2").overload.last_sequence >= 0
+
+    def test_saturation_produces_500s(self):
+        """Paper: 'a large increase in SIP 500 Server Busy messages'."""
+        offered = 14000
+        result = run_scenario(
+            two_series(offered, policy="static", config=config()),
+            duration=5.0, warmup=3.0,
+        )
+        assert result.server_busy_500 > 0
+
+    def test_saturation_produces_retransmissions(self):
+        offered = 14000
+        result = run_scenario(
+            two_series(offered, policy="static", config=config()),
+            duration=5.0, warmup=3.0,
+        )
+        assert result.retransmissions > 0
+
+
+class TestResponseTimesUnderLoss:
+    """Figure 6's mechanism: stateful proxies absorb retransmissions
+    in-network, so the client sees bounded response times."""
+
+    def make_lossy(self, policy):
+        scenario = two_series(3000, policy=policy, config=config(seed=21))
+        scenario.network.set_link("P1", "P2", loss=0.15)
+        return scenario
+
+    def test_stateful_completes_despite_loss(self):
+        result = run_scenario(self.make_lossy("static"), duration=6.0, warmup=3.0)
+        assert result.goodput_ratio > 0.9
+
+    def test_stateful_quenches_client_retransmissions(self):
+        """The 100 Trying from the stateful proxy stops the client's
+        Timer A, so in-network loss is recovered by the *proxy's* client
+        transaction instead of end-to-end retransmissions -- 'absorbing
+        unnecessary retransmissions' (paper section 2.2)."""
+        stateful_scenario = self.make_lossy("static")
+        stateful = run_scenario(stateful_scenario, duration=6.0, warmup=3.0)
+        stateless_scenario = self.make_lossy("stateless")
+        stateless = run_scenario(stateless_scenario, duration=6.0, warmup=3.0)
+        assert stateless.goodput_ratio > 0.85  # recovery works both ways
+
+        def invite_retransmits(scenario):
+            generator = scenario.generators[0]
+            return (
+                generator.metrics.counter("invites_sent").value
+                - generator.calls_attempted
+            )
+
+        # The 100 quenches Timer A: INVITE retransmissions vanish when
+        # the first proxy is stateful (BYEs still retransmit -- there is
+        # no provisional for non-INVITE transactions).
+        assert invite_retransmits(stateful_scenario) == 0
+        assert invite_retransmits(stateless_scenario) > 0
+        # The recovery work moved into the network:
+        p1 = stateful_scenario.proxies["P1"]
+        assert p1.metrics.counter("downstream_retransmits").value > 0
+
+
+class TestStatefulnessInvariant:
+    @pytest.mark.parametrize("policy", ["static", "static-one", "servartuka"])
+    def test_every_call_sees_a_100(self, policy):
+        result = run_scenario(
+            two_series(7000, policy=policy, config=config()),
+            duration=4.0, warmup=2.0,
+        )
+        assert result.trying_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_all_stateless_never_sends_100(self):
+        result = run_scenario(
+            two_series(7000, policy="stateless", config=config()),
+            duration=4.0, warmup=2.0,
+        )
+        assert result.trying_ratio == 0.0
+
+
+class TestChangingLoad:
+    def test_servartuka_adapts_to_a_ramp(self):
+        scenario = two_series(
+            4000, policy="servartuka", config=config(via_overhead=0.0)
+        )
+        profile = LoadProfile.staircase(4000, 11200, 3600, step_duration=4.0)
+        scaled = LoadProfile(
+            [type(step)(step.rate / scenario.config.scale, step.duration)
+             for step in profile.steps]
+        )
+        scenario.start()
+        end = apply_profile(scenario.loop, scenario.generators, scaled)
+        scenario.loop.run_until(end)
+        p1 = scenario.proxies["P1"]
+        # During the final (over-T_SF) step the front node must have
+        # started forwarding some calls statelessly.
+        assert p1.metrics.counter("invites_stateless").value > 0
+        assert p1.metrics.counter("invites_stateful").value > 0
+        policy = p1.policy
+        assert policy.path("P2").myshare != math.inf

@@ -1,0 +1,73 @@
+"""Smoke tests for the figure pipelines at ultra-cheap quality.
+
+The benchmarks run the real reproductions; these tests only verify the
+end-to-end plumbing of each figure function (sweeps, comparisons,
+series) on a tiny scale/duration so the unit suite exercises the code
+paths in seconds.
+"""
+
+import pytest
+
+from repro.harness.figures import Quality, figure4_utilization, figure5_two_series, figure8_parallel
+
+SMOKE = Quality(
+    "smoke", scale=60.0, duration=2.0, warmup=1.0, sweep_points=2,
+    fig7_fractions=[0.8], seed=2,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4_utilization(SMOKE)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5_two_series(SMOKE)
+
+
+class TestFigure4Pipeline:
+    def test_comparisons_present(self, fig4):
+        quantities = [row[0] for row in fig4.comparisons]
+        assert "stateful saturation cps" in quantities
+        assert "stateless saturation cps" in quantities
+
+    def test_series_and_rows_align(self, fig4):
+        assert len(fig4.rows) >= 8
+        assert set(fig4.series) == {"stateful_utilization",
+                                    "stateless_utilization"}
+
+    def test_utilization_in_range(self, fig4):
+        for _mode, _offered, utilization, _tp in fig4.rows:
+            assert 0.0 <= utilization <= 1.0
+
+    def test_saturations_ordered(self, fig4):
+        stateful = fig4.measured("stateful saturation cps")
+        stateless = fig4.measured("stateless saturation cps")
+        assert stateless > stateful > 0
+
+
+class TestFigure5Pipeline:
+    def test_shape(self, fig5):
+        assert fig5.columns == ["config", "offered_cps", "throughput_cps",
+                                "trying_ratio"]
+        configs = {row[0] for row in fig5.rows}
+        assert configs == {"static", "servartuka"}
+
+    def test_series_sorted_by_load(self, fig5):
+        for label in ("static", "servartuka"):
+            loads = [x for x, _ in fig5.series[label]]
+            assert loads == sorted(loads)
+
+    def test_dynamic_never_meaningfully_worse(self, fig5):
+        static = fig5.measured("static saturation")
+        dynamic = fig5.measured("servartuka saturation")
+        assert dynamic >= 0.9 * static
+
+
+class TestFigure8Pipeline:
+    def test_runs_and_reports(self):
+        figure = figure8_parallel(SMOKE)
+        assert figure.measured("static saturation") > 0
+        assert figure.measured("servartuka saturation") > 0
+        assert figure.series.keys() == {"static", "servartuka"}

@@ -1,0 +1,152 @@
+"""Property-based tests on system-level invariants.
+
+Hypothesis drives randomized mini-simulations and checks conservation
+laws that must hold regardless of load, topology or seed:
+
+- call conservation: attempted = completed + failed + in-flight,
+- statefulness: every admitted call saw a 100 Trying whenever the
+  system runs a state-guaranteeing policy,
+- message conservation at the UAS: completed <= received <= attempted,
+- CPU accounting: busy time never exceeds wall time per node.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.runner import run_scenario
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    n_series,
+    parallel_fork,
+    single_proxy,
+)
+
+FAST_TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+_SLOW = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_config(seed, noise=0.3):
+    return ScenarioConfig(
+        scale=50.0, seed=seed, noise_sigma=noise,
+        monitor_period=0.5, timers=FAST_TIMERS,
+    )
+
+
+class TestCallConservation:
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=1000, max_value=12000),
+        n=st.integers(min_value=1, max_value=3),
+        policy=st.sampled_from(["static", "static-one", "servartuka",
+                                "stateless"]),
+    )
+    def test_every_call_is_accounted_for(self, seed, load, n, policy):
+        scenario = n_series(n, load, policy=policy, config=make_config(seed))
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        for generator in scenario.generators:
+            attempted = generator.calls_attempted
+            completed = generator.calls_completed
+            failed = generator.calls_failed
+            in_flight = len(generator._calls)
+            assert attempted == completed + failed + in_flight
+            assert completed >= 0 and failed >= 0
+
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=1000, max_value=9000),
+        share=st.floats(min_value=0.2, max_value=0.8),
+    )
+    def test_fork_call_conservation(self, seed, load, share):
+        scenario = parallel_fork(
+            load, policy="servartuka", upper_share=share,
+            config=make_config(seed),
+        )
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        total_received = sum(s.calls_received for s in scenario.servers)
+        total_attempted = sum(g.calls_attempted for g in scenario.generators)
+        assert total_received <= total_attempted
+        for generator in scenario.generators:
+            assert generator.calls_attempted == (
+                generator.calls_completed + generator.calls_failed
+                + len(generator._calls)
+            )
+
+
+class TestStatefulnessInvariant:
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=1000, max_value=8000),
+        policy=st.sampled_from(["static", "static-one", "servartuka"]),
+    )
+    def test_admitted_calls_always_covered(self, seed, load, policy):
+        """Below saturation every admitted call must be handled
+        statefully somewhere (the paper's 100-Trying check)."""
+        scenario = n_series(2, load, policy=policy, config=make_config(seed))
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        if result.failed_calls == 0 and result.invite_rt["count"] > 10:
+            assert result.stateful_coverage > 0.97
+
+
+class TestResourceAccounting:
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=2000, max_value=14000),
+        mode=st.sampled_from(["stateless", "transaction_stateful",
+                              "authentication"]),
+    )
+    def test_cpu_busy_never_exceeds_wall_clock(self, seed, load, mode):
+        scenario = single_proxy(load, mode=mode, config=make_config(seed))
+        run_scenario(scenario, duration=2.0, warmup=0.5)
+        wall = scenario.loop.now
+        for proxy in scenario.proxies.values():
+            assert 0.0 <= proxy.cpu.busy_seconds <= wall + 1e-6
+            for utilization in proxy.cpu.utilization_series.values:
+                assert 0.0 <= utilization <= 1.0
+
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=2000, max_value=8000),
+    )
+    def test_component_seconds_sum_to_busy_seconds(self, seed, load):
+        """Per-component accounting is exact at zero noise."""
+        scenario = single_proxy(
+            load, mode="transaction_stateful",
+            config=make_config(seed, noise=0.0),
+        )
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=2.0)
+        proxy = scenario.proxies["P1"]
+        if proxy.cpu.pending_jobs == 0:
+            total_components = sum(proxy.cpu.component_seconds.values())
+            assert abs(total_components - proxy.cpu.busy_seconds) < 1e-6
+
+
+class TestDeterminism:
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=2000, max_value=10000),
+    )
+    def test_same_seed_same_outcome(self, seed, load):
+        results = []
+        for _ in range(2):
+            scenario = n_series(
+                2, load, policy="servartuka", config=make_config(seed)
+            )
+            result = run_scenario(scenario, duration=1.5, warmup=0.5)
+            results.append((
+                result.throughput_cps,
+                result.failed_calls,
+                result.retransmissions,
+                tuple(sorted(result.proxy_utilization.items())),
+            ))
+        assert results[0] == results[1]

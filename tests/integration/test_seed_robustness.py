@@ -1,0 +1,43 @@
+"""The headline result must not depend on a lucky seed."""
+
+import pytest
+
+from repro.harness.runner import run_scenario
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig, two_series
+
+FAST_TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+SEEDS = (3, 101, 4242)
+
+
+def measure(policy, seed, offered=10000):
+    config = ScenarioConfig(
+        scale=50.0, seed=seed, noise_sigma=0.30,
+        monitor_period=0.5, timers=FAST_TIMERS,
+    )
+    scenario = two_series(offered, policy=policy, config=config)
+    return run_scenario(scenario, duration=5.0, warmup=3.0)
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_gain_positive_for_every_seed(self, seed):
+        static = measure("static", seed)
+        dynamic = measure("servartuka", seed)
+        assert dynamic.throughput_cps > 1.03 * static.throughput_cps, (
+            seed, static.throughput_cps, dynamic.throughput_cps,
+        )
+
+    def test_measurements_stable_across_seeds_below_knee(self):
+        """Below saturation the measurement is tight across seeds; at
+        the knee itself the goodput is legitimately noisy (the gain test
+        above therefore compares seed-paired runs)."""
+        values = [
+            measure("servartuka", seed, offered=8000).throughput_cps
+            for seed in SEEDS
+        ]
+        spread = (max(values) - min(values)) / max(values)
+        # ~800 Poisson calls per window: the 3-seed range is ~2 standard
+        # deviations ~= 7%; anything past 10% would indicate systematic
+        # seed sensitivity rather than sampling noise.
+        assert spread < 0.10, values

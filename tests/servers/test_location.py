@@ -1,0 +1,77 @@
+"""Tests for the location service."""
+
+import pytest
+
+from repro.servers.location import LocationService
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        service = LocationService()
+        service.register("sip:alice@example.com", "uas1")
+        binding = service.lookup("sip:alice@example.com")
+        assert binding is not None
+        assert binding.node == "uas1"
+
+    def test_lookup_accepts_bare_aor(self):
+        service = LocationService()
+        service.register("alice@example.com", "uas1")
+        assert service.lookup("sip:alice@example.com") is not None
+
+    def test_lookup_normalizes_angle_brackets(self):
+        service = LocationService()
+        service.register("<sip:alice@example.com>", "uas1")
+        assert service.lookup("alice@example.com") is not None
+
+    def test_reregister_same_node_replaces(self):
+        service = LocationService()
+        service.register("a@x.com", "uas1", contact="sip:old@x.com")
+        service.register("a@x.com", "uas1", contact="sip:new@x.com")
+        bindings = service.bindings_for("a@x.com")
+        assert len(bindings) == 1
+        assert bindings[0].contact.user == "new"
+
+    def test_multiple_devices(self):
+        service = LocationService()
+        service.register("a@x.com", "phone")
+        service.register("a@x.com", "laptop")
+        assert len(service.bindings_for("a@x.com")) == 2
+        assert service.size == 2
+
+
+class TestLookupMisses:
+    def test_unknown_aor_counts_miss(self):
+        service = LocationService()
+        assert service.lookup("ghost@x.com") is None
+        assert service.misses == 1
+        assert service.lookups == 1
+
+    def test_expired_binding_is_miss(self):
+        service = LocationService()
+        service.register("a@x.com", "uas1", expires_at=10.0)
+        assert service.lookup("a@x.com", now=5.0) is not None
+        assert service.lookup("a@x.com", now=10.0) is None
+
+    def test_unexpiring_by_default(self):
+        service = LocationService()
+        service.register("a@x.com", "uas1")
+        assert service.lookup("a@x.com", now=1e9) is not None
+
+
+class TestUnregister:
+    def test_unregister_all(self):
+        service = LocationService()
+        service.register("a@x.com", "n1")
+        service.register("a@x.com", "n2")
+        assert service.unregister("a@x.com") == 2
+        assert service.lookup("a@x.com") is None
+
+    def test_unregister_one_node(self):
+        service = LocationService()
+        service.register("a@x.com", "n1")
+        service.register("a@x.com", "n2")
+        assert service.unregister("a@x.com", node="n1") == 1
+        assert service.lookup("a@x.com").node == "n2"
+
+    def test_unregister_unknown_is_zero(self):
+        assert LocationService().unregister("ghost@x.com") == 0

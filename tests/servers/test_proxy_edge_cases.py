@@ -1,0 +1,174 @@
+"""Edge-case proxy tests: malformed requests, odd flows, bookkeeping."""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.core.static_policy import stateful_policy, stateless_policy
+from repro.servers.location import LocationService
+from repro.servers.proxy import (
+    DELIVER_ACTION,
+    ProxyConfig,
+    ProxyServer,
+    RouteTable,
+)
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.timers import TimerPolicy
+
+TIMERS = TimerPolicy(t1=0.1, t2=0.4, t4=0.4)
+
+
+class Stub:
+    def __init__(self, name, network):
+        self.name = name
+        self.received = []
+        network.register(name, self)
+
+    def receive(self, packet):
+        self.received.append(packet.payload)
+
+    def responses(self, status=None):
+        out = [m for m in self.received if isinstance(m, SipResponse)]
+        return [m for m in out if status is None or m.status == status]
+
+    def requests(self, method=None):
+        out = [m for m in self.received if isinstance(m, SipRequest)]
+        return [m for m in out if method is None or m.method == method]
+
+
+def make_env(policy=None, txn_linger=0.5):
+    loop = EventLoop()
+    rng = RngStream(77, "edge")
+    network = Network(loop, rng.spawn("net"))
+    uac = Stub("uac", network)
+    dst = Stub("dst", network)
+    location = LocationService()
+    location.register("sip:bob@far.example.net", "dst")
+    proxy = ProxyServer(
+        "P1", loop, network,
+        route_table=RouteTable().add("far.example.net", DELIVER_ACTION),
+        location=location,
+        policy=policy or stateful_policy(),
+        config=ProxyConfig(txn_linger=txn_linger),
+        cost_model=CostModel(scale=1.0),
+        timers=TIMERS,
+        rng=rng,
+        noise_sigma=0.0,
+    )
+    return loop, network, proxy, uac, dst
+
+
+def make_invite(call_id="c1", branch=None):
+    invite = SipRequest.build(
+        "INVITE", "sip:bob@far.example.net", "sip:alice@near.example.net",
+        "sip:bob@far.example.net", call_id, 1, "ft",
+    )
+    invite.push_via(Via("uac", branch=branch or f"z9hG4bK-{call_id}"))
+    return invite
+
+
+class TestMalformedRequests:
+    def test_missing_max_forwards_rejected_483(self):
+        loop, network, proxy, uac, dst = make_env()
+        invite = make_invite()
+        invite.remove("Max-Forwards")
+        network.send("uac", "P1", invite)
+        loop.run_until(0.2)
+        assert len(uac.responses(483)) == 1
+        assert dst.requests("INVITE") == []
+
+    def test_garbage_max_forwards_rejected_483(self):
+        loop, network, proxy, uac, dst = make_env()
+        invite = make_invite()
+        invite.set("Max-Forwards", "plenty")
+        network.send("uac", "P1", invite)
+        loop.run_until(0.2)
+        assert len(uac.responses(483)) == 1
+
+    def test_unknown_payload_type_counted(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", {"not": "sip"})
+        loop.run_until(0.2)
+        assert proxy.metrics.counter("unknown_payloads").value == 1
+
+
+class TestTransactionLifetime:
+    def test_linger_expires_completed_transactions(self):
+        loop, network, proxy, uac, dst = make_env(txn_linger=0.3)
+        invite = make_invite()
+        network.send("uac", "P1", invite)
+        loop.run_until(0.05)
+        forwarded = dst.requests("INVITE")[0]
+        network.send("dst", "P1", SipResponse.for_request(forwarded, 200,
+                                                          to_tag="t"))
+        loop.run_until(0.1)
+        assert proxy.active_transactions == 1
+        loop.run_until(0.6)  # past the linger
+        assert proxy.active_transactions == 0
+
+    def test_retransmit_after_expiry_forwarded_fresh(self):
+        """Once the stored transaction is gone, a very late retransmit
+        is treated as a new request (stateless proxies behave this way
+        throughout)."""
+        loop, network, proxy, uac, dst = make_env(txn_linger=0.2)
+        invite = make_invite(branch="z9hG4bK-late")
+        network.send("uac", "P1", invite)
+        loop.run_until(0.05)
+        forwarded = dst.requests("INVITE")[0]
+        network.send("dst", "P1", SipResponse.for_request(forwarded, 200,
+                                                          to_tag="t"))
+        loop.run_until(1.0)
+        assert proxy.active_transactions == 0
+        network.send("uac", "P1", invite.copy())
+        loop.run_until(1.05)
+        invites = dst.requests("INVITE")
+        assert len(invites) >= 2
+        # The late copy created a *fresh* transaction (new branch).
+        assert invites[-1].top_via.branch != invites[0].top_via.branch
+
+
+class TestAck2xxEndToEnd:
+    def test_ack_for_2xx_passes_through(self):
+        """The ACK for a 2xx has a fresh branch and is not consumed by
+        the proxy's INVITE transaction (RFC 3261 16.7/17.1.1.2)."""
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite("ack-call"))
+        loop.run_until(0.05)
+        ack = SipRequest.build(
+            "ACK", "sip:bob@far.example.net", "sip:alice@near.example.net",
+            "sip:bob@far.example.net", "ack-call", 1, "ft", to_tag="tt",
+        )
+        ack.set("CSeq", "1 ACK")
+        ack.push_via(Via("uac", branch="z9hG4bK-fresh-ack"))
+        network.send("uac", "P1", ack)
+        loop.run_until(0.2)
+        assert len(dst.requests("ACK")) == 1
+
+
+class TestStatelessResponses:
+    def test_response_for_unknown_branch_forwarded_by_via(self):
+        """A stateless proxy forwards any response whose top Via is its
+        own, even with no matching transaction."""
+        loop, network, proxy, uac, dst = make_env(policy=stateless_policy())
+        network.send("uac", "P1", make_invite("sl-call"))
+        loop.run_until(0.05)
+        forwarded = dst.requests("INVITE")[0]
+        response = SipResponse.for_request(forwarded, 200, to_tag="t")
+        network.send("dst", "P1", response)
+        loop.run_until(0.2)
+        assert len(uac.responses(200)) == 1
+
+
+class TestUpstreamBookkeeping:
+    def test_upstream_shares_decay(self):
+        loop, network, proxy, uac, dst = make_env()
+        for index in range(8):
+            network.send("uac", "P1", make_invite(f"d{index}"))
+        loop.run_until(0.2)
+        assert proxy._upstream_new_calls.get("uac", 0) > 0
+        # Several monitor periods later the share decays away entirely.
+        loop.run_until(10.0)
+        assert proxy._upstream_new_calls.get("uac", 0) == 0

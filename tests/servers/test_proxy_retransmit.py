@@ -1,0 +1,157 @@
+"""Unit tests for the proxy's downstream client-transaction behaviour.
+
+A stateful proxy re-sends the forwarded request on the T1 schedule
+until any response arrives (RFC 3261 16.6 step 10); these tests drive
+that machinery directly with stub endpoints and no link loss, checking
+the schedule, cancellation and lifetime bounds.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.core.static_policy import stateful_policy
+from repro.servers.location import LocationService
+from repro.servers.proxy import (
+    DELIVER_ACTION,
+    ProxyConfig,
+    ProxyServer,
+    RouteTable,
+)
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.timers import TimerPolicy
+
+TIMERS = TimerPolicy(t1=0.1, t2=0.4, t4=0.4)
+
+
+class Stub:
+    def __init__(self, name, network):
+        self.name = name
+        self.received = []
+        network.register(name, self)
+
+    def receive(self, packet):
+        self.received.append(packet.payload)
+
+    def requests(self, method):
+        return [m for m in self.received
+                if isinstance(m, SipRequest) and m.method == method]
+
+
+def make_env():
+    loop = EventLoop()
+    rng = RngStream(31, "retr-test")
+    network = Network(loop, rng.spawn("net"))
+    uac = Stub("uac", network)
+    dst = Stub("dst", network)
+    location = LocationService()
+    location.register("sip:bob@far.example.net", "dst")
+    proxy = ProxyServer(
+        "P1", loop, network,
+        route_table=RouteTable().add("far.example.net", DELIVER_ACTION),
+        location=location,
+        policy=stateful_policy(),
+        cost_model=CostModel(scale=1.0),
+        timers=TIMERS,
+        rng=rng,
+        noise_sigma=0.0,
+    )
+    return loop, network, proxy, uac, dst
+
+
+def make_invite(call_id="c1"):
+    invite = SipRequest.build(
+        "INVITE", "sip:bob@far.example.net", "sip:alice@near.example.net",
+        "sip:bob@far.example.net", call_id, 1, "ft",
+    )
+    invite.push_via(Via("uac", branch=f"z9hG4bK-{call_id}"))
+    return invite
+
+
+class TestDownstreamRetransmission:
+    def test_retransmits_on_t1_schedule_without_response(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite())
+        loop.run_until(0.05)
+        assert len(dst.requests("INVITE")) == 1
+        loop.run_until(0.15)  # first retransmit at ~0.1
+        assert len(dst.requests("INVITE")) == 2
+        loop.run_until(0.35)  # doubling: next at ~0.3
+        assert len(dst.requests("INVITE")) == 3
+        assert proxy.metrics.counter("downstream_retransmits").value == 2
+
+    def test_same_branch_on_retransmits(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite())
+        loop.run_until(0.5)
+        branches = {m.top_via.branch for m in dst.requests("INVITE")}
+        assert len(branches) == 1
+
+    def test_any_response_stops_retransmission(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite())
+        loop.run_until(0.05)
+        forwarded = dst.requests("INVITE")[0]
+        network.send("dst", "P1", SipResponse.for_request(forwarded, 180,
+                                                          to_tag="t"))
+        loop.run_until(2.0)
+        assert len(dst.requests("INVITE")) == 1
+        assert proxy.metrics.counter("downstream_retransmits").value == 0
+
+    def test_gives_up_at_timer_b(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite())
+        loop.run_until(TIMERS.timer_b + 2.0)
+        count = len(dst.requests("INVITE"))
+        loop.run_until(TIMERS.timer_b + 10.0)
+        assert len(dst.requests("INVITE")) == count  # no further sends
+
+    def test_expiry_cancels_pending_retransmit(self):
+        loop, network, proxy, uac, dst = make_env()
+        network.send("uac", "P1", make_invite())
+        loop.run_until(0.05)
+        key = list(proxy._transactions)[0]
+        branch = proxy._transactions[key].forwarded_branch
+        proxy._expire_transaction(key, branch)
+        before = len(dst.requests("INVITE"))
+        loop.run_until(3.0)
+        assert len(dst.requests("INVITE")) == before
+
+    def test_bye_retransmits_too(self):
+        loop, network, proxy, uac, dst = make_env()
+        bye = SipRequest.build(
+            "BYE", "sip:bob@far.example.net", "sip:alice@near.example.net",
+            "sip:bob@far.example.net", "c9", 2, "ft", to_tag="tt",
+        )
+        bye.add("Route", "<sip:P1;lr>")  # P1 owns this dialog's state
+        bye.push_via(Via("uac", branch="z9hG4bK-bye"))
+        network.send("uac", "P1", bye)
+        loop.run_until(0.15)
+        assert len(dst.requests("BYE")) == 2  # initial + one retransmit
+
+
+class TestViaEma:
+    def test_ema_tracks_observed_depth(self):
+        loop, network, proxy, uac, dst = make_env()
+        deep = make_invite("deep")
+        deep.push_via(Via("upstream", branch="z9hG4bK-up"))
+        for index in range(40):
+            invite = make_invite(f"d{index}")
+            invite.push_via(Via("up", branch=f"z9hG4bK-u{index}"))
+            network.send("uac", "P1", invite)
+            loop.run_until(loop.now + 0.01)
+        # All INVITEs arrived with one extra Via: the EMA approaches 1.
+        assert proxy._via_ema > 0.7
+        t_sf_deep, _ = proxy.state_thresholds()
+        assert t_sf_deep < 10360  # depth discount applied
+
+    def test_thresholds_at_depth_zero(self):
+        loop, network, proxy, uac, dst = make_env()
+        for index in range(40):
+            network.send("uac", "P1", make_invite(f"s{index}"))
+            loop.run_until(loop.now + 0.01)
+        t_sf, t_sl = proxy.state_thresholds()
+        assert t_sf == pytest.approx(10360, rel=0.02)

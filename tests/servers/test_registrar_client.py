@@ -1,0 +1,142 @@
+"""Tests for REGISTER refresh churn against the proxy registrar."""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.core.static_policy import stateless_policy
+from repro.servers.location import LocationService
+from repro.servers.proxy import DELIVER_ACTION, ProxyServer, RouteTable
+from repro.servers.registrar_client import RegistrarClient
+from repro.servers.uac import CallGenerator, CallGeneratorConfig
+from repro.servers.uas import AnsweringServer
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.timers import TimerPolicy
+
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+AOR = "sip:carol@edge.example.net"
+
+
+def make_env(refresh_interval=1.0, expires=2.0, lossy=False):
+    loop = EventLoop()
+    rng = RngStream(7, "regtest")
+    network = Network(loop, rng.spawn("net"))
+    location = LocationService()
+    proxy = ProxyServer(
+        "P1", loop, network,
+        route_table=RouteTable().add("edge.example.net", DELIVER_ACTION),
+        location=location,
+        policy=stateless_policy(),
+        cost_model=CostModel(scale=1.0),
+        timers=TIMERS,
+        rng=rng,
+        noise_sigma=0.0,
+    )
+    uas = AnsweringServer("uas1", loop, network, timers=TIMERS, rng=rng)
+    client = RegistrarClient(
+        "uas1-reg", loop, network, registrar="P1", aors=[AOR],
+        refresh_interval=refresh_interval, expires=expires,
+        timers=TIMERS, rng=rng,
+    )
+    if lossy:
+        network.set_link("uas1-reg", "P1", loss=0.4)
+    return loop, proxy, uas, client, location
+
+
+class TestRegistrationLifecycle:
+    def test_initial_register_binds(self):
+        loop, proxy, uas, client, location = make_env()
+        client.start()
+        loop.run_until(0.1)
+        binding = location.lookup(AOR, now=loop.now)
+        assert binding is not None
+        # Contact header wins over the packet source for the binding.
+        assert binding.node == "uas1-reg"
+        assert client.registers_confirmed == 1
+
+    def test_refresh_keeps_binding_alive(self):
+        loop, proxy, uas, client, location = make_env(
+            refresh_interval=1.0, expires=1.5
+        )
+        client.start()
+        loop.run_until(10.0)
+        assert location.lookup(AOR, now=loop.now) is not None
+        assert client.registers_confirmed >= 8
+
+    def test_stopping_lets_binding_expire(self):
+        loop, proxy, uas, client, location = make_env(
+            refresh_interval=1.0, expires=1.5
+        )
+        client.start()
+        loop.run_until(2.0)
+        client.stop()
+        loop.run_until(10.0)
+        assert location.lookup(AOR, now=loop.now) is None
+
+    def test_lossy_registrar_path_retries(self):
+        loop, proxy, uas, client, location = make_env(lossy=True)
+        client.start()
+        loop.run_until(5.0)
+        # Non-INVITE Timer E retransmissions push the REGISTER through.
+        assert client.registers_confirmed >= 1
+
+    def test_validation(self):
+        loop = EventLoop()
+        network = Network(loop)
+        with pytest.raises(ValueError):
+            RegistrarClient("r", loop, network, "P1", aors=[])
+        with pytest.raises(ValueError):
+            RegistrarClient("r", loop, network, "P1", aors=["sip:a@b"],
+                            refresh_interval=0)
+
+    def test_start_idempotent(self):
+        loop, proxy, uas, client, location = make_env()
+        client.start()
+        client.start()
+        loop.run_until(0.2)
+        assert client.metrics.counter("registers_sent").value == 1
+
+
+class TestCallsAgainstChurn:
+    def test_calls_fail_404_after_expiry(self):
+        loop, proxy, uas, client, location = make_env(
+            refresh_interval=1.0, expires=1.5
+        )
+        client.start()
+        loop.run_until(2.0)
+        client.stop()
+        loop.run_until(6.0)  # binding gone
+        rng = RngStream(9, "caller")
+        caller = CallGenerator(
+            "uac1", loop, proxy.network,
+            CallGeneratorConfig(rate=50, first_hop="P1", destinations=[AOR]),
+            timers=TIMERS, rng=rng,
+        )
+        caller.start()
+        loop.run_until(7.0)
+        caller.stop()
+        loop.run_until(8.0)
+        assert caller.calls_failed > 0
+        assert caller.metrics.counter("failure_invite_404").value > 0
+
+    def test_calls_succeed_while_registered(self):
+        loop, proxy, uas, client, location = make_env(
+            refresh_interval=1.0, expires=3.0
+        )
+        client.start()
+        loop.run_until(0.5)
+        # Re-point the binding at the actual answering server so calls
+        # complete end-to-end.
+        location.register(AOR, "uas1")
+        rng = RngStream(9, "caller")
+        caller = CallGenerator(
+            "uac1", loop, proxy.network,
+            CallGeneratorConfig(rate=50, first_hop="P1", destinations=[AOR]),
+            timers=TIMERS, rng=rng,
+        )
+        caller.start()
+        loop.run_until(2.0)
+        caller.stop()
+        loop.run_until(3.0)
+        assert caller.calls_completed == caller.calls_attempted

@@ -1,0 +1,172 @@
+"""UAC <-> UAS integration without a proxy (direct first hop).
+
+The call generator's first hop can be any node; pointing it straight at
+the answering server exercises the whole client/server call state
+machinery in isolation from proxy logic.
+"""
+
+import pytest
+
+from repro.servers.uac import CallGenerator, CallGeneratorConfig
+from repro.servers.uas import AnsweringServer
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.timers import TimerPolicy
+
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+def make_pair(rate=50.0, hold_time=0.0, arrival="uniform", loss=None):
+    loop = EventLoop()
+    rng = RngStream(5, "uac-uas")
+    network = Network(loop, rng.spawn("net"))
+    uas = AnsweringServer("uas1", loop, network, timers=TIMERS, rng=rng)
+    config = CallGeneratorConfig(
+        rate=rate,
+        first_hop="uas1",
+        destinations=["sip:bob@edge.example.net"],
+        arrival=arrival,
+        hold_time=hold_time,
+    )
+    uac = CallGenerator("uac1", loop, network, config, timers=TIMERS, rng=rng)
+    if loss:
+        network.set_link("uac1", "uas1", loss=loss)
+    return loop, uac, uas
+
+
+class TestHappyPath:
+    def test_calls_complete(self):
+        loop, uac, uas = make_pair()
+        uac.start()
+        loop.run_until(2.0)
+        uac.stop()
+        loop.run_until(3.0)
+        assert uac.calls_attempted == pytest.approx(100, abs=2)
+        assert uac.calls_completed == uac.calls_attempted
+        assert uac.calls_failed == 0
+        assert uas.calls_received == uac.calls_attempted
+        assert uas.calls_completed == uac.calls_attempted
+
+    def test_response_times_near_rtt(self):
+        loop, uac, uas = make_pair()
+        uac.start()
+        loop.run_until(2.0)
+        stats = uac.metrics.histogram("invite_response_time")
+        # Two network traversals at 0.25 ms each (the 180 then 200 both
+        # arrive; response time is INVITE->200).
+        assert stats.mean == pytest.approx(0.0005, rel=0.2)
+
+    def test_no_100_without_stateful_proxy(self):
+        loop, uac, uas = make_pair()
+        uac.start()
+        loop.run_until(1.0)
+        assert uac.calls_with_100 == 0
+
+    def test_hold_time_delays_bye(self):
+        loop, uac, uas = make_pair(rate=10, hold_time=0.5)
+        uac.start()
+        loop.run_until(0.3)
+        uac.stop()
+        assert uas.calls_received >= 1
+        assert uas.calls_completed == 0  # still holding
+        loop.run_until(2.0)
+        assert uas.calls_completed == uas.calls_received
+
+    def test_uniform_vs_poisson_counts(self):
+        loop, uac, _ = make_pair(rate=100, arrival="uniform")
+        uac.start()
+        loop.run_until(1.0)
+        uniform_count = uac.calls_attempted
+        loop2, uac2, _ = make_pair(rate=100, arrival="poisson")
+        uac2.start()
+        loop2.run_until(1.0)
+        assert uniform_count == pytest.approx(100, abs=1)
+        assert uac2.calls_attempted == pytest.approx(100, rel=0.35)
+
+    def test_max_calls_stops_generation(self):
+        loop, uac, uas = make_pair(rate=1000)
+        uac.config.max_calls = 5
+        uac.start()
+        loop.run_until(5.0)
+        assert uac.calls_attempted == 5
+
+    def test_stop_is_idempotent_and_start_too(self):
+        loop, uac, _ = make_pair(rate=10)
+        uac.start()
+        uac.start()
+        loop.run_until(0.5)
+        first = uac.calls_attempted
+        uac.stop()
+        uac.stop()
+        loop.run_until(1.0)
+        assert uac.calls_attempted == first
+
+
+class TestLossRecovery:
+    def test_retransmissions_recover_lost_invites(self):
+        loop, uac, uas = make_pair(rate=40, loss=0.2)
+        uac.start()
+        loop.run_until(3.0)
+        uac.stop()
+        loop.run_until(8.0)
+        # With 20% loss the transaction layer retries; nearly all calls
+        # must still complete.
+        assert uac.calls_attempted > 0
+        completed_ratio = uac.calls_completed / uac.calls_attempted
+        assert completed_ratio > 0.95
+        assert uac.retransmissions() > 0
+
+    def test_lossless_run_has_no_retransmissions(self):
+        loop, uac, _ = make_pair(rate=50)
+        uac.start()
+        loop.run_until(2.0)
+        assert uac.retransmissions() == 0
+
+    def test_ok_retransmitted_until_ack(self):
+        """Losing the ACK path forces the UAS to retransmit its 200."""
+        loop, uac, uas = make_pair(rate=20, loss=0.3)
+        uac.start()
+        loop.run_until(3.0)
+        uac.stop()
+        loop.run_until(8.0)
+        assert uas.metrics.counter("ok_retransmits").value > 0
+        # And the UAC re-ACKs retransmitted 200s.
+        assert (
+            uas.metrics.counter("acks_received").value
+            + uas.metrics.counter("calls_never_acked").value
+            >= uas.calls_received * 0.9
+        )
+
+
+class TestRateChanges:
+    def test_set_rate_takes_effect(self):
+        loop, uac, _ = make_pair(rate=10, arrival="uniform")
+        uac.start()
+        loop.run_until(1.0)
+        uac.set_rate(100)
+        loop.run_until(2.0)
+        # ~10 calls in the first second; the new rate kicks in after the
+        # already-scheduled arrival fires, so ~90 more in the second.
+        assert uac.calls_attempted == pytest.approx(101, abs=6)
+
+    def test_bad_rate_rejected(self):
+        loop, uac, _ = make_pair()
+        with pytest.raises(ValueError):
+            uac.set_rate(0)
+
+
+class TestConfigValidation:
+    def test_bad_configs(self):
+        with pytest.raises(ValueError):
+            CallGeneratorConfig(rate=0, first_hop="x", destinations=["sip:a@b"])
+        with pytest.raises(ValueError):
+            CallGeneratorConfig(rate=1, first_hop="x", destinations=[])
+        with pytest.raises(ValueError):
+            CallGeneratorConfig(
+                rate=1, first_hop="x", destinations=["sip:a@b"], arrival="bursty"
+            )
+        with pytest.raises(ValueError):
+            CallGeneratorConfig(
+                rate=1, first_hop="x", destinations=["sip:a@b"], hold_time=-1
+            )

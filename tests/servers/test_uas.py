@@ -1,0 +1,176 @@
+"""Unit tests for the answering server (UAS)."""
+
+import pytest
+
+from repro.servers.uas import AnsweringServer
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.timers import TimerPolicy
+
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+class Client:
+    """Records responses the UAS sends back."""
+
+    def __init__(self, name, network):
+        self.name = name
+        self.received = []
+        network.register(name, self)
+
+    def receive(self, packet):
+        self.received.append(packet.payload)
+
+    def statuses(self):
+        return [m.status for m in self.received if isinstance(m, SipResponse)]
+
+
+def make_env(ring_delay=0.0):
+    loop = EventLoop()
+    network = Network(loop, RngStream(3, "uas-test").spawn("net"))
+    uas = AnsweringServer("uas", loop, network, timers=TIMERS,
+                          ring_delay=ring_delay, rng=RngStream(3, "uas"))
+    client = Client("cli", network)
+    return loop, network, uas, client
+
+
+def make_invite(call_id="c1", branch="z9hG4bKi1"):
+    invite = SipRequest.build(
+        "INVITE", "sip:bob@x.com", "sip:alice@y.com", "sip:bob@x.com",
+        call_id, 1, "ft",
+    )
+    invite.push_via(Via("cli", branch=branch))
+    return invite
+
+
+def make_ack(call_id="c1", to_tag=None):
+    ack = SipRequest.build(
+        "ACK", "sip:bob@x.com", "sip:alice@y.com", "sip:bob@x.com",
+        call_id, 1, "ft", to_tag=to_tag,
+    )
+    ack.set("CSeq", "1 ACK")
+    ack.push_via(Via("cli", branch="z9hG4bKa1"))
+    return ack
+
+
+def make_bye(call_id="c1"):
+    bye = SipRequest.build(
+        "BYE", "sip:bob@x.com", "sip:alice@y.com", "sip:bob@x.com",
+        call_id, 2, "ft", to_tag="tt",
+    )
+    bye.push_via(Via("cli", branch="z9hG4bKb1"))
+    return bye
+
+
+class TestAnswerFlow:
+    def test_invite_answered_180_then_200(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.01)
+        assert client.statuses() == [180, 200]
+        assert uas.calls_received == 1
+
+    def test_ring_delay_defers_200(self):
+        loop, network, uas, client = make_env(ring_delay=0.5)
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.1)
+        assert client.statuses() == [180]
+        loop.run_until(0.7)
+        assert client.statuses()[-1] == 200
+
+    def test_200_carries_to_tag(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.01)
+        ok = [m for m in client.received if m.status == 200][0]
+        assert ok.to.tag is not None
+
+    def test_bye_completes_call(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.01)
+        network.send("cli", "uas", make_ack())
+        loop.run_until(0.02)
+        network.send("cli", "uas", make_bye())
+        loop.run_until(0.03)
+        assert client.statuses()[-1] == 200
+        assert uas.calls_completed == 1
+
+
+class TestRetransmissionBehaviour:
+    def test_200_retransmitted_until_ack(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.26)  # retransmits at 0.05, 0.15 (cap 0.2)...
+        count_200 = client.statuses().count(200)
+        assert count_200 >= 3
+        network.send("cli", "uas", make_ack())
+        loop.run_until(0.30)
+        settled = client.statuses().count(200)
+        loop.run_until(1.5)
+        assert client.statuses().count(200) == settled
+
+    def test_retransmitted_invite_replays_200(self):
+        loop, network, uas, client = make_env()
+        invite = make_invite()
+        network.send("cli", "uas", invite)
+        loop.run_until(0.01)
+        network.send("cli", "uas", invite.copy())
+        loop.run_until(0.02)
+        assert uas.calls_received == 1  # not double counted
+        assert client.statuses().count(200) >= 2
+
+    def test_gives_up_after_timer_h(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(64 * TIMERS.t1 + 0.5)
+        assert uas.metrics.counter("calls_never_acked").value == 1
+        # Call record cleaned up: a late BYE is treated as a duplicate.
+        network.send("cli", "uas", make_bye())
+        loop.run_until(loop.now + 0.1)
+        assert uas.metrics.counter("bye_duplicates").value == 1
+
+    def test_duplicate_bye_still_answered(self):
+        loop, network, uas, client = make_env()
+        network.send("cli", "uas", make_invite())
+        loop.run_until(0.01)
+        network.send("cli", "uas", make_ack())
+        bye = make_bye()
+        network.send("cli", "uas", bye)
+        network.send("cli", "uas", bye.copy())
+        loop.run_until(0.05)
+        assert uas.calls_completed == 1
+        assert client.statuses().count(200) >= 3  # INVITE 200 + 2 BYE 200s
+
+
+class TestEdgeCases:
+    def test_unknown_method_gets_200(self):
+        loop, network, uas, client = make_env()
+        options = SipRequest.build(
+            "OPTIONS", "sip:bob@x.com", "sip:a@y.com", "sip:bob@x.com",
+            "c9", 1, "ft",
+        )
+        options.push_via(Via("cli", branch="z9hG4bKo"))
+        network.send("cli", "uas", options)
+        loop.run_until(0.01)
+        assert client.statuses() == [200]
+
+    def test_stray_response_counted(self):
+        loop, network, uas, client = make_env()
+        stray = SipResponse(200)
+        stray.add("Via", "SIP/2.0/UDP cli;branch=z9hG4bKx")
+        network.send("cli", "uas", stray)
+        loop.run_until(0.01)
+        assert uas.metrics.counter("stray_responses").value == 1
+
+    def test_unroutable_via_counted(self):
+        loop, network, uas, client = make_env()
+        invite = make_invite()
+        invite.remove("Via")
+        invite.add("Via", "SIP/2.0/UDP ghost-node;branch=z9hG4bKg")
+        network.send("cli", "uas", invite)
+        loop.run_until(0.01)
+        assert uas.metrics.counter("unroutable_responses").value == 1

@@ -1,0 +1,162 @@
+"""Tests for the FIFO CPU model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cpu import CpuModel
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStream
+
+
+def make_cpu(loop, **kwargs):
+    return CpuModel(loop, RngStream(1, "cpu"), **kwargs)
+
+
+class TestScheduling:
+    def test_single_job_completes_after_cost(self, loop):
+        cpu = make_cpu(loop)
+        done = []
+        cpu.submit(0.5, done.append, "a")
+        loop.run()
+        assert done == ["a"]
+        assert loop.now == pytest.approx(0.5)
+
+    def test_fifo_order_and_queueing(self, loop):
+        cpu = make_cpu(loop)
+        done = []
+        cpu.submit(1.0, lambda: done.append(("a", loop.now)))
+        cpu.submit(1.0, lambda: done.append(("b", loop.now)))
+        loop.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_idle_gap_resets_queue(self, loop):
+        cpu = make_cpu(loop)
+        done = []
+        cpu.submit(0.5, lambda: done.append(loop.now))
+        loop.run()
+        loop.schedule_at(10.0, lambda: cpu.submit(0.5, lambda: done.append(loop.now)))
+        loop.run()
+        assert done == [0.5, 10.5]
+
+    def test_zero_cost_job(self, loop):
+        cpu = make_cpu(loop)
+        done = []
+        cpu.submit(0.0, done.append, 1)
+        loop.run()
+        assert done == [1]
+
+    def test_negative_cost_rejected(self, loop):
+        with pytest.raises(ValueError):
+            make_cpu(loop).submit(-0.1, lambda: None)
+
+    def test_pending_and_completed_counters(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(1.0, lambda: None)
+        cpu.submit(1.0, lambda: None)
+        assert cpu.pending_jobs == 2
+        loop.run()
+        assert cpu.pending_jobs == 0
+        assert cpu.jobs_completed == 2
+
+
+class TestQueueDelay:
+    def test_queue_delay_tracks_backlog(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(1.0, lambda: None)
+        cpu.submit(1.0, lambda: None)
+        assert cpu.queue_delay() == pytest.approx(2.0)
+
+    def test_queue_delay_zero_when_idle(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(0.5, lambda: None)
+        loop.run()
+        assert cpu.queue_delay() == 0.0
+
+
+class TestAdmission:
+    def test_rejects_beyond_max_delay(self, loop):
+        cpu = make_cpu(loop, max_queue_delay=1.0)
+        assert cpu.submit(0.6, lambda: None) is not None  # backlog 0.6s
+        assert cpu.submit(0.6, lambda: None) is not None  # backlog 1.2s
+        # Backlog now exceeds 1.0s: the next submit is rejected.
+        assert cpu.submit(0.6, lambda: None) is None
+        assert cpu.jobs_rejected == 1
+
+    def test_no_admission_when_disabled(self, loop):
+        cpu = make_cpu(loop, max_queue_delay=0.0)
+        for _ in range(100):
+            assert cpu.submit(1.0, lambda: None) is not None
+
+
+class TestUtilization:
+    def test_fully_busy_window(self, loop):
+        cpu = make_cpu(loop)
+        loop.schedule_at(0.0, cpu.submit, 1.0, lambda: None)
+        loop.run()
+        assert cpu.tick(1.0) == pytest.approx(1.0)
+
+    def test_half_busy_window(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(1.0, lambda: None)
+        loop.run()
+        loop.run_until(2.0)
+        assert cpu.tick(2.0) == pytest.approx(0.5)
+
+    def test_double_tick_same_instant_tolerated(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(0.5, lambda: None)
+        loop.run()
+        first = cpu.tick(1.0)
+        assert cpu.tick(1.0) == first
+
+    def test_utilization_series_recorded(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(0.25, lambda: None)
+        loop.run()
+        cpu.tick(1.0)
+        cpu.tick(2.0)
+        assert len(cpu.utilization_series) == 2
+        assert cpu.utilization_series.values[0] == pytest.approx(0.25)
+        assert cpu.utilization_series.values[1] == pytest.approx(0.0)
+
+
+class TestComponents:
+    def test_component_accounting(self, loop):
+        cpu = make_cpu(loop)
+        cpu.submit(0.3, lambda: None, components={"parsing": 0.1, "state": 0.2})
+        cpu.submit(0.1, lambda: None, components={"parsing": 0.1})
+        loop.run()
+        assert cpu.component_seconds["parsing"] == pytest.approx(0.2)
+        assert cpu.component_seconds["state"] == pytest.approx(0.2)
+
+
+class TestNoise:
+    def test_sigma_zero_is_deterministic(self, loop):
+        cpu = CpuModel(loop, rng=None, noise_sigma=0.0)
+        cpu.submit(1.0, lambda: None)
+        loop.run()
+        assert loop.now == pytest.approx(1.0)
+
+    def test_sigma_requires_rng(self, loop):
+        with pytest.raises(ValueError):
+            CpuModel(loop, rng=None, noise_sigma=0.5)
+
+    def test_noise_preserves_mean_cost(self):
+        loop = EventLoop()
+        cpu = CpuModel(loop, RngStream(11, "noise"), noise_sigma=0.5)
+        for _ in range(4000):
+            cpu.submit(0.001, lambda: None)
+        loop.run()
+        assert cpu.busy_seconds == pytest.approx(4.0, rel=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(sigma=st.floats(min_value=0.05, max_value=1.0))
+    def test_noisy_jobs_always_positive(self, sigma):
+        loop = EventLoop()
+        cpu = CpuModel(loop, RngStream(12, "p"), noise_sigma=sigma)
+        times = []
+        for _ in range(50):
+            cpu.submit(0.01, lambda: times.append(loop.now))
+        loop.run()
+        assert loop.now > 0
+        assert cpu.busy_seconds > 0

@@ -1,0 +1,129 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, loop):
+        fired = []
+        loop.schedule(2.0, fired.append, "late")
+        loop.schedule(1.0, fired.append, "early")
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_fifo_for_equal_times(self, loop):
+        fired = []
+        for index in range(5):
+            loop.schedule(1.0, fired.append, index)
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self, loop):
+        loop.schedule(3.5, lambda: None)
+        loop.run()
+        assert loop.now == 3.5
+
+    def test_schedule_at_absolute(self, loop):
+        loop.schedule(1.0, lambda: None)
+        loop.schedule_at(0.5, lambda: None)
+        assert loop.run() == 2
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(ValueError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_past_schedule_rejected(self, loop):
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run(self, loop):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, loop):
+        fired = []
+        handle = loop.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, loop):
+        handle = loop.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert loop.run() == 0
+
+    def test_cancel_releases_references(self, loop):
+        big = object()
+        handle = loop.schedule(1.0, lambda x: None, big)
+        handle.cancel()
+        assert handle.args == ()
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self, loop):
+        fired = []
+        loop.schedule(1.0, fired.append, 1)
+        loop.schedule(2.0, fired.append, 2)
+        loop.run_until(1.5)
+        assert fired == [1]
+        assert loop.now == 1.5
+
+    def test_advances_clock_even_when_idle(self, loop):
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_boundary_event_included(self, loop):
+        fired = []
+        loop.schedule(1.0, fired.append, 1)
+        loop.run_until(1.0)
+        assert fired == [1]
+
+    def test_remaining_events_survive(self, loop):
+        fired = []
+        loop.schedule(2.0, fired.append, 2)
+        loop.run_until(1.0)
+        loop.run()
+        assert fired == [2]
+
+
+class TestRunLimits:
+    def test_max_events(self, loop):
+        for _ in range(10):
+            loop.schedule(1.0, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending == 6
+
+    def test_events_processed_counter(self, loop):
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        loop.run()
+        assert loop.events_processed == 2
+
+
+class TestOrderingProperty:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+    def test_fire_times_nondecreasing(self, delays):
+        loop = EventLoop()
+        observed = []
+        for delay in delays:
+            loop.schedule(delay, lambda: observed.append(loop.now))
+        loop.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)

@@ -1,0 +1,168 @@
+"""Tests for counters, histograms, time series and rate meters."""
+
+import pytest
+
+from repro.sim.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RateMeter,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_windowed_rate(self):
+        counter = Counter()
+        counter.increment(10)
+        counter.mark(1.0)
+        counter.increment(30)
+        counter.mark(2.0)
+        assert counter.rate_between(1.0, 2.0) == pytest.approx(30.0)
+
+    def test_rate_before_first_mark_counts_from_zero(self):
+        counter = Counter()
+        counter.increment(10)
+        counter.mark(1.0)
+        assert counter.rate_between(0.0, 1.0) == pytest.approx(10.0)
+
+    def test_rate_requires_ordered_times(self):
+        counter = Counter()
+        counter.mark(1.0)
+        with pytest.raises(ValueError):
+            counter.rate_between(2.0, 1.0)
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.count == 3
+
+    def test_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(0) == 1.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.stddev() == 0.0
+
+    def test_stddev(self):
+        hist = Histogram()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            hist.observe(value)
+        assert hist.stddev() == pytest.approx(2.138, abs=1e-3)
+
+    def test_insertion_order_preserved(self):
+        hist = Histogram()
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        _ = hist.percentile(50)  # triggers sort of the *cache*
+        assert hist.samples == [5.0, 1.0, 3.0]
+
+    def test_stats_since_window(self):
+        hist = Histogram()
+        for value in (100.0, 100.0, 1.0, 2.0, 3.0):
+            hist.observe(value)
+        stats = hist.stats_since(2)
+        assert stats["count"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["max"] == 3.0
+
+    def test_stats_since_empty_window(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        assert hist.stats_since(5)["count"] == 0
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        series = TimeSeries()
+        series.append(1.0, 0.5)
+        series.append(2.0, 0.7)
+        assert series.last() == (2.0, 0.7)
+        assert len(series) == 2
+
+    def test_rejects_time_regression(self):
+        series = TimeSeries()
+        series.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 1.0)
+
+    def test_mean_over_window(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.append(float(t), float(t))
+        assert series.mean_over(2.0, 4.0) == pytest.approx(3.0)
+
+    def test_mean_over_empty_window(self):
+        series = TimeSeries()
+        series.append(1.0, 5.0)
+        assert series.mean_over(2.0, 3.0) == 0.0
+
+    def test_max_value(self):
+        series = TimeSeries()
+        assert series.max_value() == 0.0
+        series.append(0.0, 3.0)
+        series.append(1.0, 7.0)
+        assert series.max_value() == 7.0
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+
+class TestRateMeter:
+    def test_tumbling_windows(self):
+        meter = RateMeter(window=2.0)
+        meter.record(10)
+        assert meter.tick(2.0) == pytest.approx(5.0)
+        meter.record(4)
+        assert meter.tick(4.0) == pytest.approx(2.0)
+        assert meter.series.values == [5.0, 2.0]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            RateMeter(window=0.0)
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry("node")
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.series("s") is registry.series("s")
+
+    def test_counters_snapshot(self):
+        registry = MetricsRegistry("node")
+        registry.counter("b").increment(2)
+        registry.counter("a").increment(1)
+        assert registry.counters() == {"a": 1, "b": 2}
+
+    def test_get_counter_missing(self):
+        assert MetricsRegistry().get_counter("nope") is None

@@ -1,0 +1,121 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.sim.network import DEFAULT_ONE_WAY_LATENCY, Link, Network
+
+
+class Sink:
+    """Minimal receiving node."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, loop, network):
+        node = Sink()
+        network.register("a", node)
+        assert network.node("a") is node
+        assert network.has_node("a")
+        assert not network.has_node("b")
+
+    def test_duplicate_name_rejected(self, network):
+        network.register("a", Sink())
+        with pytest.raises(ValueError):
+            network.register("a", Sink())
+
+    def test_node_without_receive_rejected(self, network):
+        with pytest.raises(TypeError):
+            network.register("bad", object())
+
+    def test_unknown_destination_raises(self, network):
+        network.register("a", Sink())
+        with pytest.raises(KeyError):
+            network.send("a", "nowhere", "payload")
+
+
+class TestDelivery:
+    def test_default_latency(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.send("src", "dst", "hello")
+        loop.run()
+        assert len(sink.received) == 1
+        assert loop.now == pytest.approx(DEFAULT_ONE_WAY_LATENCY)
+        packet = sink.received[0]
+        assert packet.src == "src"
+        assert packet.payload == "hello"
+
+    def test_custom_link_latency(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.set_link("src", "dst", latency=0.01)
+        network.send("src", "dst", "x")
+        loop.run()
+        assert loop.now == pytest.approx(0.01)
+
+    def test_symmetric_link(self, loop, network):
+        a, b = Sink(), Sink()
+        network.register("a", a)
+        network.register("b", b)
+        network.set_link("a", "b", latency=0.02)
+        assert network.link_for("b", "a").latency == 0.02
+
+    def test_asymmetric_link(self, network):
+        network.register("a", Sink())
+        network.register("b", Sink())
+        network.set_link("a", "b", latency=0.02, symmetric=False)
+        assert network.link_for("b", "a").latency == DEFAULT_ONE_WAY_LATENCY
+
+    def test_jitter_within_bounds(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.set_link("src", "dst", latency=0.01, jitter=0.005)
+        times = []
+        for _ in range(50):
+            network.send("src", "dst", "x")
+        loop.run()
+        assert loop.now <= 0.015 + 1e-9
+
+
+class TestLoss:
+    def test_total_loss_drops_everything(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.set_link("src", "dst", loss=0.999999999)
+        for _ in range(20):
+            network.send("src", "dst", "x")
+        loop.run()
+        assert sink.received == []
+        assert network.packets_dropped == 20
+
+    def test_partial_loss_statistics(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.set_link("src", "dst", loss=0.3)
+        for _ in range(2000):
+            network.send("src", "dst", "x")
+        loop.run()
+        ratio = len(sink.received) / 2000
+        assert 0.64 < ratio < 0.76
+
+    def test_send_returns_none_on_loss(self, loop, network):
+        network.register("dst", Sink())
+        network.set_link("src", "dst", loss=0.999999999)
+        assert network.send("src", "dst", "x") is None
+
+
+class TestLinkValidation:
+    def test_bad_loss(self):
+        with pytest.raises(ValueError):
+            Link(loss=1.0)
+        with pytest.raises(ValueError):
+            Link(loss=-0.1)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            Link(latency=-1)

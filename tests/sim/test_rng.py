@@ -1,0 +1,94 @@
+"""Tests for reproducible named random streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngStream(1, "x")
+        b = RngStream(1, "x")
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        a = RngStream(1, "a")
+        b = RngStream(1, "b")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_spawn_stable(self):
+        parent = RngStream(9, "root")
+        child1 = parent.spawn("arrivals")
+        child2 = RngStream(9, "root").spawn("arrivals")
+        assert child1.uniform() == child2.uniform()
+
+    def test_spawn_independent_of_sibling_order(self):
+        parent = RngStream(9, "root")
+        first = parent.spawn("a").uniform()
+        parent2 = RngStream(9, "root")
+        parent2.spawn("zzz")  # creating another child must not shift "a"
+        assert parent2.spawn("a").uniform() == first
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = RngStream(3, "exp")
+        samples = [rng.exponential(2.0) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert 1.9 < mean < 2.1
+
+    def test_exponential_positive(self):
+        rng = RngStream(3, "exp2")
+        assert all(rng.exponential(0.5) > 0 for _ in range(100))
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            RngStream().exponential(0.0)
+
+    def test_lognormal_unit_mean(self):
+        rng = RngStream(4, "ln")
+        samples = [rng.lognormal_unit_mean(0.5) for _ in range(30000)]
+        mean = sum(samples) / len(samples)
+        assert 0.97 < mean < 1.03
+
+    def test_lognormal_sigma_zero_is_one(self):
+        assert RngStream().lognormal_unit_mean(0.0) == 1.0
+
+    def test_lognormal_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            RngStream().lognormal_unit_mean(-1.0)
+
+    def test_bernoulli_bounds(self):
+        rng = RngStream(5, "b")
+        assert not rng.bernoulli(0.0)
+        assert rng.bernoulli(1.0)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+
+    def test_bernoulli_frequency(self):
+        rng = RngStream(5, "bf")
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+    def test_choice_and_shuffle(self):
+        rng = RngStream(6, "c")
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_token_format(self):
+        token = RngStream(7, "t").token(8)
+        assert len(token) == 16
+        int(token, 16)  # must be valid hex
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31), name=st.text(max_size=20))
+    def test_spawn_never_collides_with_parent(self, seed, name):
+        parent = RngStream(seed, "p")
+        child = parent.spawn(name or "empty")
+        assert [parent.uniform() for _ in range(3)] != [
+            child.uniform() for _ in range(3)
+        ]

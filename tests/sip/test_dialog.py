@@ -1,0 +1,139 @@
+"""Tests for dialog identification and state."""
+
+import pytest
+
+from repro.sip.dialog import (
+    Dialog,
+    DialogId,
+    DialogState,
+    DialogStore,
+    classify_for_dialog,
+)
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+
+
+def make_request(method="INVITE", from_tag="ft", to_tag=None):
+    request = SipRequest.build(
+        method,
+        uri="sip:u@example.com",
+        from_addr="sip:caller@example.com",
+        to_addr="sip:u@example.com",
+        call_id="dlg-1",
+        cseq=1,
+        from_tag=from_tag,
+        to_tag=to_tag,
+    )
+    request.push_via(Via("uac", branch="z9hG4bKd"))
+    return request
+
+
+class TestDialogId:
+    def test_mirrored_ids_equal(self):
+        caller = DialogId("c1", "ft", "tt")
+        callee = DialogId("c1", "tt", "ft")
+        assert caller == callee
+        assert hash(caller) == hash(callee)
+
+    def test_different_call_ids_differ(self):
+        assert DialogId("c1", "a", "b") != DialogId("c2", "a", "b")
+
+    def test_from_message_orientations(self):
+        request = make_request(to_tag="tt")
+        local = DialogId.from_message(request, local_is_from=True)
+        remote = DialogId.from_message(request, local_is_from=False)
+        assert local.local_tag == "ft" and local.remote_tag == "tt"
+        assert remote.local_tag == "tt" and remote.remote_tag == "ft"
+        assert local == remote  # normalized
+
+    def test_none_tags_handled(self):
+        assert DialogId("c", None, "x") == DialogId("c", "x", None)
+
+
+class TestDialogLifecycle:
+    def test_initial_state_early(self):
+        dialog = Dialog(DialogId("c", "a", "b"), created_at=1.0)
+        assert dialog.state == DialogState.EARLY
+        assert dialog.is_active
+
+    def test_confirm_then_terminate(self):
+        dialog = Dialog(DialogId("c", "a", "b"))
+        dialog.on_confirmed(2.0)
+        assert dialog.state == DialogState.CONFIRMED
+        dialog.on_terminated(5.0)
+        assert dialog.state == DialogState.TERMINATED
+        assert not dialog.is_active
+        assert dialog.duration() == pytest.approx(3.0)
+
+    def test_confirm_after_terminate_rejected(self):
+        dialog = Dialog(DialogId("c", "a", "b"))
+        dialog.on_terminated(1.0)
+        with pytest.raises(ValueError):
+            dialog.on_confirmed(2.0)
+
+    def test_duration_none_until_complete(self):
+        dialog = Dialog(DialogId("c", "a", "b"))
+        assert dialog.duration() is None
+
+
+class TestDialogStore:
+    def test_create_and_find(self):
+        store = DialogStore()
+        did = DialogId("c1", "a", "b")
+        dialog = store.create(did, now=1.0)
+        assert store.find(did) is dialog
+        assert store.find(DialogId("c1", "b", "a")) is dialog  # mirrored
+        assert store.active_count == 1
+
+    def test_duplicate_create_rejected(self):
+        store = DialogStore()
+        store.create(DialogId("c1", "a", "b"), 0.0)
+        with pytest.raises(ValueError):
+            store.create(DialogId("c1", "b", "a"), 0.0)
+
+    def test_find_by_call_id(self):
+        store = DialogStore()
+        dialog = store.create(DialogId("c1", "a", "b"), 0.0)
+        assert store.find_by_call_id("c1") is dialog
+        assert store.find_by_call_id("nope") is None
+
+    def test_find_for_message(self):
+        store = DialogStore()
+        request = make_request(to_tag="tt")
+        did = DialogId.from_message(request, local_is_from=True)
+        dialog = store.create(did, 0.0)
+        assert store.find_for_message(request) is dialog
+
+    def test_remove(self):
+        store = DialogStore()
+        dialog = store.create(DialogId("c1", "a", "b"), 0.0)
+        store.remove(dialog)
+        assert store.active_count == 0
+        assert store.terminated_total == 1
+        assert store.find_by_call_id("c1") is None
+
+    def test_counters(self):
+        store = DialogStore()
+        for index in range(3):
+            store.create(DialogId(f"c{index}", "a", "b"), 0.0)
+        assert store.created_total == 3
+        assert len(store) == 3
+
+
+class TestClassification:
+    def test_dialog_creating_invite(self):
+        assert classify_for_dialog(make_request()) == "creates"
+
+    def test_in_dialog_request(self):
+        assert classify_for_dialog(make_request("BYE", to_tag="tt")) == "in-dialog"
+
+    def test_other_request(self):
+        assert classify_for_dialog(make_request("REGISTER")) == "other"
+
+    def test_response_with_tag_in_dialog(self):
+        response = SipResponse.for_request(make_request(), 200, to_tag="t")
+        assert classify_for_dialog(response) == "in-dialog"
+
+    def test_response_without_tag_other(self):
+        response = SipResponse.for_request(make_request(), 100)
+        assert classify_for_dialog(response) == "other"

@@ -1,0 +1,94 @@
+"""Tests for RFC 2617 digest authentication."""
+
+import hashlib
+
+import pytest
+
+from repro.sip.digest import (
+    CredentialStore,
+    compute_digest,
+    make_authorization,
+    make_challenge,
+)
+from repro.sip.headers import parse_auth_params
+
+
+class TestComputeDigest:
+    def test_known_vector(self):
+        """Hand-computed MD5 digest for fixed inputs."""
+        ha1 = hashlib.md5(b"alice:realm:secret").hexdigest()
+        ha2 = hashlib.md5(b"INVITE:sip:bob@b.com").hexdigest()
+        expected = hashlib.md5(f"{ha1}:n1:{ha2}".encode()).hexdigest()
+        assert compute_digest("alice", "realm", "secret", "INVITE",
+                              "sip:bob@b.com", "n1") == expected
+
+    def test_differs_by_every_input(self):
+        base = compute_digest("u", "r", "p", "INVITE", "sip:x", "n")
+        assert compute_digest("v", "r", "p", "INVITE", "sip:x", "n") != base
+        assert compute_digest("u", "r", "q", "INVITE", "sip:x", "n") != base
+        assert compute_digest("u", "r", "p", "BYE", "sip:x", "n") != base
+        assert compute_digest("u", "r", "p", "INVITE", "sip:y", "n") != base
+        assert compute_digest("u", "r", "p", "INVITE", "sip:x", "m") != base
+
+
+class TestChallengeAndAuthorization:
+    def test_challenge_format(self):
+        scheme, params = parse_auth_params(make_challenge("realm.example", "n42"))
+        assert scheme == "Digest"
+        assert params == {"realm": "realm.example", "nonce": "n42"}
+
+    def test_authorization_round_trips_through_store(self):
+        store = CredentialStore("realm.example")
+        store.add_user("alice", "secret")
+        header = make_authorization(
+            "alice", "realm.example", "secret", "INVITE", "sip:bob@b.com", "n1"
+        )
+        assert store.verify(header, "INVITE")
+        assert store.checks == 1
+        assert store.failures == 0
+
+
+class TestCredentialStore:
+    def make_header(self, password="secret", username="alice", method="INVITE"):
+        return make_authorization(
+            username, "r", password, method, "sip:u@h", "n1"
+        )
+
+    def test_wrong_password_fails(self):
+        store = CredentialStore("r")
+        store.add_user("alice", "secret")
+        assert not store.verify(self.make_header(password="wrong"), "INVITE")
+        assert store.failures == 1
+
+    def test_unknown_user_fails(self):
+        store = CredentialStore("r")
+        assert not store.verify(self.make_header(), "INVITE")
+
+    def test_wrong_method_fails(self):
+        store = CredentialStore("r")
+        store.add_user("alice", "secret")
+        header = self.make_header(method="INVITE")
+        assert not store.verify(header, "BYE")
+
+    def test_non_digest_scheme_fails(self):
+        store = CredentialStore("r")
+        assert not store.verify('Basic dXNlcjpwYXNz', "INVITE")
+
+    def test_missing_fields_fail(self):
+        store = CredentialStore("r")
+        assert not store.verify('Digest realm="r"', "INVITE")
+
+    def test_garbage_header_fails(self):
+        store = CredentialStore("r")
+        assert not store.verify("Digest notkeyvalue", "INVITE")
+
+    def test_extract_username(self):
+        store = CredentialStore("r")
+        assert store.extract_username(self.make_header()) == "alice"
+        assert store.extract_username("garbage noequals") is None
+
+    def test_has_user(self):
+        store = CredentialStore("r")
+        store.add_user("a", "p")
+        assert store.has_user("a")
+        assert not store.has_user("b")

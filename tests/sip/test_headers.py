@@ -1,0 +1,172 @@
+"""Tests for structured SIP headers."""
+
+import pytest
+
+from repro.sip.headers import (
+    CSeq,
+    NameAddr,
+    SipHeaderError,
+    Via,
+    canonical_name,
+    format_auth_params,
+    parse_auth_params,
+    parse_comma_separated,
+)
+from repro.sip.uri import parse_uri
+
+
+class TestCanonicalNames:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("v", "Via"),
+            ("F", "From"),
+            ("i", "Call-ID"),
+            ("m", "Contact"),
+            ("l", "Content-Length"),
+            ("VIA", "Via"),
+            ("call-id", "Call-ID"),
+            ("cseq", "CSeq"),
+            ("record-route", "Record-Route"),
+            ("x-servartuka-state", "X-Servartuka-State"),
+            ("X-Custom-Thing", "X-Custom-Thing"),
+        ],
+    )
+    def test_canonicalization(self, raw, expected):
+        assert canonical_name(raw) == expected
+
+
+class TestVia:
+    def test_parse_basic(self):
+        via = Via.parse("SIP/2.0/UDP proxy.example.com;branch=z9hG4bK776")
+        assert via.transport == "UDP"
+        assert via.host == "proxy.example.com"
+        assert via.port is None
+        assert via.branch == "z9hG4bK776"
+
+    def test_parse_with_port(self):
+        via = Via.parse("SIP/2.0/TCP 10.0.0.1:5061;branch=z9hG4bKx")
+        assert via.port == 5061
+        assert via.transport == "TCP"
+
+    def test_parse_extra_params(self):
+        via = Via.parse("SIP/2.0/UDP h;branch=z9hG4bKa;received=1.2.3.4")
+        assert via.params["received"] == "1.2.3.4"
+
+    def test_round_trip(self):
+        text = "SIP/2.0/UDP proxy:5060;branch=z9hG4bK99;rport"
+        assert str(Via.parse(text)) == text
+
+    def test_sent_by(self):
+        assert Via("h", 5060).sent_by == "h:5060"
+        assert Via("h").sent_by == "h"
+
+    def test_constructor_branch_kwarg(self):
+        via = Via("h", branch="z9hG4bKq")
+        assert via.branch == "z9hG4bKq"
+
+    @pytest.mark.parametrize("bad", ["", "UDP host", "SIP/2.0 host", "SIP/2.0/UDP h:x"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(SipHeaderError):
+            Via.parse(bad)
+
+    def test_equality(self):
+        a = Via.parse("SIP/2.0/UDP h;branch=z9hG4bK1")
+        b = Via.parse("SIP/2.0/UDP h;branch=z9hG4bK1")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestNameAddr:
+    def test_parse_bare_uri(self):
+        na = NameAddr.parse("sip:a@b.com")
+        assert na.uri == parse_uri("sip:a@b.com")
+        assert na.display is None
+
+    def test_parse_angle_with_tag(self):
+        na = NameAddr.parse("<sip:a@b.com>;tag=88a7s")
+        assert na.tag == "88a7s"
+
+    def test_parse_display_name(self):
+        na = NameAddr.parse('"Hal 9000" <sip:hal@us.ibm.com>;tag=x')
+        assert na.display == "Hal 9000"
+        assert na.uri.user == "hal"
+
+    def test_unquoted_display(self):
+        na = NameAddr.parse("Hal <sip:hal@b.com>")
+        assert na.display == "Hal"
+
+    def test_addr_spec_params_belong_to_header(self):
+        na = NameAddr.parse("sip:a@b.com;tag=1")
+        assert na.tag == "1"
+        assert "tag" not in na.uri.params
+
+    def test_angle_uri_params_stay_in_uri(self):
+        na = NameAddr.parse("<sip:a@b.com;lr>;tag=1")
+        assert "lr" in na.uri.params
+        assert na.tag == "1"
+
+    def test_round_trip(self):
+        text = '"Bob" <sip:bob@biloxi.com>;tag=a6c85cf'
+        assert str(NameAddr.parse(text)) == text
+
+    def test_with_tag_copies(self):
+        base = NameAddr.parse("<sip:a@b.com>")
+        tagged = base.with_tag("t1")
+        assert tagged.tag == "t1"
+        assert base.tag is None
+
+
+class TestCSeq:
+    def test_parse(self):
+        cseq = CSeq.parse("314159 INVITE")
+        assert cseq.number == 314159
+        assert cseq.method == "INVITE"
+
+    def test_round_trip(self):
+        assert str(CSeq.parse("2 BYE")) == "2 BYE"
+
+    def test_next_in_dialog(self):
+        assert CSeq(1, "INVITE").next_in_dialog("BYE") == CSeq(2, "BYE")
+
+    @pytest.mark.parametrize("bad", ["", "INVITE", "1", "x INVITE", "1 2 3"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(SipHeaderError):
+            CSeq.parse(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SipHeaderError):
+            CSeq(-1, "BYE")
+
+
+class TestCommaSplitting:
+    def test_simple(self):
+        assert parse_comma_separated("a, b,c") == ["a", "b", "c"]
+
+    def test_respects_angle_brackets(self):
+        value = "<sip:a@b.com;lr>, <sip:c@d.com>"
+        assert parse_comma_separated(value) == ["<sip:a@b.com;lr>", "<sip:c@d.com>"]
+
+    def test_respects_quotes(self):
+        value = '"Smith, John" <sip:j@x.com>, <sip:k@y.com>'
+        assert parse_comma_separated(value) == [
+            '"Smith, John" <sip:j@x.com>', "<sip:k@y.com>",
+        ]
+
+    def test_empty(self):
+        assert parse_comma_separated("") == []
+
+
+class TestAuthParams:
+    def test_round_trip(self):
+        value = format_auth_params("Digest", {"realm": "r", "nonce": "n1"})
+        scheme, params = parse_auth_params(value)
+        assert scheme == "Digest"
+        assert params == {"realm": "r", "nonce": "n1"}
+
+    def test_parse_unquoted_values(self):
+        scheme, params = parse_auth_params("Digest realm=r, qop=auth")
+        assert params["qop"] == "auth"
+
+    def test_bad_item_raises(self):
+        with pytest.raises(SipHeaderError):
+            parse_auth_params("Digest realmonly")

@@ -1,0 +1,116 @@
+"""Tests for the SDP subset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sip.sdp import DEFAULT_CODECS, SdpError, SessionDescription
+
+
+class TestConstruction:
+    def test_offer_defaults(self):
+        offer = SessionDescription.offer("10.0.0.5")
+        assert offer.address == "10.0.0.5"
+        assert offer.codecs == DEFAULT_CODECS
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(SdpError):
+            SessionDescription(port=0)
+        with pytest.raises(SdpError):
+            SessionDescription(port=70000)
+
+    def test_answer_picks_first_codec(self):
+        offer = SessionDescription.offer("caller", codecs={8: "PCMA/8000",
+                                                           0: "PCMU/8000"})
+        answer = offer.answer("callee")
+        assert list(answer.codecs) == [0]
+        assert answer.address == "callee"
+        assert answer.session_id == offer.session_id + 1
+
+    def test_answer_requires_codecs(self):
+        empty = SessionDescription(codecs={})
+        with pytest.raises(SdpError):
+            empty.answer("callee")
+
+
+class TestWireFormat:
+    def test_body_shape(self):
+        body = SessionDescription.offer("h.example.com").to_body()
+        lines = body.strip().split("\r\n")
+        assert lines[0] == "v=0"
+        assert lines[1].startswith("o=h.example.com ")
+        assert any(line.startswith("m=audio ") for line in lines)
+        assert any(line.startswith("a=rtpmap:0 PCMU/8000") for line in lines)
+
+    def test_round_trip(self):
+        original = SessionDescription.offer("host.example", port=50000)
+        reparsed = SessionDescription.parse(original.to_body())
+        assert reparsed == original
+        assert reparsed.port == 50000
+        assert reparsed.codecs == original.codecs
+
+    def test_parse_lf_only_bodies(self):
+        body = SessionDescription.offer("h").to_body().replace("\r\n", "\n")
+        assert SessionDescription.parse(body).address == "h"
+
+    def test_connection_line_overrides_origin(self):
+        body = (
+            "v=0\r\no=u 1 1 IN IP4 1.1.1.1\r\ns=x\r\n"
+            "c=IN IP4 2.2.2.2\r\nt=0 0\r\nm=audio 4000 RTP/AVP 0\r\n"
+        )
+        assert SessionDescription.parse(body).address == "2.2.2.2"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "",
+            "v=0",                                     # missing o/m
+            "v=1\r\no=u 1 1 IN IP4 h\r\nm=audio 1 RTP/AVP 0",  # bad version
+            "v=0\r\no=broken\r\nm=audio 1 RTP/AVP 0",  # bad origin
+            "v=0\r\no=u 1 1 IN IP4 h\r\nm=video 1 RTP/AVP 0",  # not audio
+            "v=0\r\no=u 1 1 IN IP4 h\r\nm=audio x RTP/AVP 0",  # bad port
+            "v=0\r\nnoequals\r\no=u 1 1 IN IP4 h\r\nm=audio 1 RTP/AVP 0",
+        ],
+    )
+    def test_rejects_garbage(self, body):
+        with pytest.raises(SdpError):
+            SessionDescription.parse(body)
+
+
+class TestNegotiation:
+    def test_common_codecs(self):
+        a = SessionDescription(codecs={0: "PCMU/8000", 8: "PCMA/8000"})
+        b = SessionDescription(codecs={8: "PCMA/8000", 18: "G729/8000"})
+        assert a.common_codecs(b) == [8]
+
+    @given(
+        payload_types=st.lists(
+            st.integers(min_value=0, max_value=127), min_size=1, max_size=8,
+            unique=True,
+        ),
+        port=st.integers(min_value=1024, max_value=65535),
+    )
+    def test_property_round_trip(self, payload_types, port):
+        codecs = {pt: f"CODEC{pt}/8000" for pt in payload_types}
+        original = SessionDescription(address="h.x", port=port, codecs=codecs)
+        reparsed = SessionDescription.parse(original.to_body())
+        assert reparsed == original
+
+
+class TestEndToEndBodies:
+    def test_calls_negotiate_sdp(self, fast_config):
+        """The simulated calls carry offer/answer bodies end to end."""
+        from repro.harness.runner import run_scenario
+        from repro.workloads.scenarios import two_series
+
+        scenario = two_series(1000, policy="static", config=fast_config)
+        trace = scenario.enable_trace()
+        run_scenario(scenario, duration=1.0, warmup=0.2, drain=1.0)
+        call_id = trace.call_ids()[0]
+        flow = trace.call_flow(call_id)
+        invites = [e for e in flow if e.label == "INVITE"]
+        oks = [e for e in flow if e.label == "200 OK"
+               and e.payload.cseq.method == "INVITE"]
+        assert invites and oks
+        offer = SessionDescription.parse(invites[0].payload.body)
+        answer = SessionDescription.parse(oks[0].payload.body)
+        assert offer.common_codecs(answer), "no codec agreement"

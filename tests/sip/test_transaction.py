@@ -1,0 +1,271 @@
+"""Tests for the RFC 3261 transaction state machines.
+
+The machines are driven by the test's own EventLoop; ``send_fn`` records
+wire traffic so retransmission schedules can be asserted precisely.
+"""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.timers import TimerPolicy
+from repro.sip.transaction import (
+    ClientTransaction,
+    ServerTransaction,
+    TransactionState,
+)
+
+TIMERS = TimerPolicy(t1=0.1, t2=0.4, t4=0.5)
+
+
+def make_request(method="INVITE"):
+    request = SipRequest.build(
+        method,
+        uri="sip:u@example.com",
+        from_addr="sip:caller@example.com",
+        to_addr="sip:u@example.com",
+        call_id="c1",
+        cseq=1 if method == "INVITE" else 2,
+        from_tag="ft",
+    )
+    request.push_via(Via("uac", branch="z9hG4bKtest"))
+    return request
+
+
+class Harness:
+    def __init__(self, method="INVITE"):
+        self.loop = EventLoop()
+        self.sent = []
+        self.responses = []
+        self.timed_out = False
+        self.request = make_request(method)
+        self.txn = ClientTransaction(
+            self.request,
+            self.loop,
+            send_fn=self.sent.append,
+            on_response=self.responses.append,
+            on_timeout=self._on_timeout,
+            timers=TIMERS,
+        )
+
+    def _on_timeout(self):
+        self.timed_out = True
+
+    def respond(self, status, **kwargs):
+        self.txn.receive_response(
+            SipResponse.for_request(self.request, status, **kwargs)
+        )
+
+
+class TestInviteClient:
+    def test_start_sends_request(self):
+        h = Harness()
+        h.txn.start()
+        assert len(h.sent) == 1
+        assert h.txn.state == TransactionState.CALLING
+
+    def test_timer_a_doubles(self):
+        h = Harness()
+        h.txn.start()
+        # Retransmits at 0.1, 0.3, 0.7, 1.5 ... (T1 doubling).
+        h.loop.run_until(0.05)
+        assert len(h.sent) == 1
+        h.loop.run_until(0.15)
+        assert len(h.sent) == 2
+        h.loop.run_until(0.35)
+        assert len(h.sent) == 3
+        h.loop.run_until(0.75)
+        assert len(h.sent) == 4
+        assert h.txn.retransmit_count == 3
+
+    def test_provisional_stops_retransmissions(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(180)
+        assert h.txn.state == TransactionState.PROCEEDING
+        h.loop.run_until(5.0)
+        assert len(h.sent) == 1  # no further INVITE retransmits
+        assert not h.timed_out
+
+    def test_2xx_terminates_immediately(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(200, to_tag="t")
+        assert h.txn.state == TransactionState.TERMINATED
+        assert [r.status for r in h.responses] == [200]
+        # No ACK from the transaction layer for 2xx (UAC core's job).
+        assert len(h.sent) == 1
+
+    def test_non_2xx_final_sends_ack(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(486, to_tag="t")
+        assert h.txn.state == TransactionState.COMPLETED
+        acks = [m for m in h.sent if m.method == "ACK"]
+        assert len(acks) == 1
+        assert acks[0].top_via.branch == "z9hG4bKtest"  # same branch
+
+    def test_retransmitted_final_reacked_not_surfaced(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(486, to_tag="t")
+        h.respond(486, to_tag="t")
+        assert len(h.responses) == 1
+        assert len([m for m in h.sent if m.method == "ACK"]) == 2
+
+    def test_timer_b_fires_without_response(self):
+        h = Harness()
+        h.txn.start()
+        h.loop.run_until(64 * TIMERS.t1 + 0.1)
+        assert h.timed_out
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_no_timeout_after_final(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(200)
+        h.loop.run_until(20.0)
+        assert not h.timed_out
+
+    def test_timer_d_terminates_completed(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(486)
+        h.loop.run_until(TIMERS.timer_d + 0.2)
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_responses_after_termination_ignored(self):
+        h = Harness()
+        h.txn.start()
+        h.respond(200)
+        h.respond(200)
+        assert len(h.responses) == 1
+
+
+class TestNonInviteClient:
+    def test_timer_e_caps_at_t2(self):
+        h = Harness("BYE")
+        h.txn.start()
+        # Retransmits at 0.1, 0.3, 0.7 then every 0.4 (T2 cap): at least
+        # five within two seconds -- more than uncapped doubling allows.
+        h.loop.run_until(2.0)
+        assert h.txn.retransmit_count >= 5
+
+    def test_final_completes_then_timer_k(self):
+        h = Harness("BYE")
+        h.txn.start()
+        h.respond(200)
+        assert h.txn.state == TransactionState.COMPLETED
+        h.loop.run_until(TIMERS.timer_k + 0.1)
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_timer_f_times_out(self):
+        h = Harness("BYE")
+        h.txn.start()
+        h.loop.run_until(64 * TIMERS.t1 + 0.1)
+        assert h.timed_out
+
+    def test_no_ack_for_non_invite(self):
+        h = Harness("BYE")
+        h.txn.start()
+        h.respond(481)
+        assert all(m.method == "BYE" for m in h.sent)
+
+
+class ServerHarness:
+    def __init__(self, method="INVITE"):
+        self.loop = EventLoop()
+        self.sent = []
+        self.acks = []
+        self.request = make_request(method)
+        self.txn = ServerTransaction(
+            self.request,
+            self.loop,
+            send_fn=self.sent.append,
+            timers=TIMERS,
+            on_ack=self.acks.append,
+        )
+
+
+class TestInviteServer:
+    def test_initial_state(self):
+        h = ServerHarness()
+        assert h.txn.state == TransactionState.PROCEEDING
+
+    def test_retransmit_absorbed_with_replay(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 100))
+        consumed = h.txn.receive_request(h.request)
+        assert consumed
+        assert h.txn.absorbed_retransmits == 1
+        assert [m.status for m in h.sent] == [100, 100]
+
+    def test_2xx_terminates(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 200, to_tag="t"))
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_non_2xx_retransmits_until_ack(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 486, to_tag="t"))
+        h.loop.run_until(0.35)  # timer G at 0.1, 0.3
+        assert h.txn.response_retransmits == 2
+        ack = make_request("ACK")
+        ack.set("CSeq", "1 ACK")
+        assert h.txn.receive_request(ack)
+        assert h.txn.state == TransactionState.CONFIRMED
+        before = len(h.sent)
+        h.loop.run_until(2.0)
+        assert len(h.sent) == before  # retransmissions stopped
+
+    def test_timer_i_terminates_confirmed(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 486))
+        ack = make_request("ACK")
+        ack.set("CSeq", "1 ACK")
+        h.txn.receive_request(ack)
+        h.loop.run_until(TIMERS.timer_i + 0.5)
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_timer_h_gives_up_without_ack(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 486))
+        h.loop.run_until(64 * TIMERS.t1 + 0.2)
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_ack_callback_invoked(self):
+        h = ServerHarness()
+        h.txn.send_response(SipResponse.for_request(h.request, 486))
+        ack = make_request("ACK")
+        ack.set("CSeq", "1 ACK")
+        h.txn.receive_request(ack)
+        assert len(h.acks) == 1
+
+
+class TestNonInviteServer:
+    def test_initial_trying_absorbs_silently(self):
+        h = ServerHarness("BYE")
+        assert h.txn.state == TransactionState.TRYING
+        assert h.txn.receive_request(h.request)
+        assert h.sent == []  # nothing to replay yet
+
+    def test_final_then_timer_j(self):
+        h = ServerHarness("BYE")
+        h.txn.send_response(SipResponse.for_request(h.request, 200))
+        assert h.txn.state == TransactionState.COMPLETED
+        assert h.txn.receive_request(h.request)  # replayed
+        assert len(h.sent) == 2
+        h.loop.run_until(64 * TIMERS.t1 + 0.2)
+        assert h.txn.state == TransactionState.TERMINATED
+
+    def test_terminated_callback(self):
+        fired = []
+        loop = EventLoop()
+        txn = ServerTransaction(
+            make_request("BYE"), loop, send_fn=lambda m: None,
+            timers=TIMERS, on_terminated=lambda: fired.append(True),
+        )
+        txn.send_response(SipResponse.for_request(txn.request, 200))
+        loop.run_until(64 * TIMERS.t1 + 0.2)
+        assert fired == [True]

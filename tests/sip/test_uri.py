@@ -1,0 +1,135 @@
+"""Tests for SIP URI parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sip.uri import SipUri, SipUriError, parse_uri
+
+
+class TestParsing:
+    def test_minimal(self):
+        uri = parse_uri("sip:example.com")
+        assert uri.scheme == "sip"
+        assert uri.user is None
+        assert uri.host == "example.com"
+        assert uri.port is None
+
+    def test_user_host(self):
+        uri = parse_uri("sip:HAL@us.ibm.com")
+        assert uri.user == "HAL"
+        assert uri.host == "us.ibm.com"
+
+    def test_user_host_port(self):
+        uri = parse_uri("sip:burdell@cc.gatech.edu:5060")
+        assert uri.user == "burdell"
+        assert uri.port == 5060
+
+    def test_params(self):
+        uri = parse_uri("sip:a@b.com;transport=udp;lr")
+        assert uri.params["transport"] == "udp"
+        assert uri.params["lr"] is None
+
+    def test_header_params(self):
+        uri = parse_uri("sip:a@b.com?subject=hi&priority=urgent")
+        assert uri.headers == {"subject": "hi", "priority": "urgent"}
+
+    def test_sips_scheme(self):
+        assert parse_uri("sips:a@b.com").scheme == "sips"
+
+    def test_angle_brackets_stripped(self):
+        assert parse_uri("<sip:a@b.com>").user == "a"
+
+    def test_host_only_port(self):
+        uri = parse_uri("sip:10.0.0.7:5080")
+        assert uri.host == "10.0.0.7"
+        assert uri.port == 5080
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "example.com",
+            "http://example.com",
+            "sip:",
+            "sip:@host.com",
+            "sip:user@",
+            "sip:user@host:notaport",
+        ],
+    )
+    def test_rejects_bad_uris(self, bad):
+        with pytest.raises(SipUriError):
+            parse_uri(bad)
+
+
+class TestFormatting:
+    def test_round_trip_simple(self):
+        text = "sip:burdell@cc.gatech.edu:5060"
+        assert str(parse_uri(text)) == text
+
+    def test_round_trip_params(self):
+        text = "sip:a@b.com;transport=udp;lr"
+        assert str(parse_uri(text)) == text
+
+    def test_round_trip_headers(self):
+        text = "sip:a@b.com?x=1"
+        assert str(parse_uri(text)) == text
+
+    def test_aor_strips_port_and_params(self):
+        uri = parse_uri("sip:a@b.com:5060;transport=tcp")
+        assert uri.aor == "sip:a@b.com"
+
+    def test_address(self):
+        assert parse_uri("sip:a@b.com:5060").address == "a@b.com:5060"
+        assert parse_uri("sip:b.com").address == "b.com"
+
+
+class TestSemantics:
+    def test_equality_ignores_params(self):
+        assert parse_uri("sip:a@b.com;lr") == parse_uri("sip:a@b.com")
+
+    def test_equality_case_insensitive_host(self):
+        assert parse_uri("sip:a@B.COM") == parse_uri("sip:a@b.com")
+
+    def test_inequality_port(self):
+        assert parse_uri("sip:a@b.com:5060") != parse_uri("sip:a@b.com")
+
+    def test_hash_consistent_with_eq(self):
+        a = parse_uri("sip:a@B.com;x=1")
+        b = parse_uri("sip:a@b.com")
+        assert hash(a) == hash(b)
+
+    def test_with_params_copies(self):
+        base = parse_uri("sip:a@b.com")
+        derived = base.with_params(lr=None)
+        assert "lr" in derived.params
+        assert "lr" not in base.params
+
+    def test_constructor_validation(self):
+        with pytest.raises(SipUriError):
+            SipUri("")
+        with pytest.raises(SipUriError):
+            SipUri("h", port=0)
+        with pytest.raises(SipUriError):
+            SipUri("h", scheme="tel")
+
+
+_users = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789.-_"),
+    min_size=1, max_size=12,
+).filter(lambda s: not s.startswith(".") )
+_hosts = st.from_regex(r"[a-z][a-z0-9]{0,8}(\.[a-z][a-z0-9]{0,8}){0,3}", fullmatch=True)
+_ports = st.one_of(st.none(), st.integers(min_value=1, max_value=65535))
+
+
+class TestPropertyRoundTrip:
+    @given(user=_users, host=_hosts, port=_ports)
+    def test_parse_format_parse_fixpoint(self, user, host, port):
+        original = SipUri(host, user, port)
+        reparsed = parse_uri(str(original))
+        assert reparsed == original
+        assert str(reparsed) == str(original)
+
+    @given(host=_hosts, port=_ports)
+    def test_userless_round_trip(self, host, port):
+        original = SipUri(host, None, port)
+        assert parse_uri(str(original)) == original

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, topology_from_json
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures", "fig3"])
+        assert args.ids == ["fig3"]
+        assert args.quality == "quick"
+
+    def test_unknown_quality_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--quality", "turbo"])
+
+
+class TestRun:
+    def test_run_json_output(self, capsys):
+        rc = main([
+            "run", "--topology", "series", "--rate", "4000",
+            "--scale", "50", "--duration", "2", "--warmup", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "2_series"
+        assert payload["offered_cps"] == pytest.approx(4000)
+        assert payload["throughput_cps"] > 2500
+
+    def test_run_table_output(self, capsys):
+        rc = main([
+            "run", "--topology", "single", "--mode", "stateless",
+            "--rate", "3000", "--scale", "50",
+            "--duration", "2", "--warmup", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput_cps" in out
+
+    def test_run_mix_topology(self, capsys):
+        rc = main([
+            "run", "--topology", "mix", "--external-fraction", "0.5",
+            "--rate", "3000", "--scale", "50",
+            "--duration", "2", "--warmup", "1", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["throughput_cps"] > 1500
+
+
+class TestSweep:
+    def test_sweep_prints_saturation(self, capsys):
+        rc = main([
+            "sweep", "--topology", "series", "--policy", "static",
+            "--start", "3000", "--stop", "5000", "--step", "1000",
+            "--scale", "50", "--duration", "1.5", "--warmup", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation" in out
+        assert "offered_cps" in out
+        assert out.count("\n") >= 5  # header + 3 load rows
+
+
+class TestFigures:
+    def test_unknown_figure_id(self, capsys):
+        rc = main(["figures", "fig99"])
+        assert rc == 2
+        assert "unknown figure ids" in capsys.readouterr().err
+
+    def test_lp_figure_runs(self, capsys):
+        rc = main(["figures", "lp"])
+        assert rc == 0
+        assert "11,247" in capsys.readouterr().out.replace("11247", "11,247")
+
+
+class TestLp:
+    def make_spec(self, tmp_path):
+        spec = {
+            "nodes": {"S1": [10360, 12300], "S2": [10360, 12300]},
+            "edges": [["S1", "S2"]],
+            "flows": [{"name": "main", "path": ["S1", "S2"], "share": 1.0}],
+        }
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_lp_fixed_routing(self, tmp_path, capsys):
+        rc = main(["lp", str(self.make_spec(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "admissible load: 11247" in out.replace("11,247", "11247")
+        assert "S1" in out and "S2" in out
+
+    def test_lp_free_routing(self, tmp_path, capsys):
+        rc = main(["lp", str(self.make_spec(tmp_path)), "--free-routing"])
+        assert rc == 0
+
+    def test_topology_from_json_validates(self):
+        with pytest.raises(KeyError):
+            topology_from_json({"edges": []})
+
+
+class TestExperiments:
+    def test_experiments_json_export(self, tmp_path, capsys):
+        out = tmp_path / "res.json"
+        rc = main(["experiments", "lp", "--json", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "lp" in payload["experiments"]
+
+    def test_experiments_markdown_export(self, tmp_path):
+        out = tmp_path / "exp.md"
+        rc = main(["experiments", "lp", "--markdown", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("# Experiments")
+
+    def test_experiments_stdout_default(self, capsys):
+        rc = main(["experiments", "lp"])
+        assert rc == 0
+        assert "Section 4.1" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_prints_ladders(self, capsys):
+        rc = main([
+            "trace", "--topology", "series", "--rate", "100",
+            "--scale", "25", "--calls", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "INVITE" in out
+        assert "---" in out

@@ -1,0 +1,182 @@
+"""Tests for scenario builders (topology shape + short smoke runs)."""
+
+import pytest
+
+from repro.core.servartuka import ServartukaPolicy
+from repro.core.static_policy import StaticPolicy
+from repro.harness.runner import run_scenario
+from repro.servers.proxy import DELIVER_ACTION
+from repro.workloads.scenarios import (
+    SINGLE_PROXY_MODES,
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+    two_series,
+)
+
+
+class TestSingleProxy:
+    @pytest.mark.parametrize("mode", sorted(SINGLE_PROXY_MODES))
+    def test_modes_build(self, mode, fast_config):
+        scenario = single_proxy(100, mode=mode, config=fast_config)
+        assert list(scenario.proxies) == ["P1"]
+        assert len(scenario.generators) == 1
+        assert len(scenario.servers) == 1
+
+    def test_no_lookup_routes_directly(self, fast_config):
+        scenario = single_proxy(100, mode="no_lookup", config=fast_config)
+        assert not scenario.proxies["P1"].route_table.has_deliver()
+
+    def test_lookup_modes_deliver(self, fast_config):
+        scenario = single_proxy(100, mode="stateless", config=fast_config)
+        assert scenario.proxies["P1"].route_table.has_deliver()
+
+    def test_auth_mode_wires_credentials(self, fast_config):
+        scenario = single_proxy(100, mode="authentication", config=fast_config)
+        proxy = scenario.proxies["P1"]
+        assert proxy.config.auth_enabled
+        assert proxy.credentials is not None
+        assert scenario.generators[0].config.wants_auth
+
+    def test_unknown_mode_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            single_proxy(100, mode="warp", config=fast_config)
+
+    def test_auth_calls_complete(self, fast_config):
+        scenario = single_proxy(4000, mode="authentication", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.throughput_cps == pytest.approx(4000, rel=0.2)
+        assert result.failed_calls == 0
+
+
+class TestSeries:
+    def test_chain_routing(self, fast_config):
+        scenario = n_series(3, 100, config=fast_config)
+        assert list(scenario.proxies) == ["P1", "P2", "P3"]
+        assert scenario.proxies["P1"].route_table.action_for("edge.example.net") == "P2"
+        assert scenario.proxies["P2"].route_table.action_for("edge.example.net") == "P3"
+        assert scenario.proxies["P3"].route_table.action_for(
+            "edge.example.net"
+        ) == DELIVER_ACTION
+
+    def test_static_all_stateful(self, fast_config):
+        scenario = n_series(2, 100, policy="static", config=fast_config)
+        for proxy in scenario.proxies.values():
+            assert isinstance(proxy.policy, StaticPolicy)
+            assert "stateful" in proxy.policy.name
+
+    def test_static_one(self, fast_config):
+        scenario = n_series(3, 100, policy="static-one", config=fast_config)
+        names = {
+            name: proxy.policy.name for name, proxy in scenario.proxies.items()
+        }
+        assert names["P3"] == "static:transaction_stateful"
+        assert names["P1"] == names["P2"] == "static:stateless"
+
+    def test_static_one_custom_node(self, fast_config):
+        scenario = n_series(
+            3, 100, policy="static-one", static_stateful="P1", config=fast_config
+        )
+        assert scenario.proxies["P1"].policy.name == "static:transaction_stateful"
+
+    def test_static_one_bad_node(self, fast_config):
+        with pytest.raises(ValueError):
+            n_series(2, 100, policy="static-one", static_stateful="P9",
+                     config=fast_config)
+
+    def test_servartuka_policies(self, fast_config):
+        scenario = two_series(100, policy="servartuka", config=fast_config)
+        for proxy in scenario.proxies.values():
+            assert isinstance(proxy.policy, ServartukaPolicy)
+
+    def test_zero_proxies_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            n_series(0, 100, config=fast_config)
+
+    def test_smoke_run_completes_calls(self, fast_config):
+        scenario = two_series(6000, policy="servartuka", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.throughput_cps == pytest.approx(6000, rel=0.2)
+        assert result.trying_ratio == pytest.approx(1.0, abs=0.05)
+
+
+class TestInternalExternal:
+    def test_two_flows(self, fast_config):
+        scenario = internal_external(100, 0.8, config=fast_config)
+        assert len(scenario.generators) == 2
+        rates = {g.name: g.config.rate for g in scenario.generators}
+        assert rates["uac_ext"] == pytest.approx(rates["uac_int"] * 4, rel=1e-6)
+
+    def test_degenerate_fractions(self, fast_config):
+        only_internal = internal_external(100, 0.0, config=fast_config)
+        assert [g.name for g in only_internal.generators] == ["uac_int"]
+        only_external = internal_external(100, 1.0, config=fast_config)
+        assert [g.name for g in only_external.generators] == ["uac_ext"]
+
+    def test_bad_fraction(self, fast_config):
+        with pytest.raises(ValueError):
+            internal_external(100, -0.1, config=fast_config)
+
+    def test_s1_exits_internal_flow(self, fast_config):
+        scenario = internal_external(100, 0.5, config=fast_config)
+        s1_routes = scenario.proxies["S1"].route_table
+        assert s1_routes.action_for("near.example.net") == DELIVER_ACTION
+        assert s1_routes.action_for("far.example.net") == "S2"
+
+    def test_smoke_run(self, fast_config):
+        scenario = internal_external(6000, 0.5, policy="servartuka",
+                                     config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.throughput_cps == pytest.approx(6000, rel=0.2)
+
+
+class TestParallelFork:
+    def test_static_roles(self, fast_config):
+        scenario = parallel_fork(100, policy="static", config=fast_config)
+        assert scenario.proxies["F"].policy.name == "static:stateless"
+        assert scenario.proxies["U"].policy.name == "static:transaction_stateful"
+        assert scenario.proxies["L"].policy.name == "static:transaction_stateful"
+
+    def test_inverted_static(self, fast_config):
+        scenario = parallel_fork(
+            100, policy="static", static_front_stateful=True, config=fast_config
+        )
+        assert scenario.proxies["F"].policy.name == "static:transaction_stateful"
+
+    def test_share_split(self, fast_config):
+        scenario = parallel_fork(100, upper_share=0.7, config=fast_config)
+        rates = {g.name: g.config.rate for g in scenario.generators}
+        assert rates["uac_u"] == pytest.approx(rates["uac_l"] * 7 / 3, rel=1e-6)
+
+    def test_bad_share(self, fast_config):
+        with pytest.raises(ValueError):
+            parallel_fork(100, upper_share=1.0, config=fast_config)
+
+    def test_smoke_run(self, fast_config):
+        scenario = parallel_fork(8000, policy="servartuka", config=fast_config)
+        result = run_scenario(scenario, duration=2.0, warmup=1.0)
+        assert result.throughput_cps == pytest.approx(8000, rel=0.2)
+
+
+class TestScenarioPlumbing:
+    def test_offered_paper_cps_round_trips_scale(self, fast_config):
+        scenario = two_series(500, config=fast_config)
+        assert scenario.offered_paper_cps == pytest.approx(500)
+
+    def test_set_total_rate_preserves_shares(self, fast_config):
+        scenario = internal_external(100, 0.8, config=fast_config)
+        scenario.set_total_rate(200)
+        rates = {g.name: g.config.rate for g in scenario.generators}
+        assert rates["uac_ext"] == pytest.approx(rates["uac_int"] * 4, rel=1e-6)
+        assert scenario.offered_paper_cps == pytest.approx(200)
+
+    def test_make_policy_specs(self, fast_config):
+        assert isinstance(fast_config.make_policy("servartuka"), ServartukaPolicy)
+        with pytest.raises(ValueError):
+            fast_config.make_policy("chaotic")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(scale=0)
