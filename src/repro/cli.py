@@ -3,7 +3,8 @@
 Commands:
 
 - ``figures [ids...]`` -- regenerate paper tables/figures
-  (``fig3 fig4 lp fig5 fig6 fig7 fig8 three-series`` or ``all``),
+  (``fig3 fig4 lp fig5 fig6 fig7 fig8 three-series resilience``
+  or ``all``),
 - ``sweep`` -- throughput sweep of one topology/policy,
 - ``run`` -- a single load point with full measurement detail,
 - ``lp`` -- solve the state-distribution LP for a topology described
@@ -24,6 +25,7 @@ from repro.core.lp import solve_fixed_routing, solve_free_routing
 from repro.core.topology import Topology
 from repro.harness import figures as figure_mod
 from repro.harness.report import format_table, render_figure
+from repro.harness.resilience import resilience_figure
 from repro.harness.runner import run_scenario
 from repro.harness.saturation import staircase, sweep_loads
 from repro.sim.trace import render_ladder
@@ -44,6 +46,7 @@ FIGURE_COMMANDS: Dict[str, Callable] = {
     "fig7": figure_mod.figure7_changing_load,
     "fig8": figure_mod.figure8_parallel,
     "three-series": figure_mod.three_series_text,
+    "resilience": resilience_figure,
 }
 
 QUALITIES = {

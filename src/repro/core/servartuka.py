@@ -320,6 +320,41 @@ class ServartukaPolicy(StatePolicy):
         stats.overload.apply(report, now)
 
     # ------------------------------------------------------------------
+    # Fault handling (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def on_peer_down(self, peer: str) -> None:
+        """Forget a dead downstream path so ``myshare`` redistributes.
+
+        A dead neighbour can absorb no delegated state, so its counters
+        and any overload report it sent are stale; dropping the
+        :class:`PathStats` makes the next :meth:`on_period` recompute
+        the shares over the surviving paths only.  Calls still routed
+        toward the dead peer (before failover kicks in) re-enter the
+        statistics as fresh path observations.
+        """
+        self.paths.pop(peer, None)
+
+    def on_peer_up(self, peer: str) -> None:
+        """A restarted peer starts with a clean slate: no stale overload."""
+        self.paths.pop(peer, None)
+
+    def on_node_crash(self, now: float) -> None:
+        """The owning node crashed: all planning state dies with it.
+
+        A restarted SERvartuka process observes from scratch -- counters
+        zeroed, every path's ``myshare`` back to unlimited, no overload
+        report outstanding.
+        """
+        self.paths.clear()
+        self.tot_rcv = 0
+        self.tot_sf = 0
+        self._last_period_at = None
+        self._overload_active = False
+        self._calm_periods = 0
+        self.last_msg_rate = 0.0
+        self.last_feasible_sf = math.inf
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _reset_counters(self, elapsed: float) -> None:

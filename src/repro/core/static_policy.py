@@ -72,6 +72,22 @@ class StatePolicy:
         no-op.
         """
 
+    def on_peer_down(self, peer: str) -> None:
+        """A neighbour crashed (failure-detector notification).
+
+        Policies that plan per-downstream-path shares should forget the
+        dead path so its share redistributes.  Default no-op.
+        """
+
+    def on_peer_up(self, peer: str) -> None:
+        """A crashed neighbour came back.  Default no-op."""
+
+    def on_node_crash(self, now: float) -> None:
+        """The *owning* node crashed: drop all volatile planning state.
+
+        Default no-op (static policies hold nothing volatile).
+        """
+
     @property
     def name(self) -> str:
         return type(self).__name__

@@ -18,6 +18,13 @@ from repro.harness.saturation import (
 from repro.harness.report import format_table, render_figure
 from repro.harness.experiments import ExperimentSuite
 from repro.harness.regression import RegressionReport, compare, compare_files
+from repro.harness.resilience import (
+    PlacementOutcome,
+    ResilienceParams,
+    build_resilience_scenario,
+    resilience_figure,
+    run_resilience,
+)
 from repro.harness.figures import (
     FigureData,
     Quality,
@@ -60,4 +67,9 @@ __all__ = [
     "figure8_parallel",
     "three_series_text",
     "lp_optima",
+    "PlacementOutcome",
+    "ResilienceParams",
+    "build_resilience_scenario",
+    "resilience_figure",
+    "run_resilience",
 ]

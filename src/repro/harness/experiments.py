@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.harness import figures as figure_mod
 from repro.harness.figures import FigureData, Quality
 from repro.harness.report import render_figure
+from repro.harness.resilience import resilience_figure
 
 #: Experiment id -> (figure function, short description).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -42,6 +43,8 @@ EXPERIMENTS: Dict[str, tuple] = {
              "three-server parallel fork"),
     "three-series": (figure_mod.three_series_text,
                      "three in series: static vs SERvartuka"),
+    "resilience": (resilience_figure,
+                   "call loss under proxy crashes, by state placement"),
 }
 
 

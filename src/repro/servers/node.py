@@ -55,6 +55,7 @@ class Node:
         self.rng = (rng or RngStream(0)).spawn(f"node/{name}")
         self.metrics = MetricsRegistry(name)
         self.model_cpu = model_cpu
+        self.alive = True
         self.cpu = CpuModel(
             loop,
             self.rng.spawn("cpu"),
@@ -67,6 +68,11 @@ class Node:
     # Network-facing entry point
     # ------------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
+        if not self.alive:
+            # The network drops packets to dead nodes before delivery;
+            # anything landing here is a bug in the fault machinery.
+            self.metrics.counter("activity_while_dead").increment()
+            return
         self.metrics.counter("packets_received").increment()
         if not self.model_cpu:
             self.handle_message(packet.payload, packet.src)
@@ -106,9 +112,48 @@ class Node:
         like a full UDP socket buffer)."""
 
     # ------------------------------------------------------------------
+    # Crash/restart lifecycle (driven by repro.sim.faults)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node down: drop queued CPU work, discard soft state.
+
+        Everything volatile dies with the process: queued jobs never run
+        and (via the :meth:`on_crash` hook) subclasses discard whatever
+        in-memory protocol state they held.  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.metrics.counter("crashes").increment()
+        self.metrics.gauge("up").set(0.0, self.loop.now)
+        aborted = self.cpu.halt()
+        if aborted:
+            self.metrics.counter("cpu_jobs_lost_on_crash").increment(aborted)
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring the node back with empty volatile state.  Idempotent."""
+        if self.alive:
+            return
+        self.alive = True
+        self.metrics.counter("restarts").increment()
+        self.metrics.gauge("up").set(1.0, self.loop.now)
+        self.cpu.resume()
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Subclass hook: discard volatile protocol state."""
+
+    def on_restart(self) -> None:
+        """Subclass hook: re-arm periodic work after a restart."""
+
+    # ------------------------------------------------------------------
     # Utilities
     # ------------------------------------------------------------------
     def send(self, dst: str, payload) -> None:
+        if not self.alive:
+            self.metrics.counter("sends_while_dead").increment()
+            return
         self.network.send(self.name, dst, payload)
 
     def tick(self, now: float) -> None:

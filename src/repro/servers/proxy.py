@@ -67,14 +67,27 @@ class RouteTable:
 
     def __init__(self, default: Optional[str] = None):
         self._routes: Dict[str, str] = {}
+        self._fallbacks: Dict[str, List[str]] = {}
         self.default = default
 
     def add(self, domain: str, action: str) -> "RouteTable":
         self._routes[domain.lower()] = action
         return self
 
+    def add_fallback(self, domain: str, action: str) -> "RouteTable":
+        """Register a failover next hop tried when earlier ones are dead."""
+        self._fallbacks.setdefault(domain.lower(), []).append(action)
+        return self
+
     def action_for(self, host: str) -> Optional[str]:
         return self._routes.get(host.lower(), self.default)
+
+    def candidates_for(self, host: str) -> List[str]:
+        """Primary action followed by its fallbacks, in preference order."""
+        primary = self.action_for(host)
+        if primary is None:
+            return []
+        return [primary] + self._fallbacks.get(host.lower(), [])
 
     def domains(self) -> List[str]:
         return list(self._routes)
@@ -215,15 +228,21 @@ class ProxyServer(Node):
         self._branch_counter = 0
         self._via_ema = 0.0
         self._upstream_new_calls: Dict[str, float] = {}
+        self._down_peers: set = set()
         self.policy.attach(self)
         if self.auth_policy is not None:
             self.auth_policy.attach(self)
-        self.loop.schedule(self.config.monitor_period, self._monitor)
+        self._monitor_handle = self.loop.schedule(
+            self.config.monitor_period, self._monitor
+        )
 
     # ==================================================================
     # Receive path: plan (classification + routing + policy), then charge
     # ==================================================================
     def receive(self, packet: Packet) -> None:
+        if not self.alive:
+            self.metrics.counter("activity_while_dead").increment()
+            return
         self.metrics.counter("packets_received").increment()
         payload = packet.payload
         if isinstance(payload, OverloadReport):
@@ -276,13 +295,22 @@ class ProxyServer(Node):
             return _Plan("register", request, src, MessageKind.REGISTER,
                          frozenset({Feature.BASE, Feature.LOOKUP}), extra_vias)
 
-        # Routing.
-        action = self.route_table.action_for(request.uri.host)
-        if action is None:
+        # Routing, with failover: once the failure detector reports a
+        # next hop dead, skip it for any live alternative (the Figure-8
+        # load balancer's behaviour after losing a fork).
+        candidates = self.route_table.candidates_for(request.uri.host)
+        if not candidates:
             plan = _Plan("reject", request, src, MessageKind.REJECT,
                          frozenset(), extra_vias)
             plan.status = 404
             return plan
+        action = candidates[0]
+        if action != DELIVER_ACTION and action in self._down_peers:
+            for alternative in candidates[1:]:
+                if alternative == DELIVER_ACTION or alternative not in self._down_peers:
+                    action = alternative
+                    self.metrics.counter("failover_reroutes").increment()
+                    break
         is_exit = action == DELIVER_ACTION
         ds_key = action
 
@@ -632,15 +660,19 @@ class ProxyServer(Node):
             transaction.retransmit_interval,
             self._retransmit_downstream,
             key,
+            transaction.forwarded_branch,
         )
 
-    def _retransmit_downstream(self, key) -> None:
+    def _retransmit_downstream(self, key, branch: str) -> None:
         transaction = self._transactions.get(key)
         if (
             transaction is None
+            or transaction.forwarded_branch != branch
             or transaction.response_seen
             or transaction.forwarded_message is None
         ):
+            # Gone, superseded by a post-restart incarnation (branch
+            # mismatch), or already answered.
             return
         # Give up at the Timer B horizon like any client transaction.
         if self.loop.now - transaction.created_at > self.timers.timer_b:
@@ -652,7 +684,7 @@ class ProxyServer(Node):
             transaction.retransmit_interval, invite=transaction.method == "INVITE"
         )
         transaction.retransmit_handle = self.loop.schedule(
-            transaction.retransmit_interval, self._retransmit_downstream, key
+            transaction.retransmit_interval, self._retransmit_downstream, key, branch
         )
 
     def _create_transaction(
@@ -678,8 +710,12 @@ class ProxyServer(Node):
                 self.metrics.counter("dialogs_created").increment()
 
     def _expire_transaction(self, key, branch: str) -> None:
-        transaction = self._transactions.pop(key, None)
-        if transaction is not None:
+        transaction = self._transactions.get(key)
+        if transaction is not None and transaction.forwarded_branch == branch:
+            # Only reap the incarnation this timer was armed for: after a
+            # crash+restart the same key may name a fresh transaction
+            # whose own timers manage its lifetime.
+            del self._transactions[key]
             transaction.stop_retransmitting()
         self._by_forwarded_branch.pop(branch, None)
 
@@ -808,6 +844,8 @@ class ProxyServer(Node):
         raise ValueError(f"unknown distributed resource {resource!r}")
 
     def _monitor(self) -> None:
+        if not self.alive:
+            return
         now = self.loop.now
         self.policy.on_period(now)
         if self.auth_policy is not None:
@@ -818,7 +856,65 @@ class ProxyServer(Node):
             self._upstream_new_calls[upstream] *= 0.5
             if self._upstream_new_calls[upstream] < 0.5:
                 del self._upstream_new_calls[upstream]
-        self.loop.schedule(self.config.monitor_period, self._monitor)
+        self._monitor_handle = self.loop.schedule(
+            self.config.monitor_period, self._monitor
+        )
+
+    # ------------------------------------------------------------------
+    # Crash/restart lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Everything volatile dies with the process.
+
+        Transaction and dialog state is the paper's trade-off made
+        concrete: calls whose only copy of state lived here can no
+        longer be recovered by this node -- whether they survive now
+        depends entirely on end-to-end RFC 3261 retransmission.
+        """
+        if self._monitor_handle is not None:
+            self._monitor_handle.cancel()
+            self._monitor_handle = None
+        live = sum(1 for t in self._transactions.values() if not t.completed)
+        if live:
+            self.metrics.counter("transactions_lost_on_crash").increment(live)
+        for transaction in self._transactions.values():
+            transaction.stop_retransmitting()
+        self._transactions.clear()
+        self._by_forwarded_branch.clear()
+        lost_dialogs = self.dialogs.clear()
+        if lost_dialogs:
+            self.metrics.counter("dialogs_lost_on_crash").increment(lost_dialogs)
+        self._upstream_new_calls.clear()
+        self.policy.on_node_crash(self.loop.now)
+        if self.auth_policy is not None:
+            self.auth_policy.on_node_crash(self.loop.now)
+
+    def on_restart(self) -> None:
+        """Fresh process: empty tables, monitoring restarts from now."""
+        self._down_peers.clear()
+        self._monitor_handle = self.loop.schedule(
+            self.config.monitor_period, self._monitor
+        )
+
+    # ------------------------------------------------------------------
+    # Failure-detector notifications (from repro.sim.faults)
+    # ------------------------------------------------------------------
+    def notify_peer_down(self, peer: str) -> None:
+        self._down_peers.add(peer)
+        self.metrics.counter("peer_down_notices").increment()
+        # The dead peer can neither receive delegated state nor send us
+        # traffic worth tracking for the overload split.
+        self._upstream_new_calls.pop(peer, None)
+        self.policy.on_peer_down(peer)
+        if self.auth_policy is not None:
+            self.auth_policy.on_peer_down(peer)
+
+    def notify_peer_up(self, peer: str) -> None:
+        self._down_peers.discard(peer)
+        self.metrics.counter("peer_up_notices").increment()
+        self.policy.on_peer_up(peer)
+        if self.auth_policy is not None:
+            self.auth_policy.on_peer_up(peer)
 
     # ------------------------------------------------------------------
     # Introspection

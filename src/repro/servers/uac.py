@@ -267,6 +267,10 @@ class CallGenerator(Node):
         self.metrics.histogram("invite_response_time").observe(
             record.answered_at - record.created_at
         )
+        self._note_recovery(
+            self._transactions.get((record.invite_branch, "INVITE")),
+            record.answered_at - record.created_at,
+        )
         self._send_ack(record)
         if self.config.hold_time > 0:
             self.loop.schedule(self.config.hold_time, self._send_bye, record.call_id)
@@ -383,6 +387,10 @@ class CallGenerator(Node):
         record = self._calls.get(call_id)
         if record is None or response.is_provisional:
             return
+        if response.is_success:
+            self._note_recovery(
+                self._transactions.get((branch, "BYE")), self.loop.now - sent_at
+            )
         self._reap_bye_transaction(branch)
         self.metrics.histogram("bye_response_time").observe(self.loop.now - sent_at)
         if response.is_success:
@@ -399,6 +407,15 @@ class CallGenerator(Node):
         if record is None:
             return
         self._fail_call(record, "bye_timeout")
+
+    def _note_recovery(self, transaction, latency: float) -> None:
+        """A transaction that succeeded *after* retransmitting was a call
+        the network (or a crashed proxy) tried to lose: count it and its
+        latency so the resilience experiment can report recoveries."""
+        if transaction is None or transaction.retransmit_count == 0:
+            return
+        self.metrics.counter("calls_recovered_by_retransmission").increment()
+        self.metrics.histogram("recovery_latency").observe(latency)
 
     def _fail_call(self, record: CallRecord, reason: str) -> None:
         if record.state in ("completed", "failed"):
@@ -418,6 +435,23 @@ class CallGenerator(Node):
                 self.metrics.counter("retransmits_harvested").increment(
                     transaction.retransmit_count
                 )
+
+    # ------------------------------------------------------------------
+    # Crash/restart lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """A crashed load generator loses every call it was driving."""
+        lost = len(self._calls)
+        if lost:
+            self.metrics.counter("calls_lost_on_crash").increment(lost)
+        for transaction in self._transactions.values():
+            transaction.abort()
+        self._transactions.clear()
+        self._calls.clear()
+        self._running = False
+
+    def on_restart(self) -> None:
+        self.start()
 
     # ------------------------------------------------------------------
     # Inbound dispatch

@@ -195,6 +195,22 @@ class AnsweringServer(Node):
         self._respond(request, src, 200)
 
     # ------------------------------------------------------------------
+    # Crash/restart lifecycle
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Answered-but-unfinished calls die with the server."""
+        lost = len(self._seen_invites)
+        if lost:
+            self.metrics.counter("calls_lost_on_crash").increment(lost)
+        for pending in self._pending_acks.values():
+            pending.cancel()
+        self._pending_acks.clear()
+        for handle, _request, _hop in self._ringing.values():
+            handle.cancel()
+        self._ringing.clear()
+        self._seen_invites.clear()
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _respond(self, request: SipRequest, src: str, status: int) -> None:

@@ -22,11 +22,13 @@ from repro.sim.cpu import CpuModel, CpuJob
 from repro.sim.network import Network, Link, Packet
 from repro.sim.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     RateMeter,
     TimeSeries,
 )
+from repro.sim.faults import FaultEvent, FaultInjector, FaultSchedule
 from repro.sim.rng import RngStream
 from repro.sim.trace import MessageTrace, TraceEntry, render_ladder
 
@@ -38,10 +40,14 @@ __all__ = [
     "EventHandle",
     "CpuModel",
     "CpuJob",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "Network",
     "Link",
     "Packet",
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RateMeter",

@@ -34,7 +34,9 @@ from repro.sim.rng import RngStream
 class CpuJob:
     """A unit of CPU work: service time plus a completion callback."""
 
-    __slots__ = ("cost", "fn", "args", "submitted_at", "start_at", "end_at")
+    __slots__ = (
+        "cost", "fn", "args", "submitted_at", "start_at", "end_at", "handle",
+    )
 
     def __init__(
         self,
@@ -51,6 +53,7 @@ class CpuJob:
         self.submitted_at = submitted_at
         self.start_at = start_at
         self.end_at = end_at
+        self.handle = None  # completion EventHandle, for crash cancellation
 
     @property
     def queueing_delay(self) -> float:
@@ -98,6 +101,9 @@ class CpuModel:
         self.busy_seconds = 0.0
         self.jobs_completed = 0
         self.jobs_rejected = 0
+        self.jobs_aborted = 0
+        self.halted = False
+        self._pending: "set[CpuJob]" = set()
         self.component_seconds: Dict[str, float] = {}
         self.utilization_series = TimeSeries("cpu.utilization")
         self._last_tick_time = loop.now
@@ -122,6 +128,9 @@ class CpuModel:
         """
         if cost < 0:
             raise ValueError(f"negative cost: {cost}")
+        if self.halted:
+            self.jobs_rejected += 1
+            return None
         now = self.loop.now
         if self.max_queue_delay > 0 and self.queue_delay() > self.max_queue_delay:
             self.jobs_rejected += 1
@@ -136,7 +145,8 @@ class CpuModel:
         self.busy_until = end
         self.pending_jobs += 1
         job = CpuJob(actual, fn, args, now, start, end)
-        self.loop.schedule_at(end, self._complete, job)
+        job.handle = self.loop.schedule_at(end, self._complete, job)
+        self._pending.add(job)
 
         if components:
             for name, share in components.items():
@@ -146,10 +156,44 @@ class CpuModel:
         return job
 
     def _complete(self, job: CpuJob) -> None:
+        self._pending.discard(job)
         self.pending_jobs -= 1
         self.busy_seconds += job.cost
         self.jobs_completed += 1
         job.fn(*job.args)
+
+    # ------------------------------------------------------------------
+    # Crash/restart lifecycle (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def halt(self) -> int:
+        """Abort all queued work, as a process crash would.
+
+        Jobs that had already started keep the CPU time they consumed up
+        to the crash instant (so ``busy_seconds <= wall`` still holds);
+        their completion callbacks never fire.  Returns the number of
+        jobs aborted.  Further submissions are rejected until
+        :meth:`resume`.
+        """
+        now = self.loop.now
+        aborted = 0
+        for job in self._pending:
+            if job.handle is not None:
+                job.handle.cancel()
+            if job.start_at < now:
+                # Partially executed: account the slice actually run.
+                self.busy_seconds += min(now, job.end_at) - job.start_at
+            aborted += 1
+        self._pending.clear()
+        self.pending_jobs = 0
+        self.jobs_aborted += aborted
+        self.busy_until = now
+        self.halted = True
+        return aborted
+
+    def resume(self) -> None:
+        """Accept work again after :meth:`halt` (node restart)."""
+        self.halted = False
+        self.busy_until = max(self.busy_until, self.loop.now)
 
     # ------------------------------------------------------------------
     # Introspection

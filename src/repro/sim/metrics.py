@@ -180,6 +180,37 @@ class TimeSeries:
         return max(self.values) if self.values else 0.0
 
 
+class Gauge:
+    """A value that can move both ways, with an optional history.
+
+    Used for quantities that are levels rather than event counts --
+    e.g. a node's up/down status or the number of transactions held.
+    ``set(value, now)`` with a timestamp also appends to the gauge's
+    :class:`TimeSeries` so fault timelines can be reconstructed.
+    """
+
+    __slots__ = ("name", "value", "series")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+        self.series = TimeSeries(name)
+
+    def set(self, value: float, now: Optional[float] = None) -> None:
+        self.value = value
+        if now is not None:
+            self.series.append(now, value)
+
+    def increment(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def decrement(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
 class RateMeter:
     """Tumbling-window events-per-second meter.
 
@@ -214,6 +245,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -230,9 +262,18 @@ class MetricsRegistry:
             self._series[name] = TimeSeries(f"{self.name}.{name}")
         return self._series[name]
 
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(f"{self.name}.{name}")
+        return self._gauges[name]
+
     def counters(self) -> Dict[str, int]:
         """Snapshot of all counter values (for reports and tests)."""
         return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        """Snapshot of all gauge values."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)

@@ -5,11 +5,24 @@ wire is never the bottleneck; we keep that property (default one-way
 latency 0.25 ms, matching the ~1.5 ms SIPp round trip the paper reports
 across the proxy chain) but expose loss and jitter so the test suite can
 inject failures and exercise the SIP retransmission machinery.
+
+Fault injection (see :mod:`repro.sim.faults`) adds two drop channels on
+top of per-link random loss:
+
+- **partitions**: a blocked (src, dst) pair drops every packet at send
+  time until healed,
+- **dead destinations**: delivery checks the receiver's liveness *at
+  arrival time*, so a packet already in flight when its destination
+  crashes is lost exactly like a frame arriving at a powered-off host.
+
+Both channels are deterministic (no RNG draws), so enabling them never
+perturbs the random streams of an otherwise identical run.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+import math
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStream
@@ -37,13 +50,20 @@ class Packet:
 
 
 class Link:
-    """Unidirectional link parameters."""
+    """Unidirectional link parameters.
+
+    ``latency`` must be strictly positive: a zero-latency link would
+    deliver in the same event-loop instant as the send, breaking the
+    happens-before ordering every protocol state machine relies on.
+    """
 
     __slots__ = ("latency", "jitter", "loss")
 
     def __init__(self, latency: float = DEFAULT_ONE_WAY_LATENCY, jitter: float = 0.0, loss: float = 0.0):
-        if latency < 0 or jitter < 0:
-            raise ValueError("latency and jitter must be >= 0")
+        if not (math.isfinite(latency) and latency > 0):
+            raise ValueError(f"latency must be finite and > 0: {latency}")
+        if not (math.isfinite(jitter) and jitter >= 0):
+            raise ValueError(f"jitter must be finite and >= 0: {jitter}")
         if not 0.0 <= loss < 1.0:
             raise ValueError(f"loss probability out of range: {loss}")
         self.latency = latency
@@ -65,8 +85,11 @@ class Network:
         self.default_link = Link()
         self._nodes: Dict[str, Any] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.packets_dropped_partition = 0
+        self.packets_dropped_dead = 0
 
     # ------------------------------------------------------------------
     # Topology management
@@ -83,6 +106,20 @@ class Network:
 
     def has_node(self, name: str) -> bool:
         return name in self._nodes
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def node_is_up(self, name: str) -> bool:
+        """True when the node exists and is not crashed.
+
+        Nodes without a lifecycle (plain receivers in unit tests) are
+        always considered up.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            return False
+        return getattr(node, "alive", True)
 
     def set_link(
         self,
@@ -101,6 +138,40 @@ class Network:
     def link_for(self, src: str, dst: str) -> Link:
         return self._links.get((src, dst), self.default_link)
 
+    def set_loss(
+        self, src: str, dst: str, loss: float, symmetric: bool = True
+    ) -> None:
+        """Change the loss rate of an existing pair mid-run.
+
+        Pairs still on the shared :attr:`default_link` get their own
+        private link first, so ramping loss on one pair never affects
+        the rest of the fabric.
+        """
+        for pair in ((src, dst), (dst, src)) if symmetric else ((src, dst),):
+            link = self._links.get(pair)
+            if link is None:
+                link = Link(self.default_link.latency, self.default_link.jitter)
+                self._links[pair] = link
+            # Route the value through the constructor's range check.
+            link.loss = Link(link.latency, link.jitter, loss).loss
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Block delivery for ``a -> b`` (and back if symmetric)."""
+        self._blocked.add((a, b))
+        if symmetric:
+            self._blocked.add((b, a))
+
+    def heal(self, a: str, b: str, symmetric: bool = True) -> None:
+        self._blocked.discard((a, b))
+        if symmetric:
+            self._blocked.discard((b, a))
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
@@ -112,6 +183,11 @@ class Network:
         packet = Packet(src, dst, payload, self.loop.now)
         self.packets_sent += 1
 
+        if (src, dst) in self._blocked:
+            self.packets_dropped += 1
+            self.packets_dropped_partition += 1
+            return None
+
         if link.loss > 0 and self.rng.bernoulli(link.loss):
             self.packets_dropped += 1
             return None
@@ -119,9 +195,17 @@ class Network:
         delay = link.latency
         if link.jitter > 0:
             delay += self.rng.uniform(0.0, link.jitter)
-        receiver = self._nodes[dst]
-        self.loop.schedule(delay, receiver.receive, packet)
+        self.loop.schedule(delay, self._deliver, packet)
         return packet
+
+    def _deliver(self, packet: Packet) -> None:
+        """Hand the packet to its receiver, unless it died in transit."""
+        receiver = self._nodes.get(packet.dst)
+        if receiver is None or not getattr(receiver, "alive", True):
+            self.packets_dropped += 1
+            self.packets_dropped_dead += 1
+            return
+        receiver.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Network nodes={len(self._nodes)} sent={self.packets_sent}>"

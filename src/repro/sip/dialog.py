@@ -141,6 +141,17 @@ class DialogStore:
         self._by_call_id.pop(dialog.id.call_id, None)
         self.terminated_total += 1
 
+    def clear(self) -> int:
+        """Drop every dialog (node crash); returns how many were lost.
+
+        Unlike :meth:`remove`, cleared dialogs do not count as
+        terminated -- they were lost, not completed.
+        """
+        lost = len(self._by_id)
+        self._by_id.clear()
+        self._by_call_id.clear()
+        return lost
+
     @property
     def active_count(self) -> int:
         return len(self._by_id)

@@ -122,6 +122,16 @@ class ClientTransaction:
         self._transition(TransactionState.TERMINATED)
         self.on_timeout()
 
+    def abort(self) -> None:
+        """Kill the transaction without firing any TU callback.
+
+        Used when the transaction's host crashes: the process is gone,
+        so neither on_timeout nor on_terminated may run.
+        """
+        self._final_seen = True
+        self.state = TransactionState.TERMINATED
+        self._timer_handles.cancel_all()
+
     # ------------------------------------------------------------------
     # Response handling
     # ------------------------------------------------------------------

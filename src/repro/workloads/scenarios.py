@@ -144,6 +144,18 @@ class Scenario:
         self.generators: List[CallGenerator] = []
         self.servers: List[AnsweringServer] = []
         self.trace = None
+        self.faults = None
+
+    def install_faults(self, schedule):
+        """Bind a :class:`repro.sim.faults.FaultSchedule` to this run.
+
+        Times in the schedule are relative to the moment of
+        installation (normally scenario construction, i.e. t=0).
+        Returns the :class:`repro.sim.faults.FaultInjector`.
+        """
+        injector = schedule.apply(self.loop, self.network)
+        self.faults = injector
+        return injector
 
     def enable_trace(self, max_entries: int = 100_000):
         """Record every packet for ladder diagrams / flow inspection.
@@ -441,12 +453,20 @@ def parallel_fork(
     upper_share: float = 0.5,
     config: Optional[ScenarioConfig] = None,
     static_front_stateful: bool = False,
+    failover: bool = False,
 ) -> Scenario:
     """Figure 8: a front proxy load-balances across two parallel paths.
 
     The conventional static assignment keeps the front stateless and
     the two forks stateful; ``static_front_stateful=True`` inverts it
     (the non-homogeneous ablation in section 6.2).
+
+    ``failover=True`` cross-wires the topology for fault injection: the
+    front learns each fork as a fallback for the other's domain, and
+    each fork can deliver *both* domains (the shared location service
+    resolves either AOR).  When the failure detector reports a fork
+    dead, the front reroutes its traffic to the survivor and a
+    SERvartuka front recomputes ``myshare`` over the remaining path.
     """
     if not 0.0 < upper_share < 1.0:
         raise ValueError("upper_share must be strictly inside (0, 1)")
@@ -466,9 +486,16 @@ def parallel_fork(
         specs = {name: policy for name in ("F", "U", "L")}
 
     front_route = RouteTable().add(up_domain, "U").add(low_domain, "L")
+    up_route = RouteTable().add(up_domain, DELIVER_ACTION)
+    low_route = RouteTable().add(low_domain, DELIVER_ACTION)
+    if failover:
+        front_route.add_fallback(up_domain, "L")
+        front_route.add_fallback(low_domain, "U")
+        up_route.add(low_domain, DELIVER_ACTION)
+        low_route.add(up_domain, DELIVER_ACTION)
     scenario.add_proxy("F", front_route, specs["F"])
-    scenario.add_proxy("U", RouteTable().add(up_domain, DELIVER_ACTION), specs["U"])
-    scenario.add_proxy("L", RouteTable().add(low_domain, DELIVER_ACTION), specs["L"])
+    scenario.add_proxy("U", up_route, specs["U"])
+    scenario.add_proxy("L", low_route, specs["L"])
     scenario.add_uas("uas_u", [up_aor])
     scenario.add_uas("uas_l", [low_aor])
 

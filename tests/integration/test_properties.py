@@ -7,12 +7,17 @@ laws that must hold regardless of load, topology or seed:
 - statefulness: every admitted call saw a 100 Trying whenever the
   system runs a state-guaranteeing policy,
 - message conservation at the UAS: completed <= received <= attempted,
-- CPU accounting: busy time never exceeds wall time per node.
+- CPU accounting: busy time never exceeds wall time per node,
+- fault injection: conservation survives arbitrary crash/partition/loss
+  schedules, dead nodes stay silent, and a (seed, schedule) pair pins
+  the entire outcome bit-for-bit.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.harness.runner import run_scenario
+from repro.sim.faults import FaultSchedule
+from repro.sim.rng import RngStream
 from repro.sip.timers import TimerPolicy
 from repro.workloads.scenarios import (
     ScenarioConfig,
@@ -128,6 +133,98 @@ class TestResourceAccounting:
         if proxy.cpu.pending_jobs == 0:
             total_components = sum(proxy.cpu.component_seconds.values())
             assert abs(total_components - proxy.cpu.busy_seconds) < 1e-6
+
+
+class TestFaultInjection:
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=1000, max_value=8000),
+        policy=st.sampled_from(["static", "servartuka", "stateless"]),
+        crash_time=st.floats(min_value=0.3, max_value=1.5),
+        downtime=st.floats(min_value=0.1, max_value=0.6),
+        loss=st.floats(min_value=0.0, max_value=0.25),
+        cut=st.floats(min_value=0.3, max_value=1.5),
+    )
+    def test_conservation_under_any_schedule(
+        self, seed, load, policy, crash_time, downtime, loss, cut
+    ):
+        """Crashes, partitions and loss may fail calls but never lose
+        the accounting: attempted = completed + failed + in-flight."""
+        schedule = (
+            FaultSchedule()
+            .set_loss(0.0, "uac1", "P1", loss)
+            .crash(crash_time, "P1", downtime=downtime)
+            .partition(cut, "P1", "P2", duration=0.4)
+        )
+        scenario = n_series(2, load, policy=policy, config=make_config(seed))
+        scenario.install_faults(schedule)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        assert scenario.faults.crashes == 1
+        assert scenario.faults.restarts == 1
+        for generator in scenario.generators:
+            assert generator.calls_attempted == (
+                generator.calls_completed + generator.calls_failed
+                + len(generator._calls)
+            )
+
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=1000, max_value=8000),
+        crash_time=st.floats(min_value=0.3, max_value=1.2),
+        downtime=st.floats(min_value=0.2, max_value=0.8),
+    )
+    def test_dead_nodes_stay_silent(self, seed, load, crash_time, downtime):
+        """While a node is down nothing is delivered to it and it sends
+        nothing: the ``*_while_dead`` tripwires never fire."""
+        schedule = (
+            FaultSchedule()
+            .crash(crash_time, "P1", downtime=downtime)
+            .crash(crash_time + 0.1, "P2", downtime=downtime)
+        )
+        scenario = n_series(
+            2, load, policy="servartuka", config=make_config(seed)
+        )
+        scenario.install_faults(schedule)
+        run_scenario(scenario, duration=2.0, warmup=0.5, drain=4.0)
+        for proxy in scenario.proxies.values():
+            assert proxy.metrics.counter("activity_while_dead").value == 0
+            assert proxy.metrics.counter("sends_while_dead").value == 0
+            assert proxy.metrics.counter("crashes").value == 1
+
+    @settings(**_SLOW)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=2000, max_value=8000),
+        count=st.integers(min_value=1, max_value=3),
+    )
+    def test_same_seed_and_schedule_identical_outcome(self, seed, load, count):
+        """Fault execution draws no run-time randomness, so seed plus
+        schedule reproduces every metric and the injector log."""
+        outcomes = []
+        for _ in range(2):
+            schedule = FaultSchedule.random_crashes(
+                RngStream(seed, "faults"), ["P1", "P2"], count,
+                start=0.3, end=1.6, downtime=0.3,
+            )
+            scenario = n_series(
+                2, load, policy="servartuka", config=make_config(seed)
+            )
+            scenario.install_faults(schedule)
+            result = run_scenario(scenario, duration=2.0, warmup=0.5,
+                                  drain=3.0)
+            generator = scenario.generators[0]
+            outcomes.append((
+                result.throughput_cps,
+                result.failed_calls,
+                result.retransmissions,
+                generator.calls_attempted,
+                generator.calls_completed,
+                tuple(sorted(result.proxy_utilization.items())),
+                scenario.faults.render_log(),
+            ))
+        assert outcomes[0] == outcomes[1]
 
 
 class TestDeterminism:

@@ -1,0 +1,242 @@
+"""Unit tests for the fault-injection machinery (repro.sim.faults).
+
+These drive FaultSchedule/FaultInjector against a toy network of
+crashable stub nodes -- the full-stack behaviour (lost calls, failover)
+is covered by the integration and harness suites.
+"""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.sim.network import Network
+from repro.sim.rng import RngStream
+
+
+class StubNode:
+    """Crashable node that records lifecycle and peer notifications."""
+
+    def __init__(self):
+        self.alive = True
+        self.events = []
+        self.peer_events = []
+
+    def receive(self, packet):
+        self.events.append(("receive", packet.payload))
+
+    def crash(self):
+        self.alive = False
+        self.events.append(("crash", None))
+
+    def restart(self):
+        self.alive = True
+        self.events.append(("restart", None))
+
+    def notify_peer_down(self, name):
+        self.peer_events.append(("down", name))
+
+    def notify_peer_up(self, name):
+        self.peer_events.append(("up", name))
+
+
+@pytest.fixture
+def fabric():
+    loop = EventLoop()
+    network = Network(loop, RngStream(3, "faults-test"))
+    nodes = {name: StubNode() for name in ("a", "b", "c")}
+    for name, node in nodes.items():
+        network.register(name, node)
+    return loop, network, nodes
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "crash", ("a",))
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(float("nan"), "crash", ("a",))
+        with pytest.raises(ValueError):
+            FaultEvent(float("inf"), "crash", ("a",))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor", ("a",))
+
+
+class TestScheduleBuilders:
+    def test_builders_chain_and_sort(self):
+        schedule = (
+            FaultSchedule()
+            .crash(5.0, "a")
+            .set_loss(0.0, "a", "b", 0.1)
+            .partition(2.0, "a", "b")
+        )
+        assert [e.time for e in schedule.events] == [0.0, 2.0, 5.0]
+        assert len(schedule) == 3
+
+    def test_crash_with_downtime_adds_restart(self):
+        schedule = FaultSchedule().crash(1.0, "a", downtime=0.5)
+        kinds = [(e.time, e.kind) for e in schedule.events]
+        assert kinds == [(1.0, "crash"), (1.5, "restart")]
+
+    def test_bad_downtime_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().crash(1.0, "a", downtime=0.0)
+
+    def test_bad_partition_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().partition(1.0, "a", "b", duration=-1.0)
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().set_loss(0.0, "a", "b", 1.0)
+
+    def test_ramp_loss_steps(self):
+        schedule = FaultSchedule().ramp_loss(
+            0.0, 4.0, "a", "b", 0.0, 0.4, steps=4
+        )
+        events = schedule.events
+        assert [e.time for e in events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [e.args[2] for e in events] == pytest.approx(
+            [0.0, 0.1, 0.2, 0.3, 0.4]
+        )
+
+    def test_ramp_loss_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().ramp_loss(2.0, 1.0, "a", "b", 0.0, 0.4)
+        with pytest.raises(ValueError):
+            FaultSchedule().ramp_loss(0.0, 1.0, "a", "b", 0.0, 0.4, steps=0)
+
+    def test_node_names_deduplicated(self):
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, "a", downtime=0.5)
+            .crash(3.0, "a", downtime=0.5)
+            .crash(2.0, "b")
+        )
+        assert schedule.node_names() == ["a", "b"]
+
+    def test_random_crashes_reproducible(self):
+        schedules = [
+            FaultSchedule.random_crashes(
+                RngStream(99, "campaign"), ["a", "b", "c"], 5,
+                start=1.0, end=9.0, downtime=0.5,
+            )
+            for _ in range(2)
+        ]
+        first, second = (
+            [(e.time, e.kind, e.args) for e in s.events] for s in schedules
+        )
+        assert first == second
+        assert all(1.0 <= t <= 9.5 for t, _, _ in first)
+
+    def test_random_crashes_validation(self):
+        rng = RngStream(1, "x")
+        with pytest.raises(ValueError):
+            FaultSchedule.random_crashes(rng, [], 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.random_crashes(rng, ["a"], -1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.random_crashes(rng, ["a"], 1, 2.0, 1.0)
+
+    def test_building_has_no_side_effects(self, fabric):
+        loop, network, nodes = fabric
+        FaultSchedule().crash(0.0, "a")  # never applied
+        loop.run()
+        assert nodes["a"].alive
+        assert nodes["a"].events == []
+
+
+class TestInjector:
+    def test_crash_and_restart_lifecycle(self, fabric):
+        loop, network, nodes = fabric
+        injector = FaultSchedule().crash(1.0, "a", downtime=0.5).apply(
+            loop, network
+        )
+        loop.run_until(0.9)
+        assert nodes["a"].alive
+        loop.run_until(1.2)
+        assert not nodes["a"].alive
+        loop.run_until(2.0)
+        assert nodes["a"].alive
+        assert nodes["a"].events == [("crash", None), ("restart", None)]
+        assert injector.crashes == 1 and injector.restarts == 1
+
+    def test_peers_notified_of_crash_and_recovery(self, fabric):
+        loop, network, nodes = fabric
+        FaultSchedule().crash(1.0, "a", downtime=0.5).apply(loop, network)
+        loop.run_until(3.0)
+        assert nodes["b"].peer_events == [("down", "a"), ("up", "a")]
+        assert nodes["c"].peer_events == [("down", "a"), ("up", "a")]
+        assert nodes["a"].peer_events == []  # never told about itself
+
+    def test_crash_idempotent(self, fabric):
+        loop, network, nodes = fabric
+        injector = (
+            FaultSchedule().crash(1.0, "a").crash(2.0, "a").apply(loop, network)
+        )
+        loop.run_until(3.0)
+        assert injector.crashes == 1
+        assert [e for e in nodes["a"].events if e[0] == "crash"] == [
+            ("crash", None)
+        ]
+        assert any(
+            "crash a (already down)" in text for _, text in injector.log
+        )
+
+    def test_restart_of_live_node_is_noop(self, fabric):
+        loop, network, nodes = fabric
+        injector = FaultSchedule().restart(1.0, "a").apply(loop, network)
+        loop.run_until(2.0)
+        assert injector.restarts == 0
+        assert nodes["a"].events == []
+
+    def test_partition_and_heal_applied(self, fabric):
+        loop, network, nodes = fabric
+        FaultSchedule().partition(1.0, "a", "b", duration=1.0).apply(
+            loop, network
+        )
+        loop.run_until(1.5)
+        assert network.is_blocked("a", "b")
+        assert network.is_blocked("b", "a")
+        loop.run_until(2.5)
+        assert not network.is_blocked("a", "b")
+
+    def test_set_loss_applied(self, fabric):
+        loop, network, nodes = fabric
+        FaultSchedule().set_loss(1.0, "a", "b", 0.3, symmetric=False).apply(
+            loop, network
+        )
+        loop.run_until(1.5)
+        assert network.link_for("a", "b").loss == 0.3
+        assert network.link_for("b", "a").loss == 0.0
+
+    def test_log_records_history(self, fabric):
+        loop, network, nodes = fabric
+        injector = (
+            FaultSchedule()
+            .set_loss(0.5, "a", "b", 0.1)
+            .crash(1.0, "a", downtime=0.5)
+            .apply(loop, network)
+        )
+        loop.run_until(3.0)
+        rendered = injector.render_log()
+        assert "set_loss a->b 0.1" in rendered
+        assert "crash a" in rendered
+        assert "restart a" in rendered
+
+    def test_schedule_reusable_across_fabrics(self):
+        """One schedule object applies cleanly to several simulations --
+        how the resilience experiment compares placements under
+        identical faults."""
+        schedule = FaultSchedule().crash(1.0, "a", downtime=0.5)
+        for _ in range(2):
+            loop = EventLoop()
+            network = Network(loop, RngStream(3, "reuse"))
+            node = StubNode()
+            network.register("a", node)
+            schedule.apply(loop, network)
+            loop.run_until(2.0)
+            assert node.events == [("crash", None), ("restart", None)]

@@ -119,3 +119,76 @@ class TestLinkValidation:
     def test_bad_latency(self):
         with pytest.raises(ValueError):
             Link(latency=-1)
+
+    def test_zero_latency_rejected(self):
+        # Zero latency would deliver in the same event-loop instant as
+        # the send, breaking happens-before ordering.
+        with pytest.raises(ValueError):
+            Link(latency=0.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            Link(jitter=-1)
+
+    def test_non_finite_values_rejected(self):
+        nan = float("nan")
+        with pytest.raises(ValueError):
+            Link(latency=nan)
+        with pytest.raises(ValueError):
+            Link(latency=float("inf"))
+        with pytest.raises(ValueError):
+            Link(jitter=nan)
+        with pytest.raises(ValueError):
+            Link(loss=nan)
+
+    def test_set_link_validates(self, network):
+        with pytest.raises(ValueError):
+            network.set_link("a", "b", latency=0.0)
+
+    def test_set_loss_validates_mid_run(self, network):
+        with pytest.raises(ValueError):
+            network.set_loss("a", "b", 1.5)
+
+    def test_set_loss_leaves_default_link_alone(self, network):
+        network.set_loss("a", "b", 0.4)
+        assert network.default_link.loss == 0.0
+        assert network.link_for("a", "b").loss == 0.4
+        assert network.link_for("b", "a").loss == 0.4
+        assert network.link_for("c", "d").loss == 0.0
+
+    def test_set_loss_asymmetric(self, network):
+        network.set_loss("a", "b", 0.4, symmetric=False)
+        assert network.link_for("a", "b").loss == 0.4
+        assert network.link_for("b", "a").loss == 0.0
+
+
+class TestPartitionsAndDeadNodes:
+    def test_partition_drops_at_send_time(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.partition("src", "dst")
+        assert network.send("src", "dst", "x") is None
+        loop.run()
+        assert sink.received == []
+        assert network.packets_dropped_partition == 1
+
+    def test_heal_restores_delivery(self, loop, network):
+        sink = Sink()
+        network.register("dst", sink)
+        network.partition("src", "dst")
+        network.heal("src", "dst")
+        network.send("src", "dst", "x")
+        loop.run()
+        assert len(sink.received) == 1
+
+    def test_in_flight_packet_dies_with_destination(self, loop, network):
+        """Liveness is checked at *arrival*: a packet already on the
+        wire when its destination crashes is lost."""
+        sink = Sink()
+        sink.alive = True
+        network.register("dst", sink)
+        network.send("src", "dst", "x")
+        sink.alive = False  # crash while the packet is in flight
+        loop.run()
+        assert sink.received == []
+        assert network.packets_dropped_dead == 1
