@@ -9,7 +9,9 @@ Commands:
 - ``run`` -- a single load point with full measurement detail,
 - ``lp`` -- solve the state-distribution LP for a topology described
   in a small JSON file,
-- ``trace`` -- simulate a few calls and print their ladder diagrams.
+- ``trace`` -- simulate a few calls and print their ladder diagrams,
+- ``bench`` -- wall-clock benchmark of the simulation engines
+  (reference vs copy vs fast), with a built-in differential check.
 
 All loads are paper-equivalent calls/second.
 """
@@ -226,6 +228,36 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import (
+        ENGINES,
+        SCENARIOS,
+        render_report,
+        run_engine_bench,
+        write_report,
+    )
+
+    unknown = [name for name in args.scenarios if name not in SCENARIOS]
+    if unknown:
+        print(f"unknown bench scenarios: {unknown}; "
+              f"choose from {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    report = run_engine_bench(
+        quick=args.quick,
+        scenarios=args.scenarios or None,
+        engines=tuple(args.engines) if args.engines else ENGINES,
+    )
+    if args.json:
+        write_report(report, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(render_report(report))
+    if not report["identical"]:
+        print("ENGINE DIVERGENCE: engines disagree on simulated results",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -276,6 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--rate", type=float, default=100)
     p_trace.add_argument("--calls", type=int, default=2)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark the simulation engines (ref/copy/fast)"
+    )
+    p_bench.add_argument("scenarios", nargs="*",
+                         help="bench scenarios (default: all)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="short measurement windows (CI smoke)")
+    p_bench.add_argument("--json", help="write the machine-readable report here")
+    p_bench.add_argument("--engines", nargs="*",
+                         choices=["reference", "copy", "fast"],
+                         help="engine subset (default: all three)")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

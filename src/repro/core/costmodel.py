@@ -232,6 +232,11 @@ class CostModel:
     base_messages_per_call:
         How many messages the per-call baseline cost C_BASE is spread
         over (the six call messages of the SIPp scenario).
+    memoize:
+        Cache :meth:`message_cost` results keyed on the full argument
+        tuple (fast-path engine).  The charge is a pure function of its
+        arguments and callers only read the returned breakdown, so the
+        cached values are exactly the ones a fresh computation yields.
     """
 
     def __init__(
@@ -241,6 +246,7 @@ class CostModel:
         scale: float = 1.0,
         via_overhead: float = 0.20,
         base_messages_per_call: int = len(CALL_MESSAGE_KINDS),
+        memoize: bool = False,
     ):
         if t_sf <= 0 or t_sl <= 0:
             raise ValueError("capacities must be positive")
@@ -255,6 +261,8 @@ class CostModel:
         self.scale = scale
         self.via_overhead = via_overhead
         self.base_messages_per_call = base_messages_per_call
+        self.memoize = memoize
+        self._memo: Dict[Tuple, Tuple[float, Dict[str, float]]] = {}
         self.k_seconds_per_event = 0.0
         self.base_seconds_per_call = 0.0
         self._calibrate()
@@ -341,6 +349,24 @@ class CostModel:
         the message being processed (fractional values are allowed for
         averaged/planning computations).
         """
+        if self.memoize:
+            key = (kind, features, extra_vias)
+            hit = self._memo.get(key)
+            if hit is not None:
+                return hit
+            result = self._message_cost_uncached(kind, features, extra_vias)
+            # Fractional planning extra_vias are unbounded; cap the memo.
+            if len(self._memo) < 2048:
+                self._memo[key] = result
+            return result
+        return self._message_cost_uncached(kind, features, extra_vias)
+
+    def _message_cost_uncached(
+        self,
+        kind: MessageKind,
+        features: FrozenSet[Feature],
+        extra_vias: float,
+    ) -> Tuple[float, Dict[str, float]]:
         if extra_vias < 0:
             raise ValueError("extra_vias must be >= 0")
         size_factor = 1.0 + self.via_overhead * extra_vias

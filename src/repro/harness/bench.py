@@ -1,0 +1,267 @@
+"""Wall-clock benchmark of the simulation engines.
+
+Every simulated *result* in this repository is engine-independent: the
+``reference`` (wire-faithful per-hop serialization), ``copy`` (light
+object copies, the default) and ``fast`` (timer wheel + copy-on-write
+messages + parse interning) engines are required to produce bit-identical
+metrics (see ``tests/engine/test_differential.py``).  What differs is
+how much host CPU a run burns, and that is what this module measures:
+
+- **calls/sec** -- completed calls per wall-clock second (how fast the
+  simulator chews through SIP traffic),
+- **events/sec** -- event-loop callbacks per wall-clock second,
+- **peak RSS** -- the process high-water mark after the run
+  (``ru_maxrss``; note this is monotone across a process, so within one
+  bench invocation later runs can only report an equal or larger value),
+- **speedups** -- fast vs the wire-faithful reference baseline, and
+  fast vs the light-copy engine, both reported so nothing hides in the
+  choice of baseline.
+
+Every bench run re-verifies the differential contract on its own
+output: the per-node metric registries, run observables and event
+counts of all engines are compared for equality, and ``identical``
+is recorded per scenario in the report.
+
+Three scenarios cover the evaluation's behaviour space: the canonical
+two-in-series chain, the Figure-8 parallel fork, and the resilience
+fault campaign (crashes + lossy links + retransmission storms).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import resource
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.harness.resilience import (
+    ResilienceParams,
+    _measure,
+    build_resilience_scenario,
+)
+from repro.harness.runner import run_scenario
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    parallel_fork,
+    two_series,
+)
+
+#: Engine modes in report order; "reference" is the speedup baseline.
+ENGINES = ("reference", "copy", "fast")
+
+#: Offered load for the steady-state scenarios, paper-equivalent cps.
+BENCH_RATE = 10_000.0
+
+
+def _peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _registry_snapshots(scenario: Scenario) -> Dict[str, object]:
+    """Deep snapshots of every node's metrics, for cross-engine equality."""
+    snaps: Dict[str, object] = {}
+    for name, proxy in sorted(scenario.proxies.items()):
+        snaps[name] = proxy.metrics.snapshot()
+    for generator in scenario.generators:
+        snaps[f"uac:{generator.name}"] = generator.metrics.snapshot()
+    for server in scenario.servers:
+        snaps[f"uas:{server.name}"] = server.metrics.snapshot()
+    return snaps
+
+
+# ---------------------------------------------------------------------------
+# Scenario drivers
+# ---------------------------------------------------------------------------
+# Each builder returns (scenario, drive) where drive() runs the workload
+# and returns its observables (a plain dict).  Only drive() is timed.
+
+def _two_series(engine: str, quick: bool):
+    duration, warmup = (6.0, 2.0) if quick else (20.0, 5.0)
+    config = ScenarioConfig(seed=1, engine=engine)
+    scenario = two_series(BENCH_RATE, policy="servartuka", config=config)
+
+    def drive() -> dict:
+        return run_scenario(scenario, duration=duration, warmup=warmup).as_dict()
+
+    return scenario, drive
+
+
+def _parallel_fig8(engine: str, quick: bool):
+    duration, warmup = (6.0, 2.0) if quick else (20.0, 5.0)
+    config = ScenarioConfig(seed=1, engine=engine)
+    scenario = parallel_fork(BENCH_RATE, policy="servartuka", config=config)
+
+    def drive() -> dict:
+        return run_scenario(scenario, duration=duration, warmup=warmup).as_dict()
+
+    return scenario, drive
+
+
+def _resilience(engine: str, quick: bool):
+    if quick:
+        params = ResilienceParams(
+            engine=engine, crash_times=(2.2, 4.2), run_for=6.0, drain=4.0
+        )
+    else:
+        params = ResilienceParams(engine=engine)
+    scenario = build_resilience_scenario("servartuka", params)
+
+    def drive() -> dict:
+        scenario.start()
+        scenario.loop.run_until(params.run_for)
+        scenario.stop_load()
+        scenario.loop.run_until(params.run_for + params.drain)
+        return _measure(scenario, "servartuka", params).as_dict()
+
+    return scenario, drive
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "two_series": _two_series,
+    "parallel_fig8": _parallel_fig8,
+    "resilience": _resilience,
+}
+
+
+def _calls_completed(scenario: Scenario) -> int:
+    if scenario.servers:
+        return sum(server.calls_completed for server in scenario.servers)
+    return sum(g.calls_completed for g in scenario.generators)
+
+
+def bench_one(
+    name: str, engine: str, quick: bool = False
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Run one (scenario, engine) cell; returns (measurements, identity).
+
+    ``identity`` holds everything the differential contract covers
+    (registries, observables, event count) and is compared -- never
+    reported -- by :func:`run_engine_bench`.
+    """
+    builder = SCENARIOS[name]
+    scenario, drive = builder(engine, quick)
+    gc.collect()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    observables = drive()
+    cpu_s = time.process_time() - cpu_start
+    wall_s = time.perf_counter() - wall_start
+
+    calls = _calls_completed(scenario)
+    events = scenario.loop.events_processed
+    measurements = {
+        "wall_s": round(wall_s, 3),
+        "cpu_s": round(cpu_s, 3),
+        "calls": calls,
+        "calls_per_sec": round(calls / wall_s, 1) if wall_s > 0 else 0.0,
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    identity = {
+        "registries": _registry_snapshots(scenario),
+        "observables": observables,
+        "events": events,
+    }
+    return measurements, identity
+
+
+def run_engine_bench(
+    quick: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+    engines: Sequence[str] = ENGINES,
+) -> Dict[str, object]:
+    """Benchmark every (scenario, engine) pair; returns the report dict.
+
+    The report is what ``python -m repro bench --json`` serializes:
+    per-engine measurements, fast-vs-reference and fast-vs-copy
+    speedups, and the per-scenario ``identical`` verdict of the
+    differential cross-check.
+    """
+    chosen = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [name for name in chosen if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown bench scenarios: {unknown}; "
+                       f"one of {sorted(SCENARIOS)}")
+    report: Dict[str, object] = {
+        "benchmark": "engine",
+        "quick": quick,
+        "engines": list(engines),
+        "baseline": "reference",
+        "notes": (
+            "reference = wire-faithful per-hop serialization (what a real "
+            "SIP stack pays); copy = light object copies (repo default); "
+            "fast = timer wheel + copy-on-write + parse interning.  All "
+            "engines produce bit-identical simulated results; peak_rss_kb "
+            "is the process high-water mark at the end of the run."
+        ),
+        "scenarios": {},
+    }
+    all_identical = True
+    for name in chosen:
+        per_engine: Dict[str, Dict[str, object]] = {}
+        identities: Dict[str, Dict[str, object]] = {}
+        for engine in engines:
+            per_engine[engine], identities[engine] = bench_one(
+                name, engine, quick
+            )
+        first = identities[engines[0]]
+        identical = all(identities[e] == first for e in engines)
+        all_identical = all_identical and identical
+        entry: Dict[str, object] = {
+            "per_engine": per_engine,
+            "identical": identical,
+        }
+        if "reference" in per_engine and "fast" in per_engine:
+            entry["speedup_fast_vs_reference"] = _speedup(
+                per_engine["reference"], per_engine["fast"]
+            )
+        if "copy" in per_engine and "fast" in per_engine:
+            entry["speedup_fast_vs_copy"] = _speedup(
+                per_engine["copy"], per_engine["fast"]
+            )
+        report["scenarios"][name] = entry
+    report["identical"] = all_identical
+    return report
+
+
+def _speedup(baseline: Dict[str, object], fast: Dict[str, object]) -> float:
+    fast_wall = float(fast["wall_s"])
+    if fast_wall <= 0:
+        return 0.0
+    return round(float(baseline["wall_s"]) / fast_wall, 2)
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable table of an engine-bench report."""
+    from repro.harness.report import format_table
+
+    blocks = []
+    for name, entry in report["scenarios"].items():
+        rows = []
+        for engine, m in entry["per_engine"].items():
+            rows.append([
+                engine, m["wall_s"], m["calls"], m["calls_per_sec"],
+                m["events_per_sec"], m["peak_rss_kb"],
+            ])
+        title = f"{name}: identical={entry['identical']}"
+        if "speedup_fast_vs_reference" in entry:
+            title += (f", fast vs reference "
+                      f"{entry['speedup_fast_vs_reference']:.2f}x")
+        if "speedup_fast_vs_copy" in entry:
+            title += f", fast vs copy {entry['speedup_fast_vs_copy']:.2f}x"
+        blocks.append(format_table(
+            ["engine", "wall_s", "calls", "calls/s", "events/s", "rss_kb"],
+            rows,
+            title=title,
+        ))
+    return "\n\n".join(blocks)
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -81,6 +81,7 @@ class ResilienceParams:
         noise_sigma: float = 0.30,
         reject_queue_delay: float = 0.3,
         max_queue_delay: float = 1.0,
+        engine: str = "copy",
     ):
         if not 0.0 < headroom <= 1.0:
             raise ValueError("headroom must be in (0, 1]")
@@ -126,6 +127,9 @@ class ResilienceParams:
         # collapse (absorbing a retransmission costs CPU too).
         self.reject_queue_delay = reject_queue_delay
         self.max_queue_delay = max_queue_delay
+        #: Simulation engine mode (see repro.workloads.scenarios); the
+        #: outcome is engine-independent, only wall-clock changes.
+        self.engine = engine
 
     def offered_load(self) -> float:
         """Total paper-unit cps: comfortably below hardware capacity
@@ -212,6 +216,7 @@ def build_resilience_scenario(
         timers=RESILIENCE_TIMERS,
         reject_queue_delay=params.reject_queue_delay,
         max_queue_delay=params.max_queue_delay,
+        engine=params.engine,
     )
     scenario = internal_external(
         params.offered_load(),

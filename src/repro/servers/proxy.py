@@ -430,19 +430,22 @@ class ProxyServer(Node):
     # ==================================================================
     # Execution (runs after the CPU job completes)
     # ==================================================================
+    # Action -> unbound handler; bound per call in _execute.  A class
+    # attribute so the hot path does not rebuild the dict per message.
+    _ACTION_HANDLERS = {
+        "absorb": "_do_absorb",
+        "ack_stateful": "_do_ack_stateful",
+        "cancel_stateful": "_do_cancel_stateful",
+        "register": "_do_register",
+        "reject": "_do_reject",
+        "forward_invite": "_do_forward_request",
+        "forward_bye": "_do_forward_request",
+        "forward_other": "_do_forward_request",
+        "forward_response": "_do_forward_response",
+    }
+
     def _execute(self, plan: _Plan) -> None:
-        handler = {
-            "absorb": self._do_absorb,
-            "ack_stateful": self._do_ack_stateful,
-            "cancel_stateful": self._do_cancel_stateful,
-            "register": self._do_register,
-            "reject": self._do_reject,
-            "forward_invite": self._do_forward_request,
-            "forward_bye": self._do_forward_request,
-            "forward_other": self._do_forward_request,
-            "forward_response": self._do_forward_response,
-        }[plan.action]
-        handler(plan)
+        getattr(self, self._ACTION_HANDLERS[plan.action])(plan)
 
     # ------------------------------------------------------------------
     # Stateful absorption

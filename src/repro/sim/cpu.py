@@ -132,7 +132,8 @@ class CpuModel:
             self.jobs_rejected += 1
             return None
         now = self.loop.now
-        if self.max_queue_delay > 0 and self.queue_delay() > self.max_queue_delay:
+        max_delay = self.max_queue_delay
+        if max_delay > 0 and self.busy_until - now > max_delay:
             self.jobs_rejected += 1
             return None
 

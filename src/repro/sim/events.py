@@ -118,17 +118,25 @@ class EventLoop:
         earlier, so periodic measurements can rely on the final time.
         """
         count = 0
-        while self._heap:
-            when, _seq, handle = self._heap[0]
-            if when > deadline:
-                break
-            heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.now = when
-            self._events_processed += 1
-            handle.fn(*handle.args)
-            count += 1
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                entry = heap[0]
+                when = entry[0]
+                if when > deadline:
+                    break
+                pop(heap)
+                handle = entry[2]
+                if handle.cancelled:
+                    continue
+                self.now = when
+                count += 1
+                handle.fn(*handle.args)
+        finally:
+            # Nothing reads the counter mid-run, so it is batched out of
+            # the inner loop (this method executes every event of a run).
+            self._events_processed += count
         if self.now < deadline:
             self.now = deadline
         return count

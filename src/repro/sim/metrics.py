@@ -18,6 +18,28 @@ import bisect
 import math
 from typing import Dict, List, Optional, Tuple
 
+# ---------------------------------------------------------------------------
+# Zero-allocation ("lean") mode
+# ---------------------------------------------------------------------------
+# When enabled, registries hand out :class:`LeanHistogram` instances that
+# write into pre-sized reservoirs instead of growing a list sample by
+# sample.  Observed values, ordering and every derived statistic are
+# bit-identical to the reference histogram (the differential battery
+# asserts this); only the allocation pattern changes.  Toggled per
+# scenario by repro.workloads.scenarios.
+
+_LEAN_METRICS = False
+LEAN_RESERVOIR = 4096
+
+
+def set_lean_metrics(enabled: bool) -> None:
+    global _LEAN_METRICS
+    _LEAN_METRICS = bool(enabled)
+
+
+def lean_metrics_enabled() -> bool:
+    return _LEAN_METRICS
+
 
 class Counter:
     """A monotonically increasing event counter."""
@@ -49,8 +71,10 @@ class Counter:
     def _value_at(self, t: float) -> int:
         if not self._marks:
             return self.value
-        times = [m[0] for m in self._marks]
-        idx = bisect.bisect_right(times, t) - 1
+        # (t, inf) sorts after every (t, value) mark at the same time,
+        # so this is bisect_right on the time component without building
+        # a separate key list.
+        idx = bisect.bisect_right(self._marks, (t, math.inf)) - 1
         if idx < 0:
             return 0
         return self._marks[idx][1]
@@ -78,7 +102,7 @@ class Histogram:
 
     def _sorted(self) -> List[float]:
         if self._sorted_cache is None:
-            self._sorted_cache = sorted(self._samples)
+            self._sorted_cache = sorted(self.samples)
         return self._sorted_cache
 
     @property
@@ -92,23 +116,29 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        samples = self.samples
+        if not samples:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return sum(samples) / len(samples)
 
     @property
     def minimum(self) -> float:
-        return self._sorted()[0] if self._samples else 0.0
+        return self._sorted()[0] if self.count else 0.0
 
     @property
     def maximum(self) -> float:
-        return self._sorted()[-1] if self._samples else 0.0
+        return self._sorted()[-1] if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        An empty histogram reports 0.0 for every percentile rather than
+        raising; a single-sample histogram reports that sample for every
+        ``p``.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile out of range: {p}")
-        if not self._samples:
+        if not self.count:
             return 0.0
         ordered = self._sorted()
         if p == 0:
@@ -117,15 +147,16 @@ class Histogram:
         return ordered[rank - 1]
 
     def stddev(self) -> float:
-        n = len(self._samples)
+        samples = self.samples
+        n = len(samples)
         if n < 2:
             return 0.0
         mean = self.mean
-        return math.sqrt(sum((x - mean) ** 2 for x in self._samples) / (n - 1))
+        return math.sqrt(sum((x - mean) ** 2 for x in samples) / (n - 1))
 
     def stats_since(self, start_index: int) -> Dict[str, float]:
         """Summary stats over samples appended at/after ``start_index``."""
-        window = self._samples[start_index:]
+        window = self.samples[start_index:]
         if not window:
             return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
         ordered = sorted(window)
@@ -145,6 +176,39 @@ class Histogram:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class LeanHistogram(Histogram):
+    """Histogram writing into a pre-sized reservoir (zero-allocation mode).
+
+    ``observe`` stores into a preallocated buffer (doubled geometrically
+    when exhausted) instead of appending, so the steady-state hot path
+    allocates nothing.  All statistics are computed over exactly the
+    same values in the same order as the reference histogram.
+    """
+
+    def __init__(self, name: str = "", reserve: int = LEAN_RESERVOIR):
+        super().__init__(name)
+        self._buf: List[float] = [0.0] * max(1, reserve)
+        self._n = 0
+
+    def observe(self, value: float) -> None:
+        buf = self._buf
+        n = self._n
+        if n >= len(buf):
+            buf.extend([0.0] * len(buf))
+        buf[n] = value
+        self._n = n + 1
+        self._sorted_cache = None
+
+    @property
+    def samples(self) -> List[float]:
+        """Copy of the observed prefix, insertion order."""
+        return self._buf[: self._n]
+
+    @property
+    def count(self) -> int:
+        return self._n
 
 
 class TimeSeries:
@@ -254,7 +318,8 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram(f"{self.name}.{name}")
+            cls = LeanHistogram if _LEAN_METRICS else Histogram
+            self._histograms[name] = cls(f"{self.name}.{name}")
         return self._histograms[name]
 
     def series(self, name: str) -> TimeSeries:
@@ -277,6 +342,26 @@ class MetricsRegistry:
 
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deep, order-stable snapshot of every metric in the registry.
+
+        Two registries fed identical event streams produce equal
+        snapshots regardless of allocation mode -- this is the equality
+        the engine differential battery (tests/engine) compares.
+        """
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: tuple(h.samples)
+                for name, h in sorted(self._histograms.items())
+            },
+            "series": {
+                name: (tuple(s.times), tuple(s.values))
+                for name, s in sorted(self._series.items())
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -179,11 +179,14 @@ class Network:
         """Send a payload; returns the packet, or None if lost in flight."""
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node: {dst}")
-        link = self.link_for(src, dst)
+        pair = (src, dst)
+        link = self._links.get(pair)
+        if link is None:
+            link = self.default_link
         packet = Packet(src, dst, payload, self.loop.now)
         self.packets_sent += 1
 
-        if (src, dst) in self._blocked:
+        if pair in self._blocked:
             self.packets_dropped += 1
             self.packets_dropped_partition += 1
             return None
@@ -195,7 +198,8 @@ class Network:
         delay = link.latency
         if link.jitter > 0:
             delay += self.rng.uniform(0.0, link.jitter)
-        self.loop.schedule(delay, self._deliver, packet)
+        loop = self.loop
+        loop.schedule_at(loop.now + delay, self._deliver, packet)
         return packet
 
     def _deliver(self, packet: Packet) -> None:

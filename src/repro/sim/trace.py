@@ -68,16 +68,26 @@ class MessageTrace:
 
     Installed by wrapping :meth:`Network.send`; uninstall with
     :meth:`detach`.  ``max_entries`` bounds memory for long runs
-    (oldest entries are evicted).
+    (oldest entries are evicted).  ``sample_every=N`` records only every
+    N-th packet -- the zero-allocation mode for long benchmark runs,
+    where per-packet TraceEntry churn would dominate; sampled traces
+    still expose link/retransmission structure but not complete call
+    flows.
     """
 
-    def __init__(self, network: Network, max_entries: int = 100_000):
+    def __init__(self, network: Network, max_entries: int = 100_000,
+                 sample_every: int = 1):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.network = network
         self.max_entries = max_entries
+        self.sample_every = sample_every
         self.entries: List[TraceEntry] = []
         self.evicted = 0
+        self.skipped = 0
+        self._seen = 0
         self._original_send: Optional[Callable] = None
         self.attach()
 
@@ -92,6 +102,10 @@ class MessageTrace:
 
         def traced_send(src: str, dst: str, payload: Any):
             packet = original(src, dst, payload)
+            self._seen += 1
+            if self.sample_every > 1 and self._seen % self.sample_every:
+                self.skipped += 1
+                return packet
             entry = TraceEntry(
                 self.network.loop.now, src, dst, payload, dropped=packet is None
             )

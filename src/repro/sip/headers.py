@@ -12,11 +12,62 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Tuple
 
-from repro.sip.uri import SipUri, parse_uri
+from repro.sip.sdp import set_sdp_caching
+from repro.sip.uri import SipUri, parse_uri, set_uri_interning
 
 
 class SipHeaderError(ValueError):
     """Raised when a header value cannot be parsed."""
+
+
+# Fast-path parse caching (toggled by repro.sip.message.set_fast_path).
+# Parsed CSeq values come from a tiny vocabulary ("1 INVITE", "1 ACK",
+# "2 BYE", ...), so in fast mode successful parses are interned and the
+# shared instances handed out; they are treated as immutable everywhere.
+# Via values carry a unique branch per transaction, but each raw string
+# is parsed at several hops within the transaction's short life (request
+# forwarding, then response routing back over the same stack), so a
+# bounded recency cache still hits most lookups.  Eviction is
+# generational (new/old dict swap, hits promote) so the in-flight
+# working set survives the swap instead of being wiped with the corpses.
+_PARSE_CACHING = False
+_CSEQ_CACHE: Dict[str, "CSeq"] = {}
+_CSEQ_CACHE_MAX = 1024
+_VIA_CACHE: Dict[str, "Via"] = {}
+_VIA_CACHE_OLD: Dict[str, "Via"] = {}
+_VIA_CACHE_MAX = 8192
+
+
+def set_parse_caching(enabled: bool) -> None:
+    """Enable/disable fast-path parse interning (clears the caches)."""
+    global _PARSE_CACHING, _VIA_CACHE, _VIA_CACHE_OLD
+    _PARSE_CACHING = bool(enabled)
+    _CSEQ_CACHE.clear()
+    _VIA_CACHE = {}
+    _VIA_CACHE_OLD = {}
+    set_uri_interning(enabled)
+    set_sdp_caching(enabled)
+
+
+def parse_caching_enabled() -> bool:
+    return _PARSE_CACHING
+
+
+def seed_via_cache(raw: str, via: "Via") -> None:
+    """Pre-intern a locally-built Via under its wire form.
+
+    Every Via string in the system originates as ``str(via)`` of a
+    freshly-built, never-mutated :class:`Via` (see ``push_via``), so the
+    builder's object and ``Via.parse(raw)`` are interchangeable; seeding
+    turns the otherwise-compulsory first parse at the next hop into a
+    cache hit.  No-op outside fast mode.
+    """
+    if _PARSE_CACHING:
+        global _VIA_CACHE, _VIA_CACHE_OLD
+        if len(_VIA_CACHE) >= _VIA_CACHE_MAX:
+            _VIA_CACHE_OLD = _VIA_CACHE
+            _VIA_CACHE = {}
+        _VIA_CACHE[raw] = via
 
 
 # Canonical header names, including RFC 3261 compact forms.
@@ -57,16 +108,7 @@ _CANONICAL = {
 }
 
 
-def canonical_name(name: str) -> str:
-    """Canonicalize a header name, resolving compact forms.
-
-    >>> canonical_name("v")
-    'Via'
-    >>> canonical_name("CALL-ID")
-    'Call-ID'
-    >>> canonical_name("X-Servartuka-State")
-    'X-Servartuka-State'
-    """
+def _canonicalize(name: str) -> str:
     lowered = name.strip().lower()
     if lowered in _COMPACT_FORMS:
         return _COMPACT_FORMS[lowered]
@@ -78,6 +120,32 @@ def canonical_name(name: str) -> str:
     for token in name.strip().split("-"):
         parts.append(token[:1].upper() + token[1:] if token else token)
     return "-".join(parts)
+
+
+# canonical_name is the single hottest function in the simulator (every
+# header get/set goes through it) and is a pure str -> str map, so it is
+# memoized unconditionally.  The cap only guards against pathological
+# header-name churn; real traffic uses a few dozen names.
+_CANON_CACHE: Dict[str, str] = {}
+_CANON_CACHE_MAX = 4096
+
+
+def canonical_name(name: str) -> str:
+    """Canonicalize a header name, resolving compact forms.
+
+    >>> canonical_name("v")
+    'Via'
+    >>> canonical_name("CALL-ID")
+    'Call-ID'
+    >>> canonical_name("X-Servartuka-State")
+    'X-Servartuka-State'
+    """
+    cached = _CANON_CACHE.get(name)
+    if cached is None:
+        cached = _canonicalize(name)
+        if len(_CANON_CACHE) < _CANON_CACHE_MAX:
+            _CANON_CACHE[name] = cached
+    return cached
 
 
 def _parse_params(raw: str) -> Dict[str, Optional[str]]:
@@ -136,6 +204,25 @@ class Via(object):
 
     @classmethod
     def parse(cls, raw: str) -> "Via":
+        if _PARSE_CACHING:
+            global _VIA_CACHE, _VIA_CACHE_OLD
+            via = _VIA_CACHE.get(raw)
+            if via is not None:
+                return via
+            via = _VIA_CACHE_OLD.get(raw)
+            if via is None:
+                via = cls._parse_uncached(raw)
+            if len(_VIA_CACHE) >= _VIA_CACHE_MAX:
+                # Generation swap: the new generation (which holds the
+                # recently-touched working set) becomes the old one.
+                _VIA_CACHE_OLD = _VIA_CACHE
+                _VIA_CACHE = {}
+            _VIA_CACHE[raw] = via
+            return via
+        return cls._parse_uncached(raw)
+
+    @classmethod
+    def _parse_uncached(cls, raw: str) -> "Via":
         raw = raw.strip()
         match = re.match(r"SIP\s*/\s*2\.0\s*/\s*(\w+)\s+([^;\s]+)(.*)", raw, re.IGNORECASE)
         if not match:
@@ -244,6 +331,10 @@ class CSeq(object):
 
     @classmethod
     def parse(cls, raw: str) -> "CSeq":
+        if _PARSE_CACHING:
+            cached = _CSEQ_CACHE.get(raw)
+            if cached is not None:
+                return cached
         parts = raw.split()
         if len(parts) != 2:
             raise SipHeaderError(f"bad CSeq: {raw!r}")
@@ -251,7 +342,10 @@ class CSeq(object):
             number = int(parts[0])
         except ValueError:
             raise SipHeaderError(f"bad CSeq number: {raw!r}") from None
-        return cls(number, parts[1])
+        parsed = cls(number, parts[1])
+        if _PARSE_CACHING and len(_CSEQ_CACHE) < _CSEQ_CACHE_MAX:
+            _CSEQ_CACHE[raw] = parsed
+        return parsed
 
     def next_in_dialog(self, method: str) -> "CSeq":
         return CSeq(self.number + 1, method)

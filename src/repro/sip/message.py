@@ -15,15 +15,67 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.sip.headers import (
+    _CANON_CACHE,
     CSeq,
     NameAddr,
     SipHeaderError,
     Via,
     canonical_name,
+    seed_via_cache,
+    set_parse_caching,
 )
 from repro.sip.uri import SipUri, parse_uri
 
 SIP_VERSION = "SIP/2.0"
+
+# Sentinel distinguishing "not cached" from a legitimately-cached None.
+_MISSING = object()
+
+# ---------------------------------------------------------------------------
+# Engine modes (the simulator's "serialization" layer)
+# ---------------------------------------------------------------------------
+# In the simulator a hop hands over ``message.copy()`` where a real stack
+# would put the message on the wire.  Three rungs, all observationally
+# identical (tests/engine/test_differential.py proves it):
+#
+# - ``"reference"`` -- wire-faithful: every copy serializes with
+#   :meth:`SipMessage.to_wire` and re-parses with
+#   ``repro.sip.parser.parse_message``, paying exactly what a real
+#   stack pays per hop.  The baseline the bench compares against.
+# - ``"copy"`` -- the seed's light copy: duplicate the header list and
+#   drop parsed views (a cheap stand-in for serialization).  Default.
+# - ``"fast"`` -- copy-on-write: share the header list, carry parsed
+#   views across the copy, parse only the top Via when the full stack
+#   is not needed, and intern small parse vocabularies (URIs, CSeq,
+#   Via, SDP).
+#
+# The mode is process-global and set per scenario construction.
+_FAST_PATH = False
+_WIRE_COPY = False
+_ENGINE_MODES = ("reference", "copy", "fast")
+
+
+def set_engine_mode(mode: str) -> None:
+    """Select how ``copy()`` models the wire (see module comment)."""
+    if mode not in _ENGINE_MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; one of {_ENGINE_MODES}")
+    global _FAST_PATH, _WIRE_COPY
+    _FAST_PATH = mode == "fast"
+    _WIRE_COPY = mode == "reference"
+    set_parse_caching(_FAST_PATH)
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Toggle copy-on-write message passing + parse interning."""
+    set_engine_mode("fast" if enabled else "copy")
+
+
+def fast_path_enabled() -> bool:
+    return _FAST_PATH
+
+
+def engine_mode() -> str:
+    return "fast" if _FAST_PATH else ("reference" if _WIRE_COPY else "copy")
 
 # Methods the simulator understands; others parse fine but have no
 # special transaction semantics.
@@ -61,32 +113,46 @@ class SipMessage:
         self.body = body
         self.parse_touches = 0
         self._cache: Dict[str, object] = {}
+        # True while self.headers may be shared with a fast-path clone;
+        # in-place mutators must materialize a private list first.
+        self._cow = False
+
+    def _own_headers(self) -> None:
+        if self._cow:
+            self.headers = list(self.headers)
+            self._cow = False
 
     # ------------------------------------------------------------------
     # Raw header access
     # ------------------------------------------------------------------
+    # Header access is the hottest message-layer path; the canonical-name
+    # memo in repro.sip.headers is probed inline (falling back to the
+    # full canonicalizer on a miss) to skip a function call per lookup.
+
     def get(self, name: str) -> Optional[str]:
         """First raw value for a header, or None."""
-        wanted = canonical_name(name)
+        wanted = _CANON_CACHE.get(name) or canonical_name(name)
         for header, value in self.headers:
             if header == wanted:
                 return value
         return None
 
     def get_all(self, name: str) -> List[str]:
-        wanted = canonical_name(name)
+        wanted = _CANON_CACHE.get(name) or canonical_name(name)
         return [value for header, value in self.headers if header == wanted]
 
     def set(self, name: str, value: str) -> None:
         """Replace all instances of a header with a single value."""
-        wanted = canonical_name(name)
+        wanted = _CANON_CACHE.get(name) or canonical_name(name)
         self.headers = [(h, v) for h, v in self.headers if h != wanted]
+        self._cow = False
         self.headers.append((wanted, value))
         self._invalidate(wanted)
 
     def add(self, name: str, value: str, at_top: bool = False) -> None:
         """Append (or prepend) one more instance of a header."""
-        wanted = canonical_name(name)
+        wanted = _CANON_CACHE.get(name) or canonical_name(name)
+        self._own_headers()
         if at_top:
             self.headers.insert(0, (wanted, value))
         else:
@@ -98,6 +164,7 @@ class SipMessage:
         wanted = canonical_name(name)
         before = len(self.headers)
         self.headers = [(h, v) for h, v in self.headers if h != wanted]
+        self._cow = False
         self._invalidate(wanted)
         return before - len(self.headers)
 
@@ -106,6 +173,11 @@ class SipMessage:
 
     def _invalidate(self, name: str) -> None:
         self._cache.pop(name, None)
+        if name == "Via":
+            self._cache.pop("_top_via", None)
+            self._cache.pop("_txn_key", None)
+        elif name == "CSeq":
+            self._cache.pop("_txn_key", None)
 
     def _cached(self, key: str, builder) -> object:
         if key not in self._cache:
@@ -123,11 +195,30 @@ class SipMessage:
 
     @property
     def top_via(self) -> Optional[Via]:
+        if _FAST_PATH:
+            # Parse only the topmost Via; transaction matching and
+            # response routing never need the rest of the stack.  Falls
+            # back to the full-stack cache when it already exists.
+            cache = self._cache
+            top = cache.get("_top_via", _MISSING)
+            if top is not _MISSING:
+                return top
+            stack = cache.get("Via")
+            if stack is not None:
+                return stack[0] if stack else None
+            raw = self.get("Via")
+            top = Via.parse(raw) if raw is not None else None
+            self.parse_touches += 1
+            self._cache["_top_via"] = top
+            return top
         vias = self.vias
         return vias[0] if vias else None
 
     def push_via(self, via: Via) -> None:
-        self.add("Via", str(via), at_top=True)
+        raw = str(via)
+        if _FAST_PATH:
+            seed_via_cache(raw, via)
+        self.add("Via", raw, at_top=True)
 
     def pop_via(self) -> Optional[Via]:
         """Remove and return the topmost Via (response forwarding)."""
@@ -135,6 +226,7 @@ class SipMessage:
         if top is None:
             return None
         wanted = canonical_name("Via")
+        self._own_headers()
         for index, (header, _value) in enumerate(self.headers):
             if header == wanted:
                 del self.headers[index]
@@ -144,24 +236,39 @@ class SipMessage:
 
     @property
     def from_(self) -> NameAddr:
+        cached = self._cache.get("From")
+        if cached is not None:
+            return cached
         raw = self.get("From")
         if raw is None:
             raise SipHeaderError("missing From header")
-        return self._cached("From", lambda: NameAddr.parse(raw))
+        self.parse_touches += 1
+        value = self._cache["From"] = NameAddr.parse(raw)
+        return value
 
     @property
     def to(self) -> NameAddr:
+        cached = self._cache.get("To")
+        if cached is not None:
+            return cached
         raw = self.get("To")
         if raw is None:
             raise SipHeaderError("missing To header")
-        return self._cached("To", lambda: NameAddr.parse(raw))
+        self.parse_touches += 1
+        value = self._cache["To"] = NameAddr.parse(raw)
+        return value
 
     @property
     def cseq(self) -> CSeq:
+        cached = self._cache.get("CSeq")
+        if cached is not None:
+            return cached
         raw = self.get("CSeq")
         if raw is None:
             raise SipHeaderError("missing CSeq header")
-        return self._cached("CSeq", lambda: CSeq.parse(raw))
+        self.parse_touches += 1
+        value = self._cache["CSeq"] = CSeq.parse(raw)
+        return value
 
     @property
     def call_id(self) -> str:
@@ -192,13 +299,20 @@ class SipMessage:
         ACK and CANCEL match the INVITE transaction they refer to, so
         their method component maps to INVITE.
         """
+        if _FAST_PATH:
+            key = self._cache.get("_txn_key")
+            if key is not None:
+                return key
         via = self.top_via
         if via is None or not via.branch:
             raise SipHeaderError("cannot compute transaction key without a Via branch")
         method = self.cseq.method
         if method in ("ACK", "CANCEL"):
             method = "INVITE"
-        return (via.branch, via.sent_by, method)
+        key = (via.branch, via.sent_by, method)
+        if _FAST_PATH:
+            self._cache["_txn_key"] = key
+        return key
 
     def dialog_key(self) -> Tuple[str, Optional[str], Optional[str]]:
         """(Call-ID, from-tag, to-tag) -- unordered dialog identifier."""
@@ -253,7 +367,26 @@ class SipRequest(SipMessage):
 
     def copy(self) -> "SipRequest":
         """Independent copy (headers list is duplicated; URIs are shared
-        since they are treated as immutable)."""
+        since they are treated as immutable).
+
+        Fast path: the header list is shared copy-on-write (mutators
+        materialize a private list before touching it) and the parsed
+        header views ride along, since both sides treat views as
+        immutable.  Protocol-visible behavior is identical.
+        """
+        if _FAST_PATH:
+            clone = SipRequest.__new__(SipRequest)
+            clone.method = self.method
+            clone.uri = self.uri
+            clone.body = self.body
+            clone.headers = self.headers
+            clone.parse_touches = 0
+            clone._cache = dict(self._cache)
+            clone._cow = True
+            self._cow = True
+            return clone
+        if _WIRE_COPY:
+            return _wire_copy(self)
         clone = SipRequest(self.method, self.uri, list(self.headers), self.body)
         return clone
 
@@ -292,11 +425,15 @@ class SipRequest(SipMessage):
         request = cls(method, parse_uri(uri), body=body)
         from_na = NameAddr(parse_uri(from_addr), tag=from_tag)
         to_na = NameAddr(parse_uri(to_addr), tag=to_tag)
-        request.set("From", str(from_na))
-        request.set("To", str(to_na))
-        request.set("Call-ID", call_id)
-        request.set("CSeq", str(CSeq(cseq, method)))
-        request.set("Max-Forwards", str(max_forwards))
+        # Equivalent to set() per header on an empty message; built
+        # directly to skip the per-call replace scans.
+        request.headers = [
+            ("From", str(from_na)),
+            ("To", str(to_na)),
+            ("Call-ID", call_id),
+            ("CSeq", str(CSeq(cseq, method))),
+            ("Max-Forwards", str(max_forwards)),
+        ]
         return request
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -335,6 +472,19 @@ class SipResponse(SipMessage):
         return 200 <= self.status < 300
 
     def copy(self) -> "SipResponse":
+        if _FAST_PATH:
+            clone = SipResponse.__new__(SipResponse)
+            clone.status = self.status
+            clone.reason = self.reason
+            clone.body = self.body
+            clone.headers = self.headers
+            clone.parse_touches = 0
+            clone._cache = dict(self._cache)
+            clone._cow = True
+            self._cow = True
+            return clone
+        if _WIRE_COPY:
+            return _wire_copy(self)
         return SipResponse(self.status, self.reason, list(self.headers), self.body)
 
     @classmethod
@@ -349,20 +499,34 @@ class SipResponse(SipMessage):
         To (optionally adding a tag), Call-ID and CSeq from the request.
         """
         response = cls(status, reason)
-        for value in request.get_all("Via"):
-            response.add("Via", value)
-        response.set("From", request.get("From") or "")
         to_value = request.get("To") or ""
         if to_tag is not None and ";tag=" not in to_value:
             to_value = f"{to_value};tag={to_tag}"
-        response.set("To", to_value)
-        response.set("Call-ID", request.call_id)
-        response.set("CSeq", request.get("CSeq") or "")
-        # Record-Route is mirrored into responses so dialogs learn the
-        # proxy route set (RFC 3261 16.7).
+        # Same header list the add()/set() sequence would produce on a
+        # fresh message, built in one pass.  Record-Route is mirrored
+        # into responses so dialogs learn the proxy route set
+        # (RFC 3261 16.7).
+        headers = [("Via", value) for value in request.get_all("Via")]
+        headers.append(("From", request.get("From") or ""))
+        headers.append(("To", to_value))
+        headers.append(("Call-ID", request.call_id))
+        headers.append(("CSeq", request.get("CSeq") or ""))
         for value in request.get_all("Record-Route"):
-            response.add("Record-Route", value)
+            headers.append(("Record-Route", value))
+        response.headers = headers
         return response
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<SipResponse {self.status} {self.reason}>"
+
+
+def _wire_copy(message: SipMessage) -> SipMessage:
+    """Reference-engine copy: a real wire round trip.
+
+    Serializes the message and re-parses the octets, exactly what two
+    processes on a LAN would do per hop.  Imported lazily because
+    ``repro.sip.parser`` imports this module.
+    """
+    from repro.sip.parser import parse_message
+
+    return parse_message(message.to_wire())

@@ -17,6 +17,7 @@ every message type the evaluation produces.
 
 from __future__ import annotations
 
+import re
 from typing import List, Tuple, Union
 
 from repro.sip.headers import canonical_name, parse_comma_separated
@@ -33,12 +34,17 @@ class SipParseError(ValueError):
 
 
 def _split_head_body(raw: str) -> Tuple[List[str], str]:
-    raw = raw.replace("\r\n", "\n")
-    head, sep, body = raw.partition("\n\n")
-    if not sep:
+    # Only the head section is line-ending-normalized: the body is a
+    # Content-Length-governed octet string (RFC 3261 7.4) and must pass
+    # through byte-exact -- normalizing CRLF inside an SDP body would
+    # shrink it below its declared length.
+    match = re.search(r"\r?\n\r?\n", raw)
+    if match:
+        head, body = raw[: match.start()], raw[match.end():]
+    else:
         # Headers with no body section; tolerate a missing blank line.
-        head, body = raw.rstrip("\n"), ""
-    return head.split("\n"), body
+        head, body = raw.rstrip("\r\n"), ""
+    return head.replace("\r\n", "\n").split("\n"), body
 
 
 def _unfold(lines: List[str]) -> List[str]:
@@ -94,6 +100,10 @@ def parse_message(raw: Union[str, bytes]) -> SipMessage:
             raise SipParseError(f"undecodable message: {exc}") from None
     if not raw.strip():
         raise SipParseError("empty message")
+    # Leading CRLFs are stream keep-alives (RFC 3261 section 7.5):
+    # ignore them rather than mistaking the blank line for an empty
+    # head section.  Start lines never begin with CR or LF.
+    raw = raw.lstrip("\r\n")
 
     lines, body = _split_head_body(raw)
     start = lines[0].strip()
@@ -129,11 +139,19 @@ def parse_message(raw: Union[str, bytes]) -> SipMessage:
             length = int(declared)
         except ValueError:
             raise SipParseError(f"bad Content-Length: {declared!r}") from None
+        if length < 0:
+            # A negative value would silently slice octets off the *end*
+            # of the body (Python's negative indexing); reject it.
+            raise SipParseError(f"negative Content-Length: {length}")
         encoded = body.encode("utf-8")
         if len(encoded) < length:
             raise SipParseError(
                 f"truncated body: declared {length}, received {len(encoded)}"
             )
-        body = encoded[:length].decode("utf-8", errors="strict")
+        try:
+            body = encoded[:length].decode("utf-8", errors="strict")
+        except UnicodeDecodeError as exc:
+            # Content-Length cut through a multi-byte sequence.
+            raise SipParseError(f"body truncation splits a character: {exc}") from None
     message.body = body
     return message

@@ -34,9 +34,11 @@ from repro.servers.proxy import (
 from repro.servers.uac import CallGenerator, CallGeneratorConfig
 from repro.servers.uas import AnsweringServer
 from repro.sim.events import EventLoop
+from repro.sim.metrics import set_lean_metrics
 from repro.sim.network import Network
 from repro.sim.rng import RngStream
 from repro.sip.digest import CredentialStore
+from repro.sip.message import set_engine_mode
 from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
 
 # Shared digest-auth material for scenarios with authentication: the
@@ -70,9 +72,15 @@ class ScenarioConfig:
         hold_time: float = 0.0,
         timers: Optional[TimerPolicy] = None,
         servartuka: Optional[ServartukaConfig] = None,
+        engine: str = "copy",
+        lean_metrics: Optional[bool] = None,
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
+        if engine not in ("reference", "copy", "fast"):
+            raise ValueError(
+                f"unknown engine {engine!r}; 'reference', 'copy' or 'fast'"
+            )
         self.scale = scale
         self.seed = seed
         self.noise_sigma = noise_sigma
@@ -94,6 +102,28 @@ class ScenarioConfig:
         self.reject_queue_delay = reject_queue_delay
         self.max_queue_delay = max_queue_delay
         self.servartuka = servartuka or ServartukaConfig(period=monitor_period)
+        #: ``"reference"`` runs the plain heap loop and wire-faithful
+        #: message passing (every hop serializes with ``to_wire`` and
+        #: re-parses, exactly what a real SIP stack pays); ``"copy"``
+        #: (the default) keeps the heap loop but hands over light object
+        #: copies; ``"fast"`` runs the timer-wheel loop, copy-on-write
+        #: messages and parse/cost memoization.  All three engines are
+        #: required to produce bit-identical results (enforced by
+        #: tests/engine/test_differential.py) -- only wall-clock differs.
+        self.engine = engine
+        #: Zero-allocation metrics mode (pre-sized histogram reservoirs).
+        #: Defaults to on for the fast engine, off for reference.
+        self.lean_metrics = (engine == "fast") if lean_metrics is None else lean_metrics
+
+    def make_event_loop(self) -> EventLoop:
+        if self.engine == "fast":
+            from repro.sim.timers_wheel import WheelEventLoop
+
+            # Level-0 buckets sized to T1 so retransmission timers (T1,
+            # 2*T1, ... 64*T1) spread across the hierarchy instead of
+            # the heap.
+            return WheelEventLoop(bucket_width=max(self.timers.t1, 1e-3))
+        return EventLoop()
 
     def make_cost_model(self) -> CostModel:
         return CostModel(
@@ -101,6 +131,7 @@ class ScenarioConfig:
             t_sl=self.t_sl,
             scale=self.scale,
             via_overhead=self.via_overhead,
+            memoize=self.engine == "fast",
         )
 
     def make_policy(self, spec: str) -> StatePolicy:
@@ -135,7 +166,12 @@ class Scenario:
     def __init__(self, name: str, config: ScenarioConfig):
         self.name = name
         self.config = config
-        self.loop = EventLoop()
+        # Engine toggles are process-global (parser caches, metrics
+        # allocation mode); constructing a scenario flips them in BOTH
+        # directions so interleaved reference/fast runs stay honest.
+        set_engine_mode(config.engine)
+        set_lean_metrics(config.lean_metrics)
+        self.loop = config.make_event_loop()
         self.rng = RngStream(config.seed, name)
         self.network = Network(self.loop, self.rng.spawn("net"))
         self.cost_model = config.make_cost_model()
@@ -157,16 +193,20 @@ class Scenario:
         self.faults = injector
         return injector
 
-    def enable_trace(self, max_entries: int = 100_000):
-        """Record every packet for ladder diagrams / flow inspection.
+    def enable_trace(self, max_entries: int = 100_000,
+                     sample_every: int = 1):
+        """Record packets for ladder diagrams / flow inspection.
 
         Returns the :class:`repro.sim.trace.MessageTrace`.  Costs one
-        object per message; leave off for capacity sweeps.
+        object per recorded message; ``sample_every=N`` keeps only every
+        N-th packet (zero-allocation mode for long fast-path runs);
+        leave off entirely for capacity sweeps.
         """
         from repro.sim.trace import MessageTrace
 
         if self.trace is None:
-            self.trace = MessageTrace(self.network, max_entries)
+            self.trace = MessageTrace(self.network, max_entries,
+                                      sample_every=sample_every)
         return self.trace
 
     # ------------------------------------------------------------------

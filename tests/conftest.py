@@ -53,3 +53,47 @@ def fast_config(fast_timers):
         monitor_period=0.5,
         timers=fast_timers,
     )
+
+
+# ---------------------------------------------------------------------------
+# Golden (snapshot) files
+# ---------------------------------------------------------------------------
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files instead of comparing to them",
+    )
+
+
+@pytest.fixture
+def golden(request, pytestconfig):
+    """Compare ``text`` against ``tests/golden/<name>``.
+
+    With ``--update-golden`` the file is (re)written instead, so
+    intentional output changes are reviewed as plain diffs of the
+    committed snapshot.
+    """
+    import pathlib
+
+    def check(name: str, text: str) -> None:
+        path = pathlib.Path(__file__).parent / "golden" / name
+        if pytestconfig.getoption("--update-golden"):
+            path.parent.mkdir(exist_ok=True)
+            path.write_text(text)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} missing; run with --update-golden "
+                f"to create it"
+            )
+        expected = path.read_text()
+        assert text == expected, (
+            f"output differs from golden snapshot {name}; if the change "
+            f"is intentional, rerun with --update-golden and review the "
+            f"diff"
+        )
+
+    return check

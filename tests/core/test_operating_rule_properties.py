@@ -1,0 +1,308 @@
+"""Property tests for the equation-(8) operating rule and Algorithms 1/2.
+
+``tests/core/test_analysis.py`` pins equation (8) at the paper's
+measured capacities; this file asserts the *structural* properties over
+randomized capacity pairs and loads:
+
+- the operating rule is continuous at the knee ``t = T_SF``,
+- its output is always feasible (``0 <= t_SF(t) <= t``),
+- above the knee the stateful share is monotone non-increasing in the
+  offered load (state is only ever shed, never re-acquired, as load
+  grows),
+- in the shedding regime the node runs at exactly full utilization,
+- the series LP optimum is pointwise consistent with equation (8).
+
+Plus the invariants of the distributed realization:
+
+- **Algorithm 1** (per-message decision): counter conservation, the
+  myshare admission rule, and the statefulness guarantee for exit /
+  in-transaction traffic,
+- **Algorithm 2** (periodic planning): nonnegative shares, unlimited
+  shares below the knee, a feasible plan (or an overload report
+  upstream when no plan fits), and a clean slate after a crash.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    optimal_stateful_rate,
+    series_optimal_throughput,
+    utilization_at,
+)
+from repro.core.servartuka import DELIVER, ServartukaConfig, ServartukaPolicy
+
+# Strictly t_sf < t_sl: state must cost something for the rule to bite.
+capacity_pairs = st.tuples(
+    st.floats(min_value=200.0, max_value=20_000.0),
+    st.floats(min_value=0.30, max_value=0.95),
+).map(lambda pair: (pair[0] * pair[1], pair[0]))
+
+
+# ---------------------------------------------------------------------------
+# Equation (8): the operating rule itself
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(pair=capacity_pairs, frac=st.floats(min_value=0.0, max_value=3.0))
+def test_output_is_always_feasible(pair, frac):
+    """0 <= t_SF(t) <= t for every capacity pair and load."""
+    t_sf, t_sl = pair
+    load = frac * t_sl
+    stateful = optimal_stateful_rate(load, t_sf, t_sl)
+    assert 0.0 <= stateful <= load + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=capacity_pairs)
+def test_continuity_at_the_knee(pair):
+    """Both branches of equation (8) meet at t = T_SF with value T_SF:
+    algebraically (1 - T_SF/t_sl) / (alpha - beta) == T_SF."""
+    t_sf, t_sl = pair
+    at_knee = optimal_stateful_rate(t_sf, t_sf, t_sl)
+    assert at_knee == t_sf  # first branch, exactly
+    eps = t_sf * 1e-9
+    above = optimal_stateful_rate(t_sf + eps, t_sf, t_sl)
+    assert abs(above - t_sf) <= t_sf * 1e-6
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    pair=capacity_pairs,
+    fracs=st.tuples(
+        st.floats(min_value=1.0, max_value=3.0),
+        st.floats(min_value=1.0, max_value=3.0),
+    ),
+)
+def test_monotone_non_increasing_above_the_knee(pair, fracs):
+    """Past the knee, more load can only mean less state."""
+    t_sf, t_sl = pair
+    lo, hi = sorted(t_sf * f for f in fracs)
+    assert (
+        optimal_stateful_rate(hi, t_sf, t_sl)
+        <= optimal_stateful_rate(lo, t_sf, t_sl) + 1e-9
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=capacity_pairs,
+       frac=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+def test_full_utilization_in_the_shedding_regime(pair, frac):
+    """Second branch of (8): the node is pinned at exactly 100%.
+
+    ``frac`` interpolates the load between T_SF and T_SL.
+    """
+    t_sf, t_sl = pair
+    load = t_sf + frac * (t_sl - t_sf)
+    stateful = optimal_stateful_rate(load, t_sf, t_sl)
+    if 0.0 < stateful:
+        utilization = utilization_at(stateful, load - stateful, t_sf, t_sl)
+        assert abs(utilization - 1.0) <= 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(pair=capacity_pairs, frac=st.floats(min_value=1.0, max_value=4.0))
+def test_zero_state_at_and_beyond_the_stateless_limit(pair, frac):
+    t_sf, t_sl = pair
+    # Allow for float residue of (1 - beta * t_sl) at exactly t = T_SL.
+    assert optimal_stateful_rate(t_sl * frac, t_sf, t_sl) <= 1e-9 * t_sl
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(capacity_pairs, min_size=1, max_size=5),
+)
+def test_series_optimum_consistent_with_equation_8(pairs):
+    """At the LP optimum every node's share *is* equation (8)'s answer
+    for the optimal throughput, and every node is fully utilized."""
+    try:
+        throughput, shares = series_optimal_throughput(pairs)
+    except ValueError:
+        # Heterogeneous enough that the closed form hands off to the LP.
+        return
+    assert throughput > 0
+    for (t_sf, t_sl), share in zip(pairs, shares):
+        expected = optimal_stateful_rate(throughput, t_sf, t_sl)
+        assert abs(share - expected) <= max(1e-6, 1e-9 * t_sl)
+        utilization = utilization_at(
+            share, max(0.0, throughput - share), t_sf, t_sl
+        )
+        assert abs(utilization - 1.0) <= 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Algorithms 1 and 2: the distributed realization
+# ---------------------------------------------------------------------------
+
+class _StubProxy:
+    """Minimal proxy double: fixed thresholds + a broadcast recorder."""
+
+    def __init__(self, t_sf: float, t_sl: float):
+        self._pair = (t_sf, t_sl)
+        self.broadcasts = []
+
+    def resource_thresholds(self, resource: str):
+        return self._pair
+
+    def broadcast_overload(self, **kwargs):
+        self.broadcasts.append(kwargs)
+
+
+def _policy(t_sf=10_360.0, t_sl=12_300.0, **config):
+    policy = ServartukaPolicy(ServartukaConfig(**config))
+    proxy = _StubProxy(t_sf, t_sl)
+    policy.attach(proxy)
+    policy.on_period(0.0)  # arm the first period
+    return policy, proxy
+
+
+# One decide() call: (path index, already_stateful, in_transaction, is_exit).
+decision_calls = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(calls=decision_calls, myshare=st.integers(min_value=0, max_value=50))
+def test_algorithm1_counter_conservation(calls, myshare):
+    """Every received request lands in exactly one bucket per path:
+    stateful, forwarded-already-stateful (FASF), or relinquished."""
+    policy, _ = _policy()
+    for index, already, in_txn, is_exit in calls:
+        stats = policy.path(DELIVER if is_exit else f"P{index}")
+        stats.myshare = float(myshare)
+        policy.decide(f"P{index}", already, in_txn, is_exit)
+    total_rcv = sum(s.rcv_count for s in policy.paths.values())
+    total_sf = sum(s.sf_count for s in policy.paths.values())
+    assert total_rcv == policy.tot_rcv == len(calls)
+    assert total_sf == policy.tot_sf <= total_rcv
+    for stats in policy.paths.values():
+        assert (
+            stats.sf_count + stats.fasf_count + stats.nasf_forwarded
+            == stats.rcv_count
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=0, max_value=60),
+       myshare=st.integers(min_value=0, max_value=40))
+def test_algorithm1_myshare_admission_rule(n, myshare):
+    """Fresh non-exit requests are taken statefully iff the path's
+    stateful count is still below myshare: exactly min(n, myshare)."""
+    policy, _ = _policy()
+    policy.path("P1").myshare = float(myshare)
+    taken = sum(
+        policy.decide("P1", False, False, False).stateful for _ in range(n)
+    )
+    assert taken == min(n, myshare)
+    assert policy.path("P1").nasf_forwarded == n - taken
+
+
+@settings(max_examples=60, deadline=None)
+@given(calls=decision_calls)
+def test_algorithm1_statefulness_guarantee(calls):
+    """Upstream state is never duplicated; exit and in-transaction
+    traffic is always held statefully (someone must own the call)."""
+    policy, _ = _policy()
+    for index, already, in_txn, is_exit in calls:
+        policy.path(DELIVER if is_exit else f"P{index}").myshare = 0.0
+        decision = policy.decide(f"P{index}", already, in_txn, is_exit)
+        if already:
+            assert not decision.stateful
+        elif in_txn or is_exit:
+            assert decision.stateful
+
+
+def _run_period(policy, per_path_counts, elapsed=1.0, exit_count=0):
+    for index, count in enumerate(per_path_counts):
+        for _ in range(count):
+            policy.decide(f"P{index}", False, False, False)
+    for _ in range(exit_count):
+        policy.decide("ignored", False, False, True)
+    policy.on_period(policy._last_period_at + elapsed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts=st.lists(st.integers(min_value=0, max_value=400),
+                       min_size=1, max_size=3))
+def test_algorithm2_below_knee_everything_unlimited(counts):
+    """msg_rate <= T_SF: first branch of (8), every share unlimited and
+    no overload report goes out."""
+    policy, proxy = _policy(t_sf=10_360.0, t_sl=12_300.0)
+    _run_period(policy, counts, elapsed=1.0)
+    assert policy.last_msg_rate <= 10_360.0
+    for stats in policy.paths.values():
+        assert stats.myshare == math.inf
+    assert proxy.broadcasts == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=2_000, max_value=9_000),
+                    min_size=1, max_size=3),
+    exit_count=st.integers(min_value=0, max_value=4_000),
+)
+def test_algorithm2_above_knee_plans_are_feasible(counts, exit_count):
+    """msg_rate > T_SF: shares are nonnegative and finite for delegable
+    paths, the deliver path stays unlimited, and the planned stateful
+    rate fits the feasibility bound -- or an overload report is sent."""
+    t_sf, t_sl = 10_360.0, 12_300.0
+    policy, proxy = _policy(t_sf=t_sf, t_sl=t_sl)
+    while sum(counts) + exit_count <= t_sf:  # force the second branch
+        counts = [c * 2 for c in counts]
+    _run_period(policy, counts, elapsed=1.0, exit_count=exit_count)
+    assert policy.last_msg_rate > t_sf
+
+    # feasible_sf is equation (8) evaluated at the observed rate.
+    expected = optimal_stateful_rate(policy.last_msg_rate, t_sf, t_sl)
+    assert abs(policy.last_feasible_sf - expected) <= 1e-6 * t_sl
+
+    planned = 0.0
+    for key, stats in policy.paths.items():
+        if key == DELIVER:
+            assert stats.myshare == math.inf
+        else:
+            assert 0.0 <= stats.myshare < math.inf
+            planned += stats.myshare  # elapsed == 1.0: share == rate
+    overloaded = any(b["overloaded"] for b in proxy.broadcasts)
+    if not overloaded:
+        assert planned <= policy.last_feasible_sf * 1.05 + 1e-6
+
+
+def test_algorithm2_overloaded_paths_get_forced_absorption():
+    """A path that reported overload is granted exactly what it cannot
+    absorb (t_ip - c_ASF_ip - t_FASF_ip, clamped at zero)."""
+    from repro.core.overload import OverloadReport
+
+    policy, _ = _policy(t_sf=10_360.0, t_sl=12_300.0)
+    policy.on_overload_report(
+        OverloadReport(origin="P0", overloaded=True, c_asf_rate=3_000.0,
+                       sequence=1, resource="state"),
+        now=0.0,
+    )
+    _run_period(policy, [8_000, 6_000], elapsed=1.0)
+    stats = policy.paths["P0"]
+    assert stats.overload.overloaded
+    # 8,000 offered, 3,000 absorbable downstream, nothing already
+    # stateful: this node is forced to hold the 5,000 cps remainder.
+    assert stats.myshare == 8_000.0 - 3_000.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(counts=st.lists(st.integers(min_value=0, max_value=15_000),
+                       min_size=1, max_size=3))
+def test_algorithm2_crash_resets_to_clean_slate(counts):
+    policy, _ = _policy()
+    _run_period(policy, counts, elapsed=1.0)
+    policy.on_node_crash(now=5.0)
+    assert policy.paths == {}
+    assert policy.tot_rcv == policy.tot_sf == 0
+    assert policy.last_feasible_sf == math.inf
+    assert not policy.is_overloaded

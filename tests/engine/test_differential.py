@@ -1,0 +1,225 @@
+"""Differential battery: the three engines must be observationally equal.
+
+The simulator has three engine modes (``repro.workloads.scenarios``):
+
+- ``reference`` -- wire-faithful: every hop serializes the message and
+  re-parses the octets,
+- ``copy`` -- light object copies (the repo default),
+- ``fast`` -- timer-wheel loop, copy-on-write messages, parse interning
+  and lean metrics.
+
+The contract the fast path is allowed to exploit is *only wall-clock
+changes*: same RNG draw order, same event ordering, same costs, same
+counters.  This battery runs every experiment scenario family on all
+three engines across five seeds and asserts the full observable
+fingerprint is bit-identical (no tolerances anywhere):
+
+- every node's deep metrics snapshot (counters, gauges, histogram
+  sample sequences, time series),
+- call outcomes (attempted / completed / failed per generator, per-UAS
+  completions),
+- each SERvartuka proxy's ``myshare`` trajectory, sampled mid-run at
+  every slice boundary (so transient planning states are compared, not
+  just the final value),
+- network packet accounting and total events processed.
+"""
+
+import math
+
+import pytest
+
+from repro.core.servartuka import ServartukaPolicy
+from repro.harness.resilience import ResilienceParams, build_resilience_scenario
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+    two_series,
+)
+
+ENGINES = ("reference", "copy", "fast")
+SEEDS = (1, 2, 3, 4, 5)
+
+# Short timers + aggressive scale keep each run well under a second
+# while still exercising retransmissions, state decisions and overload.
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+RUN_FOR = 3.0
+DRAIN = 1.0
+SLICES = 6
+
+
+def _config(engine: str, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        scale=100.0,
+        seed=seed,
+        monitor_period=0.5,
+        timers=TIMERS,
+        engine=engine,
+    )
+
+
+# Scenario family -> builder(config).  Rates are paper-equivalent cps
+# chosen around each topology's knee so state-shedding actually engages.
+SCENARIOS = {
+    "single_proxy_auth": lambda config: single_proxy(
+        9_000, mode="authentication", config=config
+    ),
+    "two_series": lambda config: two_series(
+        11_000, policy="servartuka", config=config
+    ),
+    "three_series": lambda config: n_series(
+        3, 11_000, policy="servartuka", config=config
+    ),
+    "two_series_static": lambda config: two_series(
+        11_000, policy="static", config=config
+    ),
+    "internal_external": lambda config: internal_external(
+        11_000, 0.6, policy="servartuka", config=config
+    ),
+    "parallel_fork": lambda config: parallel_fork(
+        12_000, policy="servartuka", config=config
+    ),
+}
+
+
+def _myshare_sample(scenario) -> dict:
+    """Current myshare per (proxy, downstream path); inf is comparable."""
+    sample = {}
+    for name, proxy in sorted(scenario.proxies.items()):
+        policy = proxy.policy
+        if isinstance(policy, ServartukaPolicy):
+            sample[name] = {
+                key: stats.myshare
+                for key, stats in sorted(policy.paths.items())
+            }
+    return sample
+
+
+def _call_outcomes(scenario) -> dict:
+    return {
+        "uac": {
+            g.name: (g.calls_attempted, g.calls_completed, g.calls_failed)
+            for g in scenario.generators
+        },
+        "uas": {
+            s.name: (s.calls_received, s.calls_completed)
+            for s in scenario.servers
+        },
+    }
+
+
+def _registries(scenario) -> dict:
+    snaps = {}
+    for name, proxy in sorted(scenario.proxies.items()):
+        snaps[name] = proxy.metrics.snapshot()
+    for generator in scenario.generators:
+        snaps[f"uac:{generator.name}"] = generator.metrics.snapshot()
+    for server in scenario.servers:
+        snaps[f"uas:{server.name}"] = server.metrics.snapshot()
+    return snaps
+
+
+def _fingerprint(scenario, run_for: float = RUN_FOR, drain: float = DRAIN):
+    """Drive the scenario in slices, sampling myshare at each boundary."""
+    scenario.start()
+    trajectory = []
+    for i in range(1, SLICES + 1):
+        scenario.loop.run_until(run_for * i / SLICES)
+        trajectory.append(_myshare_sample(scenario))
+    scenario.stop_load()
+    scenario.loop.run_until(run_for + drain)
+    return {
+        "myshare_trajectory": trajectory,
+        "call_outcomes": _call_outcomes(scenario),
+        "registries": _registries(scenario),
+        "events": scenario.loop.events_processed,
+        "packets": (
+            scenario.network.packets_sent,
+            scenario.network.packets_dropped,
+        ),
+    }
+
+
+def _first_divergence(reference: dict, other: dict) -> str:
+    """Human-readable pointer at the first differing fingerprint part."""
+    for part in reference:
+        if reference[part] != other[part]:
+            if part != "registries":
+                return f"{part}: {reference[part]!r} != {other[part]!r}"
+            for node in reference[part]:
+                ref_node = reference[part][node]
+                other_node = other[part].get(node)
+                if ref_node != other_node:
+                    for section in ref_node:
+                        if ref_node[section] != other_node[section]:
+                            keys = [
+                                k for k in ref_node[section]
+                                if ref_node[section][k]
+                                != other_node[section].get(k)
+                            ]
+                            return (f"registries[{node}][{section}] "
+                                    f"differs at {keys[:3]}")
+            return part
+    return "no divergence"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_engines_bit_identical(name):
+    builder = SCENARIOS[name]
+    for seed in SEEDS:
+        fingerprints = {
+            engine: _fingerprint(builder(_config(engine, seed)))
+            for engine in ENGINES
+        }
+        reference = fingerprints["reference"]
+        for engine in ("copy", "fast"):
+            assert fingerprints[engine] == reference, (
+                f"{name} seed={seed}: {engine} diverges from reference -- "
+                + _first_divergence(reference, fingerprints[engine])
+            )
+
+
+def test_resilience_bit_identical():
+    """The fault campaign (crashes, loss, retransmission storms) is the
+    harshest ordering test: recovery hinges on exact timer interleaving."""
+    for seed in SEEDS:
+        fingerprints = {}
+        for engine in ENGINES:
+            params = ResilienceParams(
+                seed=seed,
+                scale=50.0,
+                crash_times=(1.7, 3.7),
+                run_for=5.0,
+                drain=3.0,
+                engine=engine,
+            )
+            scenario = build_resilience_scenario("servartuka", params)
+            fingerprints[engine] = _fingerprint(
+                scenario, run_for=params.run_for, drain=params.drain
+            )
+        reference = fingerprints["reference"]
+        for engine in ("copy", "fast"):
+            assert fingerprints[engine] == reference, (
+                f"resilience seed={seed}: {engine} diverges -- "
+                + _first_divergence(reference, fingerprints[engine])
+            )
+
+
+def test_myshare_trajectory_not_degenerate():
+    """Guard the battery itself: the sampled trajectories must contain
+    real planning activity (finite myshare after the knee), otherwise
+    the trajectory comparison above would be vacuous."""
+    config = _config("copy", 1)
+    fingerprint = _fingerprint(two_series(11_000, policy="servartuka",
+                                          config=config))
+    finite_seen = any(
+        any(
+            any(math.isfinite(v) for v in paths.values())
+            for paths in sample.values()
+        )
+        for sample in fingerprint["myshare_trajectory"]
+    )
+    assert finite_seen, "no finite myshare sampled; raise the test load"

@@ -1,0 +1,316 @@
+"""Unit tests for the hierarchical timer wheel (``repro.sim.timers_wheel``).
+
+The wheel's whole contract is "same observable behaviour as the
+reference :class:`~repro.sim.events.EventLoop`, less heap traffic".
+These tests pin that contract directly -- randomized schedule parity,
+same-instant tie-breaks, cancellation, pending accounting -- plus the
+wheel-specific machinery: level filing, bucket migration preserving
+``(when, seq)``, lazy-cancel compaction, and the error cases.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.timers_wheel import TimerWheel, WheelEventLoop, WheelHandle
+
+
+def _record(log, loop, tag):
+    log.append((round(loop.now, 9), tag))
+
+
+# ---------------------------------------------------------------------------
+# Behavioural parity with the reference loop
+# ---------------------------------------------------------------------------
+
+def test_firing_order_matches_reference_randomized():
+    """Randomized schedules spanning near, far and multi-level horizons
+    must fire in exactly the reference order, including the clock value
+    seen by each callback."""
+    for seed in range(5):
+        rng = random.Random(seed)
+        delays = (
+            [rng.uniform(0.0, 0.05) for _ in range(50)]     # near: heap
+            + [rng.uniform(0.1, 5.0) for _ in range(100)]   # level 0
+            + [rng.uniform(6.4, 300.0) for _ in range(50)]  # level 1
+            + [rng.uniform(410.0, 9000.0) for _ in range(20)]  # level 2
+        )
+        rng.shuffle(delays)
+
+        logs = {}
+        for loop in (EventLoop(), WheelEventLoop(bucket_width=0.1)):
+            log = logs[type(loop).__name__] = []
+            for i, delay in enumerate(delays):
+                loop.schedule(delay, _record, log, loop, i)
+            loop.run()
+        assert logs["WheelEventLoop"] == logs["EventLoop"], f"seed={seed}"
+
+
+def test_same_instant_ties_fire_in_scheduling_order():
+    """Entries for the same instant break ties by sequence number, even
+    when some were filed in the wheel and some directly in the heap."""
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+    when = 1.0
+    loop.schedule_at(when, fired.append, "wheel-first")
+    loop.schedule(when, fired.append, "wheel-second")
+    loop.run_until(0.99)
+    # Scheduled after time advanced: lands in the heap (delay < window
+    # of the remaining 0.01), yet must still fire *after* the earlier
+    # wheel entries for the same instant.
+    loop.schedule_at(when, fired.append, "heap-third")
+    loop.run()
+    assert fired == ["wheel-first", "wheel-second", "heap-third"]
+
+
+def test_run_until_matches_reference_with_interleaved_scheduling():
+    """Callbacks that schedule more work (the simulator's actual shape)
+    stay in lockstep with the reference loop across slice boundaries."""
+
+    def chain(loop, log, depth, delay):
+        log.append((round(loop.now, 9), depth))
+        if depth:
+            loop.schedule(delay, chain, loop, log, depth - 1, delay * 1.7)
+
+    logs = {}
+    for loop in (EventLoop(), WheelEventLoop(bucket_width=0.1)):
+        log = logs[type(loop).__name__] = []
+        for delay in (0.01, 0.3, 2.0, 40.0):
+            loop.schedule(delay, chain, loop, log, 6, delay)
+        counts = [loop.run_until(t) for t in (0.5, 5.0, 500.0)]
+        loop.run()
+        log.append(("counts", tuple(counts), loop.events_processed))
+    assert logs["WheelEventLoop"] == logs["EventLoop"]
+
+
+def test_cancellation_suppresses_firing_everywhere():
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+    near = loop.schedule(0.01, fired.append, "near")       # heap-resident
+    far = loop.schedule(3.0, fired.append, "far")          # wheel-resident
+    keep = loop.schedule(5.0, fired.append, "keep")
+    near.cancel()
+    far.cancel()
+    far.cancel()  # idempotent
+    loop.run()
+    assert fired == ["keep"]
+    assert loop.now == 5.0
+
+
+def test_cancel_after_migration_is_lazy_like_reference():
+    """Once an entry migrates to the heap the wheel backref is severed:
+    cancelling then behaves exactly like a reference handle (skipped at
+    the heap head, no corpse double-count in the wheel)."""
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+    victim = loop.schedule(2.05, fired.append, "victim")
+    loop.schedule(5.0, fired.append, "keep")
+    # Touching 2.05's level-0 bucket migrates it to the heap even though
+    # it is not due yet (the heap orders it; the bucket is handled once).
+    loop.run_until(2.01)
+    assert victim._wheel is None
+    cancelled_before = loop.wheel._cancelled
+    victim.cancel()
+    assert loop.wheel._cancelled == cancelled_before
+    loop.run()
+    assert fired == ["keep"]
+
+
+def test_pending_counts_heap_and_wheel():
+    loop = WheelEventLoop(bucket_width=0.1)
+    handles = [loop.schedule(d, lambda: None) for d in (0.01, 0.5, 3.0, 200.0)]
+    assert loop.pending == 4
+    handles[2].cancel()
+    # Cancelled-but-undrained entries still count, same as the reference.
+    assert loop.pending == 4
+    loop.run()
+    assert loop.pending == 0
+
+
+def test_events_processed_excludes_cancelled():
+    loop = WheelEventLoop(bucket_width=0.1)
+    for d in (0.2, 0.4, 0.6):
+        loop.schedule(d, lambda: None)
+    loop.schedule(0.8, lambda: None).cancel()
+    loop.run()
+    assert loop.events_processed == 3
+
+
+def test_step_flushes_wheel_before_heap_head():
+    """step() must not fire a heap entry while the wheel still holds an
+    earlier one."""
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+    loop.schedule(5.0, fired.append, "late-heap-ish")
+    loop.schedule(1.0, fired.append, "early-wheel")
+    assert loop.step() is True
+    assert fired == ["early-wheel"]
+    assert loop.now == 1.0
+
+
+def test_step_on_wheel_only_queue():
+    """With an empty heap, step() advances to the next occupied bucket."""
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+    loop.schedule(700.0, fired.append, "far")  # level >= 1
+    assert loop.step() is True
+    assert fired == ["far"]
+    assert loop.now == 700.0
+    assert loop.step() is False
+
+
+# ---------------------------------------------------------------------------
+# Wheel internals: filing, migration, compaction
+# ---------------------------------------------------------------------------
+
+def test_entries_file_into_expected_levels():
+    wheel = TimerWheel(bucket_width=0.1, span=64, levels=3)
+    # level 0 spans 6.4s, level 1 spans 409.6s, level 2 takes the rest.
+    for when, level in ((0.5, 0), (6.3, 0), (6.5, 1), (400.0, 1),
+                        (500.0, 2), (1e6, 2)):
+        wheel.add((when, 1, WheelHandle(when, lambda: None, ())))
+        assert sum(len(b) for b in wheel.levels[level].values()) >= 1, when
+    assert len(wheel) == 6
+
+
+def test_migration_preserves_when_and_seq():
+    """Entries hop wheel -> heap carrying their original tuples, so the
+    heap's ordering key is untouched by migration."""
+    wheel = TimerWheel(bucket_width=0.1, span=4, levels=3)
+    entries = [
+        (2.05, 7, WheelHandle(2.05, lambda: None, ())),
+        (2.01, 9, WheelHandle(2.01, lambda: None, ())),
+        (2.01, 3, WheelHandle(2.01, lambda: None, ())),
+        (30.0, 1, WheelHandle(30.0, lambda: None, ())),
+    ]
+    for entry in entries:
+        wheel.add(entry)
+    heap = []
+    wheel.advance(2.1, heap)
+    migrated = {(e[0], e[1]) for e in heap}
+    assert migrated == {(2.05, 7), (2.01, 9), (2.01, 3)}
+    assert len(wheel) == 1  # the 30.0 entry stays put
+
+
+def test_cascade_from_coarse_to_fine_level():
+    """A coarse bucket overlapping the frontier refiles its not-yet-due
+    entries one level down instead of dumping them into the heap."""
+    wheel = TimerWheel(bucket_width=0.1, span=4, levels=3)
+    # Level 1 width = 0.4s; 1.5s is beyond level 0's 4-bucket horizon.
+    when = 1.5
+    wheel.add((when, 1, WheelHandle(when, lambda: None, ())))
+    assert sum(len(b) for b in wheel.levels[1].values()) == 1
+    heap = []
+    wheel.advance(1.3, heap)
+    assert heap == []  # not due yet: refiled, not migrated
+    assert sum(len(b) for b in wheel.levels[0].values()) == 1
+    wheel.advance(1.5, heap)
+    assert [(e[0], e[1]) for e in heap] == [(1.5, 1)]
+
+
+def test_compaction_sweeps_corpses():
+    wheel = TimerWheel(bucket_width=0.1, compact_threshold=8)
+    handles = []
+    for i in range(20):
+        when = 1.0 + i * 0.01
+        handle = WheelHandle(when, lambda: None, ())
+        wheel.add((when, i, handle))
+        handles.append(handle)
+    assert wheel.compactions == 0
+    # Cancelling past the threshold AND past half the population trips
+    # an in-place sweep: corpses leave, survivors stay.
+    for handle in handles[:11]:
+        handle.cancel()
+    assert wheel.compactions == 1
+    assert len(wheel) == 9
+    assert wheel.live == 9
+    assert wheel._cancelled == 0
+
+
+def test_compaction_waits_for_threshold():
+    wheel = TimerWheel(bucket_width=0.1, compact_threshold=256)
+    handles = []
+    for i in range(20):
+        handle = WheelHandle(1.0, lambda: None, ())
+        wheel.add((1.0, i, handle))
+        handles.append(handle)
+    for handle in handles:
+        handle.cancel()
+    # 100% cancelled but below the absolute threshold: corpses linger
+    # (cheaper than sweeping tiny wheels) until migration drops them.
+    assert wheel.compactions == 0
+    assert len(wheel) == 20
+    heap = []
+    wheel.advance(2.0, heap)
+    assert heap == []
+    assert len(wheel) == 0
+
+
+def test_compaction_through_loop_end_to_end():
+    """The SIP shape: thousands of long timers armed then cancelled
+    almost immediately must neither fire nor pin wheel memory."""
+    loop = WheelEventLoop(bucket_width=0.1, compact_threshold=64)
+    fired = []
+    for i in range(1000):
+        loop.schedule(3.0 + (i % 7) * 0.3, fired.append, i).cancel()
+    survivor = loop.schedule(6.0, fired.append, "survivor")
+    assert loop.wheel.compactions >= 1
+    assert loop.wheel.live == 1
+    loop.run()
+    assert fired == ["survivor"]
+    assert survivor.cancelled is False
+
+
+# ---------------------------------------------------------------------------
+# Error cases and constructor validation
+# ---------------------------------------------------------------------------
+
+def test_negative_delay_rejected():
+    loop = WheelEventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    loop = WheelEventLoop()
+    loop.schedule(0.5, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule_at(0.25, lambda: None)
+
+
+def test_next_bucket_time_on_empty_wheel():
+    with pytest.raises(ValueError):
+        TimerWheel().next_bucket_time()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"bucket_width": 0.0},
+    {"bucket_width": -1.0},
+    {"span": 1},
+    {"levels": 0},
+])
+def test_invalid_wheel_parameters(kwargs):
+    with pytest.raises(ValueError):
+        TimerWheel(**kwargs)
+
+
+def test_exception_in_callback_leaves_loop_consistent():
+    """A raising callback must not desynchronize events_processed or the
+    clock (mirrors the reference loop's increment-before-call order)."""
+    loop = WheelEventLoop(bucket_width=0.1)
+    fired = []
+
+    def boom():
+        raise RuntimeError("boom")
+
+    loop.schedule(1.0, boom)
+    loop.schedule(2.0, fired.append, "after")
+    with pytest.raises(RuntimeError):
+        loop.run()
+    assert loop.now == 1.0
+    assert loop.events_processed == 1
+    loop.run()
+    assert fired == ["after"]
+    assert loop.events_processed == 2

@@ -4,10 +4,13 @@ import pytest
 
 from repro.sim.metrics import (
     Counter,
+    Gauge,
     Histogram,
+    LeanHistogram,
     MetricsRegistry,
     RateMeter,
     TimeSeries,
+    set_lean_metrics,
 )
 
 
@@ -166,3 +169,120 @@ class TestRegistry:
 
     def test_get_counter_missing(self):
         assert MetricsRegistry().get_counter("nope") is None
+
+
+class TestEdgeCases:
+    """Pinned boundary behaviours the reports and the engine differential
+    battery rely on (an accidental change here would silently skew every
+    percentile table, so each one is an explicit contract)."""
+
+    def test_empty_histogram_percentiles_all_zero(self):
+        hist = Histogram()
+        for p in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(p) == 0.0
+        assert hist.mean == 0.0
+        assert hist.minimum == 0.0
+        assert hist.maximum == 0.0
+        assert hist.stddev() == 0.0
+
+    def test_single_sample_every_percentile_is_that_sample(self):
+        hist = Histogram()
+        hist.observe(42.5)
+        for p in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(p) == 42.5
+        assert hist.stddev() == 0.0  # n < 2: no spread, not a NaN
+
+    def test_stats_since_past_the_end_is_empty_window(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        stats = hist.stats_since(5)
+        assert stats == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                         "max": 0.0}
+
+    def test_rate_meter_rejects_zero_width_window(self):
+        with pytest.raises(ValueError):
+            RateMeter(window=0.0)
+        with pytest.raises(ValueError):
+            RateMeter(window=-1.0)
+
+    def test_rate_meter_tick_without_records_is_zero(self):
+        meter = RateMeter(window=0.5)
+        assert meter.tick(1.0) == 0.0
+        assert meter.series.last() == (1.0, 0.0)
+
+    def test_counter_rate_with_no_marks_is_zero(self):
+        """Without any mark() there is no time reference: both window
+        endpoints resolve to the current value and the rate is 0 (not an
+        exception, not the whole value smeared over the window)."""
+        counter = Counter()
+        counter.increment(8)
+        assert counter.rate_between(0.0, 2.0) == 0.0
+
+    def test_counter_rate_before_first_mark_is_zero_baseline(self):
+        counter = Counter()
+        counter.increment(5)
+        counter.mark(10.0)
+        # Window entirely before the first mark: value was 0 back then.
+        assert counter.rate_between(1.0, 2.0) == 0.0
+
+    def test_counter_marks_at_same_instant_last_wins(self):
+        counter = Counter()
+        counter.increment(1)
+        counter.mark(1.0)
+        counter.increment(2)
+        counter.mark(1.0)
+        assert counter.rate_between(1.0, 2.0) == 0.0
+        assert counter.rate_between(0.0, 1.0) == pytest.approx(3.0)
+
+    def test_gauge_can_go_negative(self):
+        gauge = Gauge()
+        gauge.decrement(2.5)
+        assert gauge.value == -2.5
+
+
+class TestLeanHistogram:
+    """Zero-allocation mode must be observationally identical."""
+
+    def test_identical_statistics_and_snapshot(self):
+        values = [5.0, 1.0, 3.0, 3.0, 9.0, -2.0, 7.5]
+        reference = Histogram("h")
+        lean = LeanHistogram("h", reserve=2)  # forces buffer doubling
+        for value in values:
+            reference.observe(value)
+            lean.observe(value)
+        assert lean.samples == reference.samples  # insertion order kept
+        assert lean.count == reference.count
+        assert lean.mean == reference.mean
+        assert lean.stddev() == reference.stddev()
+        for p in (0, 50, 95, 100):
+            assert lean.percentile(p) == reference.percentile(p)
+        assert lean.stats_since(3) == reference.stats_since(3)
+
+    def test_empty_lean_histogram(self):
+        lean = LeanHistogram()
+        assert lean.count == 0
+        assert lean.samples == []
+        assert lean.percentile(99) == 0.0
+
+    def test_registry_snapshots_equal_across_modes(self):
+        """The exact equality the engine differential battery leans on:
+        a lean registry and a reference registry fed the same event
+        stream snapshot identically."""
+        registries = {}
+        for mode in (False, True):
+            set_lean_metrics(mode)
+            try:
+                registry = MetricsRegistry("node")
+                registry.counter("calls").increment(3)
+                registry.gauge("depth").set(2.0, now=1.0)
+                for value in (0.25, 0.5, 0.125):
+                    registry.histogram("rt").observe(value)
+                registry.series("load").append(1.0, 10.0)
+                registries[mode] = registry
+            finally:
+                set_lean_metrics(False)
+        assert isinstance(registries[True]._histograms["rt"], LeanHistogram)
+        assert not isinstance(
+            registries[False]._histograms["rt"], LeanHistogram
+        )
+        assert registries[True].snapshot() == registries[False].snapshot()

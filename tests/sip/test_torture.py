@@ -1,0 +1,321 @@
+"""RFC 4475-style torture battery for the wire parser.
+
+RFC 4475 ("SIP Torture Test Messages") collects the inputs that break
+real stacks: sloppy but legal whitespace and folding, compact forms,
+quoted strings hiding separators, stream keep-alives, and a long tail
+of unambiguously-invalid messages that must be *rejected with a parse
+error*, never with a stray ``IndexError``/``UnicodeDecodeError``/silent
+corruption.
+
+This battery adapts that spirit to the subset grammar in
+``repro.sip.parser`` (the cases follow RFC 4475's naming where one
+applies, e.g. ``wsinv``, ``escruri``, ``badinv01``).  The contract
+pinned here:
+
+- every valid case parses and survives a wire round trip,
+- every invalid case raises :class:`SipParseError` (a ``ValueError``),
+  with no other exception type escaping,
+- bodies are octet-exact under Content-Length (including embedded
+  CRLFs and blank lines), and truncation that splits a multi-byte
+  UTF-8 character is a parse error, not a codec traceback.
+"""
+
+import pytest
+
+from repro.sip.headers import SipHeaderError, Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import SipParseError, parse_message
+
+# Minimal valid header block shared by many cases.
+CORE = (
+    "Via: SIP/2.0/UDP uac.example.com;branch=z9hG4bK.t1\r\n"
+    "From: <sip:hal@us.ibm.com>;tag=a1\r\n"
+    "To: <sip:burdell@cc.gatech.edu>\r\n"
+    "Call-ID: torture@uac.example.com\r\n"
+    "CSeq: 1 INVITE\r\n"
+    "Max-Forwards: 70\r\n"
+)
+
+
+def _invite(extra: str = "", body: str = "", content_length: int = None) -> str:
+    cl = len(body.encode("utf-8")) if content_length is None else content_length
+    return (
+        "INVITE sip:burdell@cc.gatech.edu SIP/2.0\r\n"
+        + CORE + extra
+        + f"Content-Length: {cl}\r\n\r\n"
+        + body
+    )
+
+
+# ---------------------------------------------------------------------------
+# Valid-but-hostile messages: must parse AND survive a wire round trip
+# ---------------------------------------------------------------------------
+
+def _check_roundtrip(message):
+    again = parse_message(message.to_wire())
+    # to_wire() adds a Content-Length if the original lacked one, so
+    # compare the header lists modulo that header.
+    strip = lambda m: [h for h in m.headers if h[0] != "Content-Length"]
+    assert strip(again) == strip(message)
+    assert again.body == message.body
+    assert type(again) is type(message)
+    # And a second trip is a fixpoint.
+    assert parse_message(again.to_wire()).to_wire() == again.to_wire()
+    return again
+
+
+def test_wsinv_folded_and_tab_whitespace():
+    """RFC 4475 3.1.1.1 (wsinv): header folding with spaces and tabs."""
+    raw = (
+        "INVITE sip:burdell@cc.gatech.edu SIP/2.0\r\n"
+        "Via: SIP/2.0/UDP uac.example.com\r\n"
+        " ;branch=z9hG4bK.fold\r\n"
+        "Subject: first part\r\n"
+        "\tsecond\r\n"
+        "  third part\r\n"
+        + CORE + "\r\n"
+    )
+    message = parse_message(raw)
+    assert message.top_via.params["branch"] == "z9hG4bK.fold"
+    assert message.get("Subject") == "first part second third part"
+    _check_roundtrip(message)
+
+
+def test_compact_header_forms():
+    """RFC 4475 3.1.1.8 (dblreq spirit): compact names normalize."""
+    raw = (
+        "INVITE sip:burdell@cc.gatech.edu SIP/2.0\r\n"
+        "v: SIP/2.0/UDP uac.example.com;branch=z9hG4bK.c\r\n"
+        "f: <sip:hal@us.ibm.com>;tag=a1\r\n"
+        "t: <sip:burdell@cc.gatech.edu>\r\n"
+        "i: compact@uac\r\n"
+        "CSeq: 1 INVITE\r\n"
+        "l: 0\r\n\r\n"
+    )
+    message = parse_message(raw)
+    assert message.get("Via") is not None
+    assert message.get("Call-ID") == "compact@uac"
+    assert message.get("Content-Length") == "0"
+    _check_roundtrip(message)
+
+
+def test_case_insensitive_header_names():
+    raw = _invite(extra="cOnTaCt: <sip:hal@uac.example.com>\r\n")
+    message = parse_message(raw)
+    assert message.get("Contact") == "<sip:hal@uac.example.com>"
+    assert message.get("contact") == "<sip:hal@uac.example.com>"
+
+
+def test_escruri_escaped_characters_in_uri():
+    """RFC 4475 3.1.1.4 (escnull/escruri): %-escapes pass through."""
+    raw = (
+        "INVITE sip:sip%3Auser%40example.com@cc.gatech.edu;other-param=summit"
+        " SIP/2.0\r\n" + CORE + "\r\n"
+    )
+    message = parse_message(raw)
+    assert message.uri.user == "sip%3Auser%40example.com"
+    assert message.uri.host == "cc.gatech.edu"
+
+
+def test_leading_crlf_keepalives_ignored():
+    """RFC 3261 7.5: leading CRLFs between stream messages are noise."""
+    for prefix in ("\r\n", "\r\n\r\n", "\n\n\r\n"):
+        message = parse_message(prefix + _invite())
+        assert message.method == "INVITE"
+
+
+def test_lf_only_and_mixed_line_endings():
+    """Unix-hostile senders terminate with bare LF; head section must
+    normalize while the Content-Length-governed body stays byte-exact."""
+    raw = _invite().replace("\r\n", "\n")
+    message = parse_message(raw)
+    assert message.method == "INVITE"
+    mixed = (
+        "INVITE sip:burdell@cc.gatech.edu SIP/2.0\n"
+        "Via: SIP/2.0/UDP uac.example.com;branch=z9hG4bK.m\r\n"
+        "Call-ID: mixed@uac\n\r\n"
+    )
+    assert parse_message(mixed).get("Call-ID") == "mixed@uac"
+
+
+def test_multi_value_via_split_into_entries():
+    raw = (
+        "ACK sip:burdell@cc.gatech.edu SIP/2.0\r\n"
+        "Via: SIP/2.0/UDP p1.example.com;branch=z9hG4bK.1,"
+        " SIP/2.0/UDP p2.example.com;branch=z9hG4bK.2\r\n"
+        "Via: SIP/2.0/UDP uac.example.com;branch=z9hG4bK.3\r\n\r\n"
+    )
+    message = parse_message(raw)
+    vias = message.get_all("Via")
+    assert len(vias) == 3
+    assert Via.parse(vias[0]).host == "p1.example.com"
+    assert Via.parse(vias[2]).host == "uac.example.com"
+
+
+def test_quoted_string_hides_comma_separator():
+    """RFC 4475 3.1.1.6 (intmeth spirit): commas inside quoted display
+    names must not split the header value."""
+    raw = _invite(
+        extra='Contact: "Caesar, Julius" <sip:caesar@example.com>;q=0.9,'
+              ' <sip:brutus@example.com>\r\n'
+    )
+    contacts = parse_message(raw).get_all("Contact")
+    assert contacts == [
+        '"Caesar, Julius" <sip:caesar@example.com>;q=0.9',
+        "<sip:brutus@example.com>",
+    ]
+
+
+def test_empty_header_value_is_preserved():
+    message = parse_message(_invite(extra="Subject:\r\n"))
+    assert message.get("Subject") == ""
+
+
+def test_colons_inside_header_values():
+    message = parse_message(
+        _invite(extra="Date: Sat, 01 Jan 2011 00:00:00 GMT\r\n")
+    )
+    assert message.get("Date") == "Sat, 01 Jan 2011 00:00:00 GMT"
+
+
+def test_unknown_method_and_extension_header():
+    raw = (
+        "NEWMETHOD sip:burdell@cc.gatech.edu SIP/2.0\r\n" + CORE
+        + "X-Experimental: yes\r\n\r\n"
+    )
+    message = parse_message(raw)
+    assert isinstance(message, SipRequest)
+    assert message.method == "NEWMETHOD"
+    assert message.get("X-Experimental") == "yes"
+
+
+def test_ipv6_reference_in_request_uri():
+    message = parse_message(
+        "OPTIONS sip:[2001:db8::10]:5060 SIP/2.0\r\n" + CORE + "\r\n"
+    )
+    assert message.uri.port == 5060
+
+
+def test_status_line_with_and_without_reason():
+    ok = parse_message("SIP/2.0 200 OK\r\n" + CORE + "\r\n")
+    assert isinstance(ok, SipResponse)
+    assert (ok.status, ok.reason) == (200, "OK")
+    multi = parse_message("SIP/2.0 486 Busy Here\r\n" + CORE + "\r\n")
+    assert multi.reason == "Busy Here"
+    bare = parse_message("SIP/2.0 180\r\n" + CORE + "\r\n")
+    assert bare.status == 180
+
+
+def test_body_with_embedded_crlf_and_blank_lines():
+    """The body is a Content-Length-governed octet string: internal
+    CRLFs and even blank lines must survive byte-exact."""
+    body = "v=0\r\no=core\r\n\r\ns=-\r\n"
+    message = parse_message(_invite(body=body))
+    assert message.body == body
+    _check_roundtrip(message)
+
+
+def test_body_longer_than_content_length_is_trimmed():
+    message = parse_message(_invite(body="abcdef", content_length=2))
+    assert message.body == "ab"
+
+
+def test_multibyte_utf8_body_length_in_octets():
+    body = "café"  # 5 octets, 4 characters
+    message = parse_message(_invite(body=body))
+    assert message.get("Content-Length") == "5"
+    assert message.body == body
+
+
+def test_bytes_input_accepted():
+    message = parse_message(_invite().encode("utf-8"))
+    assert message.method == "INVITE"
+
+
+# ---------------------------------------------------------------------------
+# Invalid messages: SipParseError and nothing else
+# ---------------------------------------------------------------------------
+
+INVALID_WIRES = {
+    # RFC 4475 3.3.x spirit: structurally broken start lines.
+    "empty_message": "",
+    "whitespace_only": "  \r\n \r\n",
+    "garbage_binary_line": "\x01\x02\x03\x04\r\n\r\n",
+    "badinv_request_line_extra_token":
+        "INVITE sip:a@b SIP/2.0 extra\r\n\r\n",
+    "badvers_wrong_sip_version":
+        "INVITE sip:a@b SIP/7.0\r\n" + CORE + "\r\n",
+    "status_line_missing_code": "SIP/2.0\r\n\r\n",
+    "status_line_code_not_numeric": "SIP/2.0 abc OK\r\n\r\n",
+    "continuation_before_any_header":
+        "INVITE sip:a@b SIP/2.0\r\n  orphan continuation\r\n\r\n",
+    "header_line_without_colon":
+        "INVITE sip:a@b SIP/2.0\r\nVia SIP/2.0/UDP h\r\n\r\n",
+    # Request-URI failures must surface as parse errors.
+    "uri_without_scheme": "INVITE burdell@cc.gatech.edu SIP/2.0\r\n\r\n",
+    "uri_unsupported_scheme": "INVITE tel:+19725552222 SIP/2.0\r\n\r\n",
+    "uri_port_out_of_range": "INVITE sip:a@b:99999 SIP/2.0\r\n\r\n",
+    "uri_port_not_numeric": "INVITE sip:a@b:port SIP/2.0\r\n\r\n",
+    "uri_missing_host": "INVITE sip: SIP/2.0\r\n\r\n",
+    # Content-Length abuse (RFC 4475 3.1.2.x).
+    "content_length_not_numeric":
+        "INVITE sip:a@b SIP/2.0\r\nContent-Length: abc\r\n\r\n",
+    "content_length_negative":
+        "INVITE sip:a@b SIP/2.0\r\nContent-Length: -5\r\n\r\nsome body",
+    "content_length_larger_than_body":
+        "INVITE sip:a@b SIP/2.0\r\nContent-Length: 9999\r\n\r\nshort",
+    "content_length_splits_utf8_char":
+        "INVITE sip:a@b SIP/2.0\r\nContent-Length: 1\r\n\r\né",
+    # Undecodable octets.
+    "invalid_utf8_bytes": b"\xff\xfeINVITE sip:a@b SIP/2.0\r\n\r\n",
+}
+
+
+@pytest.mark.parametrize("name", sorted(INVALID_WIRES))
+def test_invalid_message_raises_parse_error(name):
+    with pytest.raises(SipParseError):
+        parse_message(INVALID_WIRES[name])
+
+
+def test_parse_error_is_a_value_error():
+    """Callers catch ValueError at the transport boundary; every reject
+    path must stay inside that contract."""
+    assert issubclass(SipParseError, ValueError)
+
+
+def test_negative_content_length_does_not_corrupt_body():
+    """Regression: Python's negative slicing used to trim octets off the
+    *end* of the body instead of rejecting the message."""
+    raw = "INVITE sip:a@b SIP/2.0\r\nContent-Length: -2\r\n\r\nabcdef"
+    with pytest.raises(SipParseError, match="negative Content-Length"):
+        parse_message(raw)
+
+
+def test_semantic_errors_surface_on_access_not_parse():
+    """Messages that are syntactically fine but semantically broken
+    (RFC 4475 3.1.2.2 spirit) parse, then raise typed header errors
+    when the broken header is interpreted."""
+    message = parse_message(
+        "INVITE sip:a@b SIP/2.0\r\nCSeq: fourtytwo\r\n\r\n"
+    )
+    with pytest.raises(SipHeaderError):
+        message.cseq
+    missing = parse_message("INVITE sip:a@b SIP/2.0\r\nCall-ID: x\r\n\r\n")
+    with pytest.raises(SipHeaderError):
+        missing.cseq  # absent entirely
+    with pytest.raises(SipHeaderError):
+        Via.parse("bogus via value")
+    with pytest.raises(SipHeaderError):
+        Via.parse("SIP/2.0/UDP")  # transport but no sent-by
+
+
+def test_fuzz_prefixes_never_raise_foreign_exceptions():
+    """Feeding every prefix of a valid message (a truncation fuzz) must
+    yield either a parsed message or SipParseError -- no IndexError,
+    UnicodeDecodeError or similar leaks."""
+    wire = _invite(body="v=0\r\n")
+    for cut in range(len(wire)):
+        try:
+            parse_message(wire[:cut])
+        except SipParseError:
+            pass
