@@ -5,7 +5,8 @@ measures the *simulator itself*: how fast each engine mode chews
 through the same workloads, with the differential contract re-verified
 on the way.  The machine-readable report lands in
 ``benchmarks/results/BENCH_engine.json`` (same schema as
-``python -m repro bench --json``).
+``python -m repro bench --json``) and is mirrored to the repo root
+``BENCH_engine.json``.
 """
 
 import json
@@ -15,6 +16,7 @@ from repro.harness.bench import render_report, run_engine_bench, write_report
 from repro.harness.figures import QUICK
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def test_engine_bench(quality):
@@ -22,6 +24,7 @@ def test_engine_bench(quality):
 
     RESULTS_DIR.mkdir(exist_ok=True)
     write_report(report, str(RESULTS_DIR / "BENCH_engine.json"))
+    write_report(report, str(REPO_ROOT / "BENCH_engine.json"))
     text = render_report(report)
     (RESULTS_DIR / "engine.txt").write_text(text + "\n")
     print()

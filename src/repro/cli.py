@@ -11,7 +11,13 @@ Commands:
   in a small JSON file,
 - ``trace`` -- simulate a few calls and print their ladder diagrams,
 - ``bench`` -- wall-clock benchmark of the simulation engines
-  (reference vs copy vs fast), with a built-in differential check.
+  (reference vs copy vs fast), with a built-in differential check,
+- ``cache`` -- inspect or clear the on-disk run cache.
+
+The simulation-heavy commands (``figures``, ``experiments``, ``sweep``,
+``bench``) accept ``--jobs/-j N`` to fan independent runs across worker
+processes and use a content-addressed run cache under ``.repro-cache/``
+(disable with ``--no-cache``); neither changes a single reported metric.
 
 All loads are paper-equivalent calls/second.
 """
@@ -20,14 +26,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.core.lp import solve_fixed_routing, solve_free_routing
 from repro.core.topology import Topology
 from repro.harness import figures as figure_mod
+from repro.harness.parallel import SpecTemplate, execution
 from repro.harness.report import format_table, render_figure
 from repro.harness.resilience import resilience_figure
+from repro.harness.runcache import RunCache
 from repro.harness.runner import run_scenario
 from repro.harness.saturation import staircase, sweep_loads
 from repro.sim.trace import render_ladder
@@ -73,6 +82,34 @@ def _build_scenario(args) -> object:
     raise ValueError(f"unknown topology {args.topology!r}")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for independent runs "
+             "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk run cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run cache location (default: .repro-cache, "
+             "or $REPRO_CACHE_DIR)",
+    )
+
+
+def _execution(args):
+    """The ``execution()`` context the parallel flags describe."""
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    return execution(
+        jobs=max(1, jobs),
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="series",
                         choices=["single", "series", "mix", "fork"])
@@ -103,10 +140,12 @@ def cmd_figures(args) -> int:
               file=sys.stderr)
         return 2
     quality = QUALITIES[args.quality]
-    for name in wanted:
-        figure = FIGURE_COMMANDS[name](quality)
-        print(render_figure(figure))
-        print()
+    with _execution(args) as ctx:
+        for name in wanted:
+            figure = FIGURE_COMMANDS[name](quality)
+            print(render_figure(figure))
+            print()
+        print(ctx.summary(), file=sys.stderr)
     return 0
 
 
@@ -115,8 +154,12 @@ def cmd_experiments(args) -> int:
 
     suite = ExperimentSuite(QUALITIES[args.quality])
     ids = args.ids or None
-    results = suite.run(ids, progress=lambda name: print(f"running {name}...",
-                                                         file=sys.stderr))
+    with _execution(args) as ctx:
+        results = suite.run(
+            ids, progress=lambda name: print(f"running {name}...",
+                                             file=sys.stderr)
+        )
+        print(ctx.summary(), file=sys.stderr)
     if args.json:
         suite.write_json(results, args.json)
         print(f"wrote {args.json}", file=sys.stderr)
@@ -128,16 +171,33 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def _sweep_template(args) -> SpecTemplate:
+    """The declarative twin of :func:`_build_scenario` (load left open)."""
+    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    if args.topology == "single":
+        return SpecTemplate("single_proxy", config,
+                            label=f"single/{args.mode}", mode=args.mode)
+    if args.topology == "series":
+        return SpecTemplate("n_series", config,
+                            label=f"series/{args.policy}",
+                            n=args.nodes, policy=args.policy, auth=args.auth)
+    if args.topology == "mix":
+        return SpecTemplate("internal_external", config,
+                            label=f"mix/{args.policy}",
+                            external_fraction=args.external_fraction,
+                            policy=args.policy)
+    if args.topology == "fork":
+        return SpecTemplate("parallel_fork", config,
+                            label=f"fork/{args.policy}", policy=args.policy)
+    raise ValueError(f"unknown topology {args.topology!r}")
+
+
 def cmd_sweep(args) -> int:
     loads = staircase(args.start, args.stop, args.step)
-
-    def factory(load: float):
-        factory_args = argparse.Namespace(**vars(args))
-        factory_args.rate = load
-        return _build_scenario(factory_args)
-
-    sweep = sweep_loads(factory, loads, duration=args.duration,
-                        warmup=args.warmup)
+    with _execution(args) as ctx:
+        sweep = sweep_loads(_sweep_template(args), loads,
+                            duration=args.duration, warmup=args.warmup)
+        print(ctx.summary(), file=sys.stderr)
     rows = [
         [round(p.offered_cps), round(p.result.throughput_cps),
          f"{p.result.goodput_ratio:.3f}",
@@ -242,10 +302,12 @@ def cmd_bench(args) -> int:
         print(f"unknown bench scenarios: {unknown}; "
               f"choose from {sorted(SCENARIOS)}", file=sys.stderr)
         return 2
+    jobs = args.jobs if args.jobs is not None else 1
     report = run_engine_bench(
         quick=args.quick,
         scenarios=args.scenarios or None,
         engines=tuple(args.engines) if args.engines else ENGINES,
+        jobs=max(1, jobs),
     )
     if args.json:
         write_report(report, args.json)
@@ -256,6 +318,38 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_cache(args) -> int:
+    cache = RunCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        rows = [
+            [name, info["entries"], info["bytes"],
+             "current" if info["current"] else "stale"]
+            for name, info in stats["versions"].items()
+        ]
+        print(format_table(
+            ["version", "entries", "bytes", "status"],
+            rows,
+            title=f"run cache at {stats['path']} "
+                  f"(schema v{stats['schema_version']}, "
+                  f"{stats['entries']} entries, {stats['bytes']} bytes)",
+        ))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear(stale_only=args.stale)
+        scope = "stale versions" if args.stale else "all versions"
+        if args.json:
+            print(json.dumps(dict(removed, scope=scope), indent=2))
+        else:
+            print(f"cleared {scope}: {removed['removed_entries']} entries, "
+                  f"{removed['removed_bytes']} bytes")
+        return 0
+    raise ValueError(f"unknown cache action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("ids", nargs="*",
                        help=f"figure ids ({', '.join(FIGURE_COMMANDS)}) or 'all'")
     p_fig.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
+    _add_parallel_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_exp = sub.add_parser(
@@ -279,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
     p_exp.add_argument("--json", help="write machine-readable results here")
     p_exp.add_argument("--markdown", help="write a Markdown report here")
+    _add_parallel_args(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
 
     p_sweep = sub.add_parser("sweep", help="throughput sweep to saturation")
@@ -288,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--step", type=float, default=1000)
     p_sweep.add_argument("--duration", type=float, default=8.0)
     p_sweep.add_argument("--warmup", type=float, default=3.0)
+    _add_parallel_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_run = sub.add_parser("run", help="measure one load point")
@@ -320,7 +417,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--engines", nargs="*",
                          choices=["reference", "copy", "fast"],
                          help="engine subset (default: all three)")
+    _add_parallel_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache location (default: .repro-cache, "
+                              "or $REPRO_CACHE_DIR)")
+    p_cache.add_argument("--stale", action="store_true",
+                         help="with clear: only remove abandoned schema "
+                              "versions")
+    p_cache.add_argument("--json", action="store_true")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -3,12 +3,26 @@
 - :mod:`repro.harness.runner` -- run one scenario at one load and
   collect a structured :class:`~repro.harness.runner.RunResult`,
 - :mod:`repro.harness.saturation` -- load sweeps and saturation search,
+- :mod:`repro.harness.parallel` -- process-pool sweep executor with
+  deterministic merging (``--jobs``) and the run-cache plumbing,
+- :mod:`repro.harness.runcache` -- on-disk content-addressed cache of
+  run results,
 - :mod:`repro.harness.figures` -- one function per paper table/figure,
 - :mod:`repro.harness.report` -- text rendering and paper-vs-measured
   comparison tables.
 """
 
 from repro.harness.runner import RunResult, run_scenario
+from repro.harness.parallel import (
+    ExecutionContext,
+    RunSpec,
+    SpecTemplate,
+    execution,
+    run_scenario_specs,
+    run_specs,
+    scenario_spec,
+)
+from repro.harness.runcache import RunCache
 from repro.harness.saturation import (
     SweepPoint,
     SweepResult,
@@ -44,6 +58,14 @@ from repro.harness.figures import (
 __all__ = [
     "RunResult",
     "run_scenario",
+    "ExecutionContext",
+    "RunSpec",
+    "SpecTemplate",
+    "execution",
+    "run_scenario_specs",
+    "run_specs",
+    "scenario_spec",
+    "RunCache",
     "SweepPoint",
     "SweepResult",
     "sweep_loads",

@@ -173,6 +173,7 @@ def run_engine_bench(
     quick: bool = False,
     scenarios: Optional[Sequence[str]] = None,
     engines: Sequence[str] = ENGINES,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """Benchmark every (scenario, engine) pair; returns the report dict.
 
@@ -180,6 +181,13 @@ def run_engine_bench(
     per-engine measurements, fast-vs-reference and fast-vs-copy
     speedups, and the per-scenario ``identical`` verdict of the
     differential cross-check.
+
+    ``jobs > 1`` fans the (scenario, engine) cells across worker
+    processes via the parallel executor.  Timing cells are never cached
+    (wall-clock is not a function of the spec), and each worker times
+    exactly one cell at a time, so per-cell numbers stay meaningful --
+    though co-scheduled cells do contend for cores, so use serial mode
+    for headline measurements.
     """
     chosen = list(scenarios) if scenarios else list(SCENARIOS)
     unknown = [name for name in chosen if name not in SCENARIOS]
@@ -200,14 +208,13 @@ def run_engine_bench(
         ),
         "scenarios": {},
     }
+    cells = _run_cells(chosen, engines, quick, jobs)
     all_identical = True
     for name in chosen:
         per_engine: Dict[str, Dict[str, object]] = {}
         identities: Dict[str, Dict[str, object]] = {}
         for engine in engines:
-            per_engine[engine], identities[engine] = bench_one(
-                name, engine, quick
-            )
+            per_engine[engine], identities[engine] = cells[(name, engine)]
         first = identities[engines[0]]
         identical = all(identities[e] == first for e in engines)
         all_identical = all_identical and identical
@@ -226,6 +233,41 @@ def run_engine_bench(
         report["scenarios"][name] = entry
     report["identical"] = all_identical
     return report
+
+
+def _run_cells(
+    chosen: Sequence[str],
+    engines: Sequence[str],
+    quick: bool,
+    jobs: int,
+) -> Dict[Tuple[str, str], Tuple[dict, dict]]:
+    """All (scenario, engine) cells, serial or fanned across workers."""
+    if jobs <= 1:
+        return {
+            (name, engine): bench_one(name, engine, quick)
+            for name in chosen
+            for engine in engines
+        }
+    # Imported lazily: parallel's "bench" job kind imports this module.
+    from repro.harness.parallel import ExecutionContext, RunSpec, run_specs
+
+    grid = [(name, engine) for name in chosen for engine in engines]
+    specs = [
+        RunSpec(
+            kind="bench",
+            payload={"scenario": name, "engine": engine, "quick": quick},
+            label=f"bench/{name}/{engine}",
+        )
+        for name, engine in grid
+    ]
+    # Dedicated uncached context: the ambient one may have a cache, and
+    # timing cells must never be served from (or written to) it.
+    context = ExecutionContext(jobs=jobs)
+    payloads = run_specs(specs, context=context)
+    return {
+        cell: (payload["measurements"], payload["identity"])
+        for cell, payload in zip(grid, payloads)
+    }
 
 
 def _speedup(baseline: Dict[str, object], fast: Dict[str, object]) -> float:

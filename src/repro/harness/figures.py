@@ -29,21 +29,14 @@ from repro.core.analysis import series_optimal_throughput
 from repro.core.costmodel import CostModel, FIG3_TOTALS, Feature
 from repro.core.lp import FlowPathLP, StateDistributionLP
 from repro.core.topology import Topology, series_topology, two_series_topology
-from repro.harness.runner import run_scenario
+from repro.harness.parallel import SpecTemplate, run_specs, scenario_spec
 from repro.harness.saturation import (
     SweepResult,
     find_capacity,
     refine_peak,
     sweep_loads,
 )
-from repro.workloads.scenarios import (
-    Scenario,
-    ScenarioConfig,
-    internal_external,
-    n_series,
-    parallel_fork,
-    single_proxy,
-)
+from repro.workloads.scenarios import ScenarioConfig
 
 PAPER = {
     "fig3_totals": dict(FIG3_TOTALS),
@@ -190,17 +183,23 @@ def figure3_profile(quality: Quality = QUICK) -> FigureData:
     rows = []
     comparisons = []
     low_load = 400.0  # well below every saturation point
-    for mode in FIG3_TOTALS:
+    payloads = run_specs([
+        scenario_spec(
+            "single_proxy", rate=low_load, config=config,
+            duration=quality.duration, warmup=quality.warmup,
+            label=f"fig3/{mode}", mode=mode,
+        )
+        for mode in FIG3_TOTALS
+    ])
+    for mode, payload in zip(FIG3_TOTALS, payloads):
         model_events = sum(cost_model.fig3_profile()[mode].values())
-        scenario = single_proxy(low_load, mode=mode, config=config)
-        run_scenario(scenario, duration=quality.duration, warmup=quality.warmup)
-        proxy = scenario.proxies["P1"]
-        calls = scenario.servers[0].calls_completed
+        extras = payload["extras"]
+        calls = extras["uas_calls_completed"][0]
         measured_events = 0.0
         if calls:
             functional_seconds = sum(
                 seconds
-                for component, seconds in proxy.cpu.component_seconds.items()
+                for component, seconds in extras["proxy_cpu_components"]["P1"].items()
                 if component != "baseline"
             )
             measured_events = functional_seconds / (
@@ -229,7 +228,6 @@ def figure3_profile(quality: Quality = QUICK) -> FigureData:
 # ----------------------------------------------------------------------
 def figure4_utilization(quality: Quality = QUICK) -> FigureData:
     """CPU utilization vs offered load and the two saturation points."""
-    config_factory = quality.scenario_config
     results: Dict[str, SweepResult] = {}
     saturation: Dict[str, float] = {}
     for label, mode, anchor in (
@@ -239,7 +237,8 @@ def figure4_utilization(quality: Quality = QUICK) -> FigureData:
         loads = [anchor * (0.2 + 0.95 * i / (quality.sweep_points + 1))
                  for i in range(quality.sweep_points + 2)]
         sweep = sweep_loads(
-            lambda load, m=mode: single_proxy(load, mode=m, config=config_factory()),
+            SpecTemplate("single_proxy", quality.scenario_config(),
+                         label=f"fig4/{label}", mode=mode),
             loads,
             duration=quality.duration,
             warmup=quality.warmup,
@@ -328,16 +327,17 @@ def _series_sweep(
     loads: Sequence[float],
     refine: bool = True,
 ) -> SweepResult:
-    def factory(load: float) -> Scenario:
-        return n_series(n, load, policy=policy, config=quality.scenario_config())
-
+    template = SpecTemplate(
+        "n_series", quality.scenario_config(),
+        label=f"{n}-series/{policy}", n=n, policy=policy,
+    )
     sweep = sweep_loads(
-        factory, loads, duration=quality.duration, warmup=quality.warmup,
+        template, loads, duration=quality.duration, warmup=quality.warmup,
         label=f"{n}-series/{policy}",
     )
     if refine:
         sweep = refine_peak(
-            factory, sweep, duration=quality.duration, warmup=quality.warmup
+            template, sweep, duration=quality.duration, warmup=quality.warmup
         )
     return sweep
 
@@ -399,17 +399,14 @@ def figure5_two_series(quality: Quality = QUICK) -> FigureData:
 def figure6_response_times(quality: Quality = QUICK) -> FigureData:
     """INVITE response time vs offered load for the three configurations."""
     loads = _series_loads(quality, 2)
-
-    def all_stateless_factory(load: float) -> Scenario:
-        scenario = n_series(2, load, policy="stateless",
-                            config=quality.scenario_config())
-        return scenario
-
     sweeps = {
         "stateful": _series_sweep(quality, 2, "static", loads, refine=False),
         "servartuka": _series_sweep(quality, 2, "servartuka", loads, refine=False),
         "stateless": sweep_loads(
-            all_stateless_factory, loads, duration=quality.duration,
+            SpecTemplate("n_series", quality.scenario_config(),
+                         label="2-series/all-stateless", n=2,
+                         policy="stateless"),
+            loads, duration=quality.duration,
             warmup=quality.warmup, label="2-series/all-stateless",
         ),
     }
@@ -493,12 +490,13 @@ def figure7_changing_load(quality: Quality = QUICK) -> FigureData:
         lp_bound = _fig7_lp_bound(cost_model, fraction)
         capacities = {}
         for policy in ("static", "servartuka"):
-            def factory(load: float, p=policy, f=fraction) -> Scenario:
-                return internal_external(
-                    load, f, policy=p, config=quality.scenario_config()
-                )
+            template = SpecTemplate(
+                "internal_external", quality.scenario_config(),
+                label=f"fig7/{policy}/f={fraction}",
+                external_fraction=fraction, policy=policy,
+            )
             sweep = find_capacity(
-                factory, hint=lp_bound, duration=quality.duration,
+                template, hint=lp_bound, duration=quality.duration,
                 warmup=quality.warmup, span=0.4,
                 points=quality.sweep_points,
                 label=f"fig7/{policy}/f={fraction}",
@@ -568,14 +566,16 @@ def figure8_parallel(quality: Quality = QUICK) -> FigureData:
 
     sweeps = {}
     for policy in ("static", "servartuka"):
-        def factory(load: float, p=policy) -> Scenario:
-            return parallel_fork(load, policy=p, config=quality.scenario_config())
+        template = SpecTemplate(
+            "parallel_fork", quality.scenario_config(),
+            label=f"fig8/{policy}", policy=policy,
+        )
         coarse = sweep_loads(
-            factory, loads, duration=quality.duration, warmup=quality.warmup,
+            template, loads, duration=quality.duration, warmup=quality.warmup,
             label=f"fig8/{policy}",
         )
         sweeps[policy] = refine_peak(
-            factory, coarse, duration=quality.duration, warmup=quality.warmup
+            template, coarse, duration=quality.duration, warmup=quality.warmup
         )
 
     rows = []

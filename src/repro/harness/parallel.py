@@ -1,0 +1,624 @@
+"""Parallel sweep executor with deterministic merging and run caching.
+
+Every artifact this repository produces -- the figure load sweeps, the
+ablation and resilience campaigns, the engine bench -- is a grid of
+fully independent ``(scenario, offered load, seed, engine)`` simulation
+runs.  This module executes such grids across ``multiprocessing``
+workers and memoizes each point in the content-addressed
+:class:`~repro.harness.runcache.RunCache`, under one contract:
+
+    **parallelism and caching may only change wall-clock time, never a
+    single metric.**
+
+The pieces:
+
+- :class:`RunSpec` -- a declarative, picklable description of one run
+  (job kind + a JSON payload).  Its :meth:`~RunSpec.key` is a SHA-256
+  over the canonical JSON (sorted keys, numbers normalized to floats),
+  so a spec hashes identically regardless of dict insertion order or
+  int-vs-float spelling of the same value.
+- :class:`SpecTemplate` -- a spec with the offered load left open;
+  ``template.at(load, duration, warmup)`` closes it.  This is what lets
+  :func:`~repro.harness.saturation.sweep_loads` fan a load list out.
+- :class:`ExecutionContext` / :func:`execution` -- the ambient settings
+  (worker count, cache, progress streaming) consulted by every
+  harness entry point; the CLI's ``--jobs/--no-cache`` flags map to it.
+- :func:`run_specs` -- execute a batch: resolve cache hits, dedupe
+  identical specs within the batch, chunk the misses across spawn-safe
+  shared-nothing workers, retry a crashed worker's chunk once, and
+  merge results back **in spec order** so the output is bit-identical
+  to a serial run.
+
+Workers are spawned (not forked) by default, so they share no state
+with the parent beyond the pickled chunk; every run builds its own
+scenario whose RNG streams derive purely from the spec's seed.  Result
+payloads are normalized through a JSON round-trip before they are
+returned *or* cached, so a warm-cache result is byte-identical to the
+cold run that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.harness.runcache import RunCache
+from repro.harness.runner import RunResult, run_scenario
+from repro.workloads.scenarios import (
+    ScenarioConfig,
+    internal_external,
+    n_series,
+    parallel_fork,
+    single_proxy,
+)
+
+#: Job kinds whose results are deterministic functions of the spec and
+#: therefore cacheable.  ``bench`` measures wall-clock, so it is not.
+CACHEABLE_KINDS = frozenset({"scenario", "fingerprint", "resilience"})
+
+#: Default multiprocessing start method.  ``spawn`` guarantees workers
+#: share nothing with the parent (no inherited parser caches, metric
+#: mode or RNG state); override with ``REPRO_MP_START=fork`` to trade
+#: that guarantee for faster pool start-up on POSIX.
+def default_start_method() -> str:
+    return os.environ.get("REPRO_MP_START", "spawn")
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing
+# ---------------------------------------------------------------------------
+def _canon(value):
+    """Normalize a payload for hashing: sorted keys, numbers as floats."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _canon(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    raise TypeError(f"unhashable spec payload value: {value!r}")
+
+
+def canonical_json(payload) -> str:
+    """Stable serialization: key order and ``1`` vs ``1.0`` don't matter."""
+    return json.dumps(_canon(payload), sort_keys=True, separators=(",", ":"))
+
+
+def spec_key(kind: str, payload) -> str:
+    digest = hashlib.sha256()
+    digest.update(canonical_json({"kind": kind, "payload": payload}).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run: a job kind plus its JSON-able payload.
+
+    ``label`` is for progress/error display only and never participates
+    in the hash.
+    """
+
+    kind: str
+    payload: dict
+    label: str = ""
+
+    def key(self) -> str:
+        return spec_key(self.kind, self.payload)
+
+    def describe(self) -> str:
+        return self.label or f"{self.kind}:{self.key()[:12]}"
+
+
+class SpecTemplate:
+    """A scenario spec with the offered load left open.
+
+    ``SpecTemplate("n_series", config, n=2, policy="servartuka")`` plus
+    ``template.at(9000, duration=8, warmup=3)`` yields the
+    :class:`RunSpec` for that load point.  ``config`` may be a
+    :class:`~repro.workloads.scenarios.ScenarioConfig` or its payload
+    dict.
+    """
+
+    def __init__(self, builder: str, config, label: str = "", **kwargs):
+        if builder not in SCENARIO_BUILDERS:
+            raise ValueError(
+                f"unknown scenario builder {builder!r}; "
+                f"one of {sorted(SCENARIO_BUILDERS)}"
+            )
+        if isinstance(config, ScenarioConfig):
+            config = config.to_payload()
+        self.builder = builder
+        self.config = config
+        self.kwargs = dict(kwargs)
+        self.label = label or builder
+
+    def at(
+        self,
+        rate: float,
+        duration: float,
+        warmup: float,
+        drain: float = 0.0,
+    ) -> RunSpec:
+        payload = {
+            "builder": self.builder,
+            "kwargs": dict(self.kwargs, rate=rate),
+            "config": self.config,
+            "duration": duration,
+            "warmup": warmup,
+            "drain": drain,
+        }
+        return RunSpec(
+            kind="scenario",
+            payload=payload,
+            label=f"{self.label}@{rate:.0f}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Job kinds (everything a worker knows how to execute)
+# ---------------------------------------------------------------------------
+SCENARIO_BUILDERS: Dict[str, Callable] = {
+    "single_proxy": single_proxy,
+    "n_series": n_series,
+    "internal_external": internal_external,
+    "parallel_fork": parallel_fork,
+}
+
+
+def build_scenario(payload: dict):
+    """Rebuild the scenario a ``scenario``/``fingerprint`` spec describes."""
+    config = ScenarioConfig.from_payload(payload["config"])
+    builder = SCENARIO_BUILDERS[payload["builder"]]
+    return builder(config=config, **payload["kwargs"])
+
+
+def _scenario_extras(scenario) -> dict:
+    """Cheap per-run observables beyond the RunResult (figure inputs)."""
+    return {
+        "events": scenario.loop.events_processed,
+        "uas_calls_completed": [s.calls_completed for s in scenario.servers],
+        "proxy_cpu_components": {
+            name: dict(proxy.cpu.component_seconds)
+            for name, proxy in sorted(scenario.proxies.items())
+        },
+    }
+
+
+def _job_scenario(payload: dict) -> dict:
+    scenario = build_scenario(payload)
+    result = run_scenario(
+        scenario,
+        duration=payload["duration"],
+        warmup=payload["warmup"],
+        drain=payload.get("drain", 0.0),
+    )
+    return {"result": result.to_payload(), "extras": _scenario_extras(scenario)}
+
+
+def _myshare_sample(scenario) -> dict:
+    from repro.core.servartuka import ServartukaPolicy
+
+    sample = {}
+    for name, proxy in sorted(scenario.proxies.items()):
+        policy = proxy.policy
+        if isinstance(policy, ServartukaPolicy):
+            sample[name] = {
+                key: stats.myshare
+                for key, stats in sorted(policy.paths.items())
+            }
+    return sample
+
+
+def _job_fingerprint(payload: dict) -> dict:
+    """Full observable fingerprint of a run (differential batteries).
+
+    Mirrors ``tests/engine/test_differential.py``: drive the scenario in
+    slices sampling every SERvartuka proxy's ``myshare`` at each
+    boundary, then snapshot registries, call outcomes and packet/event
+    accounting.
+    """
+    scenario = build_scenario(payload)
+    run_for = payload["run_for"]
+    slices = int(payload.get("slices", 6))
+    scenario.start()
+    trajectory = []
+    for i in range(1, slices + 1):
+        scenario.loop.run_until(run_for * i / slices)
+        trajectory.append(_myshare_sample(scenario))
+    scenario.stop_load()
+    scenario.loop.run_until(run_for + payload.get("drain", 0.0))
+
+    registries = {}
+    for name, proxy in sorted(scenario.proxies.items()):
+        registries[name] = proxy.metrics.snapshot()
+    for generator in scenario.generators:
+        registries[f"uac:{generator.name}"] = generator.metrics.snapshot()
+    for server in scenario.servers:
+        registries[f"uas:{server.name}"] = server.metrics.snapshot()
+
+    return {
+        "myshare_trajectory": trajectory,
+        "call_outcomes": {
+            "uac": {
+                g.name: [g.calls_attempted, g.calls_completed, g.calls_failed]
+                for g in scenario.generators
+            },
+            "uas": {
+                s.name: [s.calls_received, s.calls_completed]
+                for s in scenario.servers
+            },
+        },
+        "registries": registries,
+        "events": scenario.loop.events_processed,
+        "packets": [
+            scenario.network.packets_sent,
+            scenario.network.packets_dropped,
+        ],
+    }
+
+
+def _job_resilience(payload: dict) -> dict:
+    from repro.harness.resilience import (
+        ResilienceParams,
+        _measure,
+        build_resilience_scenario,
+    )
+
+    params = ResilienceParams.from_payload(payload["params"])
+    placement = payload["placement"]
+    scenario = build_resilience_scenario(placement, params)
+    scenario.start()
+    scenario.loop.run_until(params.run_for)
+    scenario.stop_load()
+    scenario.loop.run_until(params.run_for + params.drain)
+    return {"outcome": _measure(scenario, placement, params).to_payload()}
+
+
+def _job_bench(payload: dict) -> dict:
+    from repro.harness.bench import bench_one
+
+    measurements, identity = bench_one(
+        payload["scenario"], payload["engine"], payload["quick"]
+    )
+    return {"measurements": measurements, "identity": identity}
+
+
+JOBS: Dict[str, Callable[[dict], dict]] = {
+    "scenario": _job_scenario,
+    "fingerprint": _job_fingerprint,
+    "resilience": _job_resilience,
+    "bench": _job_bench,
+}
+
+
+def _normalize(payload: dict) -> dict:
+    """JSON round-trip so fresh, pooled and cached results are one shape."""
+    return json.loads(json.dumps(payload))
+
+
+def _execute_chunk(tasks: List[Tuple[int, str, dict]]) -> List[Tuple[int, dict]]:
+    """Worker entry point: run a chunk of (slot, kind, payload) tasks."""
+    out = []
+    for slot, kind, payload in tasks:
+        out.append((slot, _normalize(JOBS[kind](payload))))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Execution context
+# ---------------------------------------------------------------------------
+@dataclass
+class ExecutionStats:
+    """Per-context accounting (what the CLI summarizes after a command)."""
+
+    runs: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    executed: int = 0
+    retried_chunks: int = 0
+    elapsed: float = 0.0
+
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.runs if self.runs else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"runs={self.runs} cache_hits={self.cache_hits} "
+            f"hit_rate={self.hit_rate() * 100:.1f}% deduped={self.deduped} "
+            f"executed={self.executed} elapsed={self.elapsed:.1f}s"
+        )
+
+
+class ExecutionContext:
+    """Ambient executor settings: worker count, cache, progress.
+
+    ``jobs=1`` executes inline (no pool) through exactly the same job
+    functions and normalization, which is what makes the parallel and
+    serial paths bit-identical by construction.  The in-memory ``memo``
+    deduplicates repeated specs across batches within one invocation
+    even when the disk cache is off.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        use_cache: bool = False,
+        cache_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+        progress: bool = False,
+        chunk_size: Optional[int] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = RunCache(cache_dir) if use_cache else None
+        self.start_method = start_method or default_start_method()
+        self.progress = progress
+        self.chunk_size = chunk_size
+        self.memo: Dict[str, dict] = {}
+        self.stats = ExecutionStats()
+
+    def summary(self) -> str:
+        parts = [f"[repro] {self.stats.summary()}", f"jobs={self.jobs}"]
+        if self.cache is not None:
+            parts.append(f"cache={self.cache.root}")
+        return " ".join(parts)
+
+
+_DEFAULT_CONTEXT = ExecutionContext()
+_CONTEXT_STACK: List[ExecutionContext] = []
+
+
+def current_context() -> ExecutionContext:
+    return _CONTEXT_STACK[-1] if _CONTEXT_STACK else _DEFAULT_CONTEXT
+
+
+@contextmanager
+def execution(
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    start_method: Optional[str] = None,
+    progress: bool = False,
+    chunk_size: Optional[int] = None,
+):
+    """Install an :class:`ExecutionContext` for the enclosed harness calls."""
+    context = ExecutionContext(
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        start_method=start_method,
+        progress=progress,
+        chunk_size=chunk_size,
+    )
+    _CONTEXT_STACK.append(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT_STACK.pop()
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+class _Progress:
+    """Streams ``completed/total`` + cache hits + ETA lines to stderr."""
+
+    def __init__(self, enabled: bool, total: int, hits: int):
+        self.enabled = enabled and total > 0
+        self.total = total
+        self.hits = hits
+        self.done = 0
+        self.started = time.monotonic()
+        self.step = max(1, total // 10)
+        if self.enabled and self.hits:
+            self._emit(eta=None)
+
+    def advance(self, count: int = 1) -> None:
+        self.done += count
+        if not self.enabled:
+            return
+        if self.done < self.total and self.done % self.step:
+            return
+        elapsed = time.monotonic() - self.started
+        remaining = self.total - self.hits - self.done
+        eta = None
+        if self.done and remaining > 0:
+            eta = elapsed / self.done * remaining
+        self._emit(eta)
+
+    def _emit(self, eta: Optional[float]) -> None:
+        completed = min(self.total, self.hits + self.done)
+        line = f"[parallel] {completed}/{self.total} runs"
+        if self.hits:
+            line += f" ({self.hits} cache hits)"
+        if eta is not None:
+            line += f" ETA {eta:.0f}s"
+        print(line, file=sys.stderr, flush=True)
+
+
+def _chunks(tasks: List[tuple], size: int) -> List[List[tuple]]:
+    return [tasks[i:i + size] for i in range(0, len(tasks), size)]
+
+
+def _run_pool(
+    context: ExecutionContext,
+    tasks: List[Tuple[int, str, dict]],
+    labels: Dict[int, str],
+    progress: _Progress,
+) -> Dict[int, dict]:
+    """Fan tasks across workers; retry failed chunks once in a new pool."""
+    jobs = min(context.jobs, len(tasks))
+    size = context.chunk_size or max(1, math.ceil(len(tasks) / (jobs * 4)))
+    chunks = _chunks(tasks, size)
+    mp_context = multiprocessing.get_context(context.start_method)
+    done: Dict[int, dict] = {}
+    failed: List[List[Tuple[int, str, dict]]] = []
+
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context) as pool:
+        futures = {pool.submit(_execute_chunk, chunk): chunk for chunk in chunks}
+        for future in as_completed(futures):
+            try:
+                results = future.result()
+            except Exception:
+                # A crashed worker poisons the whole pool; every not-yet-
+                # finished chunk lands here and gets exactly one retry.
+                failed.append(futures[future])
+                continue
+            for slot, payload in results:
+                done[slot] = payload
+            progress.advance(len(futures[future]))
+
+    if failed:
+        context.stats.retried_chunks += len(failed)
+        retry_jobs = min(jobs, len(failed))
+        with ProcessPoolExecutor(
+            max_workers=retry_jobs,
+            mp_context=multiprocessing.get_context(context.start_method),
+        ) as pool:
+            futures = {
+                pool.submit(_execute_chunk, chunk): chunk for chunk in failed
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    results = future.result()
+                except Exception as exc:
+                    names = ", ".join(labels[slot] for slot, _, _ in chunk)
+                    raise RuntimeError(
+                        f"run chunk failed after one retry: [{names}]"
+                    ) from exc
+                for slot, payload in results:
+                    done[slot] = payload
+                progress.advance(len(chunk))
+    return done
+
+
+def _run_inline(
+    context: ExecutionContext,
+    tasks: List[Tuple[int, str, dict]],
+    labels: Dict[int, str],
+    progress: _Progress,
+) -> Dict[int, dict]:
+    done: Dict[int, dict] = {}
+    for task in tasks:
+        slot, _kind, _payload = task
+        try:
+            results = _execute_chunk([task])
+        except Exception as exc:
+            context.stats.retried_chunks += 1
+            try:
+                results = _execute_chunk([task])
+            except Exception:
+                raise RuntimeError(
+                    f"run failed after one retry: {labels[slot]}"
+                ) from exc
+        done[results[0][0]] = results[0][1]
+        progress.advance(1)
+    return done
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    context: Optional[ExecutionContext] = None,
+) -> List[dict]:
+    """Execute a batch of specs; returns result payloads in spec order.
+
+    Identical specs (same canonical hash) are executed once per
+    invocation; previously cached specs are not executed at all.  The
+    returned payloads are JSON-normalized, so a cache hit, an inline
+    run and a pooled run of the same spec are indistinguishable.
+    """
+    context = context or current_context()
+    specs = list(specs)
+    started = time.monotonic()
+    stats = context.stats
+    stats.runs += len(specs)
+
+    keys = [spec.key() for spec in specs]
+    results: List[Optional[dict]] = [None] * len(specs)
+
+    # Resolve memo + disk-cache hits; collect unique misses.
+    pending: List[Tuple[int, str, dict]] = []     # (slot, kind, payload)
+    slot_of_key: Dict[str, int] = {}
+    labels: Dict[int, str] = {}
+    pending_specs: List[RunSpec] = []
+    hits = 0
+    for spec, key in zip(specs, keys):
+        if key in context.memo:
+            hits += 1
+            continue
+        if key in slot_of_key:
+            stats.deduped += 1
+            continue
+        cached = None
+        if context.cache is not None and spec.kind in CACHEABLE_KINDS:
+            cached = context.cache.get(key)
+        if cached is not None:
+            context.memo[key] = cached
+            hits += 1
+            continue
+        slot = len(pending)
+        slot_of_key[key] = slot
+        labels[slot] = spec.describe()
+        pending.append((slot, spec.kind, dict(spec.payload)))
+        pending_specs.append(spec)
+    stats.cache_hits += hits
+
+    progress = _Progress(context.progress, len(specs), hits)
+    if pending:
+        if context.jobs > 1 and len(pending) > 1:
+            done = _run_pool(context, pending, labels, progress)
+        else:
+            done = _run_inline(context, pending, labels, progress)
+        stats.executed += len(pending)
+        for spec in pending_specs:
+            key = spec.key()
+            payload = done[slot_of_key[key]]
+            context.memo[key] = payload
+            if context.cache is not None and spec.kind in CACHEABLE_KINDS:
+                context.cache.put(key, spec.kind, _normalize(spec.payload),
+                                  payload)
+
+    for index, key in enumerate(keys):
+        results[index] = context.memo[key]
+    stats.elapsed += time.monotonic() - started
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers
+# ---------------------------------------------------------------------------
+def scenario_spec(
+    builder: str,
+    rate: float,
+    config,
+    duration: float,
+    warmup: float,
+    drain: float = 0.0,
+    label: str = "",
+    **kwargs,
+) -> RunSpec:
+    """One-off scenario spec (``SpecTemplate`` closed over one load)."""
+    template = SpecTemplate(builder, config, label=label or builder, **kwargs)
+    return template.at(rate, duration, warmup, drain)
+
+
+def run_scenario_specs(
+    specs: Sequence[RunSpec],
+    context: Optional[ExecutionContext] = None,
+) -> List[RunResult]:
+    """Execute scenario specs and rebuild their :class:`RunResult`\\ s."""
+    payloads = run_specs(specs, context=context)
+    return [RunResult.from_payload(p["result"]) for p in payloads]

@@ -131,6 +131,34 @@ class ResilienceParams:
         #: outcome is engine-independent, only wall-clock changes.
         self.engine = engine
 
+    def to_payload(self) -> Dict[str, object]:
+        """All knobs as a JSON-able dict (spec format for the parallel
+        executor's ``resilience`` job kind; hashed into the run cache)."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "headroom": self.headroom,
+            "load_factor": self.load_factor,
+            "external_fraction": self.external_fraction,
+            "loss": self.loss,
+            "crash_node": self.crash_node,
+            "crash_times": list(self.crash_times),
+            "downtime": self.downtime,
+            "run_for": self.run_for,
+            "drain": self.drain,
+            "monitor_period": self.monitor_period,
+            "noise_sigma": self.noise_sigma,
+            "reject_queue_delay": self.reject_queue_delay,
+            "max_queue_delay": self.max_queue_delay,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ResilienceParams":
+        kwargs = dict(payload)
+        kwargs["seed"] = int(kwargs["seed"])
+        return cls(**kwargs)
+
     def offered_load(self) -> float:
         """Total paper-unit cps: comfortably below hardware capacity
         (no overload meltdown) yet above S1's headroom-scaled planning
@@ -194,6 +222,35 @@ class PlacementOutcome:
             "crashes": self.crashes,
             "custody_fraction": round(self.custody_fraction, 4),
         }
+
+    def to_payload(self) -> Dict[str, object]:
+        """Full-precision counterpart of :meth:`as_dict` (nothing
+        rounded); the parallel executor's wire and cache format."""
+        return {
+            "placement": self.placement,
+            "attempted": self.attempted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "shed_500": self.shed_500,
+            "in_flight": self.in_flight,
+            "recovered": self.recovered,
+            "recovery_p95_ms": self.recovery_p95_ms,
+            "state_lost": self.state_lost,
+            "crashes": self.crashes,
+            "custody_fraction": self.custody_fraction,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "PlacementOutcome":
+        outcome = cls(payload["placement"])
+        for name in (
+            "attempted", "completed", "failed", "lost", "shed_500",
+            "in_flight", "recovered", "recovery_p95_ms", "state_lost",
+            "crashes", "custody_fraction",
+        ):
+            setattr(outcome, name, payload[name])
+        return outcome
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -283,17 +340,28 @@ def run_resilience(
     no steady-state window): every attempted call is driven to
     completion, timeout, or rejection by the post-load drain, which
     outlasts Timer B.
+
+    The campaign fans one worker per placement through the parallel
+    executor (and its run cache) under the ambient
+    :class:`~repro.harness.parallel.ExecutionContext`; with the default
+    context it executes inline, byte-identically.
     """
+    from repro.harness.parallel import RunSpec, run_specs
+
     params = params or ResilienceParams()
-    outcomes: Dict[str, PlacementOutcome] = {}
-    for placement in placements:
-        scenario = build_resilience_scenario(placement, params)
-        scenario.start()
-        scenario.loop.run_until(params.run_for)
-        scenario.stop_load()
-        scenario.loop.run_until(params.run_for + params.drain)
-        outcomes[placement] = _measure(scenario, placement, params)
-    return outcomes
+    specs = [
+        RunSpec(
+            kind="resilience",
+            payload={"placement": placement, "params": params.to_payload()},
+            label=f"resilience/{placement}",
+        )
+        for placement in placements
+    ]
+    payloads = run_specs(specs)
+    return {
+        placement: PlacementOutcome.from_payload(payload["outcome"])
+        for placement, payload in zip(placements, payloads)
+    }
 
 
 def resilience_figure(quality: Quality = QUICK) -> FigureData:

@@ -71,6 +71,51 @@ class RunResult:
             },
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """Full-precision JSON-able dump (the parallel executor's wire
+        and cache format).  Unlike :meth:`as_dict` nothing is rounded:
+        ``from_payload(to_payload())`` reproduces every field bit-for-bit
+        (JSON round-trips Python floats exactly)."""
+        return {
+            "scenario_name": self.scenario_name,
+            "offered_cps": self.offered_cps,
+            "duration": self.duration,
+            "throughput_cps": self.throughput_cps,
+            "delivered_cps": self.delivered_cps,
+            "attempted_cps": self.attempted_cps,
+            "completed_uac_cps": self.completed_uac_cps,
+            "failed_calls": self.failed_calls,
+            "retransmissions": self.retransmissions,
+            "server_busy_500": self.server_busy_500,
+            "dropped_messages": self.dropped_messages,
+            "trying_ratio": self.trying_ratio,
+            "stateful_coverage": self.stateful_coverage,
+            "invite_rt": dict(self.invite_rt),
+            "bye_rt": dict(self.bye_rt),
+            "proxy_utilization": dict(self.proxy_utilization),
+            "proxy_stateful_cps": dict(self.proxy_stateful_cps),
+            "proxy_stateless_cps": dict(self.proxy_stateless_cps),
+            "proxy_overloaded": dict(self.proxy_overloaded),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunResult":
+        result = cls(
+            payload["scenario_name"],
+            payload["offered_cps"],
+            payload["duration"],
+        )
+        for name in (
+            "throughput_cps", "delivered_cps", "attempted_cps",
+            "completed_uac_cps", "failed_calls", "retransmissions",
+            "server_busy_500", "dropped_messages", "trying_ratio",
+            "stateful_coverage", "invite_rt", "bye_rt",
+            "proxy_utilization", "proxy_stateful_cps",
+            "proxy_stateless_cps", "proxy_overloaded",
+        ):
+            setattr(result, name, payload[name])
+        return result
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<RunResult {self.scenario_name} offered={self.offered_cps:.0f} "

@@ -11,12 +11,18 @@ so figure generation does not need a wide, dense sweep.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
+from repro.harness.parallel import SpecTemplate, run_scenario_specs
 from repro.harness.runner import RunResult, run_scenario
 from repro.workloads.scenarios import Scenario
 
 ScenarioFactory = Callable[[float], Scenario]
+
+#: A sweep source: either a closure building a live scenario per load
+#: (legacy serial path) or a declarative :class:`SpecTemplate`, which
+#: routes through the parallel executor and its run cache.
+SweepSource = Union[ScenarioFactory, SpecTemplate]
 
 
 class SweepPoint:
@@ -83,15 +89,29 @@ class SweepResult:
 
 
 def sweep_loads(
-    factory: ScenarioFactory,
+    factory: SweepSource,
     loads: Sequence[float],
     duration: float = 15.0,
     warmup: float = 5.0,
     label: str = "",
 ) -> SweepResult:
-    """Run one fresh scenario per offered load (paper-equivalent cps)."""
+    """Run one fresh scenario per offered load (paper-equivalent cps).
+
+    With a :class:`SpecTemplate` the whole load batch is handed to the
+    parallel executor: points run across the ambient context's workers,
+    previously-seen points come out of the run cache, and results merge
+    back in load order -- bit-identical to the closure path, which runs
+    each point inline.
+    """
     if not loads:
         raise ValueError("need at least one load point")
+    if isinstance(factory, SpecTemplate):
+        specs = [factory.at(load, duration, warmup) for load in loads]
+        results = run_scenario_specs(specs)
+        points = [
+            SweepPoint(load, result) for load, result in zip(loads, results)
+        ]
+        return SweepResult(label or "sweep", points)
     points = []
     for load in loads:
         scenario = factory(load)
@@ -113,7 +133,7 @@ def staircase(start: float, stop: float, step: float) -> List[float]:
 
 
 def refine_peak(
-    factory: ScenarioFactory,
+    factory: SweepSource,
     coarse: SweepResult,
     duration: float = 10.0,
     warmup: float = 4.0,
@@ -147,7 +167,7 @@ def refine_peak(
 
 
 def find_capacity(
-    factory: ScenarioFactory,
+    factory: SweepSource,
     hint: float,
     duration: float = 10.0,
     warmup: float = 4.0,

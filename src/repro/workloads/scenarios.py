@@ -115,6 +115,48 @@ class ScenarioConfig:
         #: Defaults to on for the fast engine, off for reference.
         self.lean_metrics = (engine == "fast") if lean_metrics is None else lean_metrics
 
+    def to_payload(self) -> Dict[str, object]:
+        """Every knob as a JSON-able dict (the parallel executor's spec
+        format; participates in the run-cache hash, so any change here
+        correctly invalidates cached runs)."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "noise_sigma": self.noise_sigma,
+            "arrival": self.arrival,
+            "monitor_period": self.monitor_period,
+            "via_overhead": self.via_overhead,
+            "reject_queue_delay": self.reject_queue_delay,
+            "max_queue_delay": self.max_queue_delay,
+            "t_sf": self.t_sf,
+            "t_sl": self.t_sl,
+            "hold_time": self.hold_time,
+            "timers": {
+                "t1": self.timers.t1,
+                "t2": self.timers.t2,
+                "t4": self.timers.t4,
+            },
+            "servartuka": {
+                "period": self.servartuka.period,
+                "headroom": self.servartuka.headroom,
+                "clear_utilization": self.servartuka.clear_utilization,
+                "clear_periods": self.servartuka.clear_periods,
+                "dialog_state": self.servartuka.dialog_state,
+            },
+            "engine": self.engine,
+            "lean_metrics": self.lean_metrics,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ScenarioConfig":
+        kwargs = dict(payload)
+        kwargs["timers"] = TimerPolicy(**kwargs["timers"])
+        servartuka = dict(kwargs["servartuka"])
+        servartuka["clear_periods"] = int(servartuka["clear_periods"])
+        kwargs["servartuka"] = ServartukaConfig(**servartuka)
+        kwargs["seed"] = int(kwargs["seed"])
+        return cls(**kwargs)
+
     def make_event_loop(self) -> EventLoop:
         if self.engine == "fast":
             from repro.sim.timers_wheel import WheelEventLoop

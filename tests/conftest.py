@@ -6,6 +6,8 @@ under a second while exercising exactly the same code paths as the
 full-fidelity benchmarks.
 """
 
+import os
+
 import pytest
 
 from repro.core.costmodel import CostModel
@@ -14,6 +16,20 @@ from repro.sim.network import Network
 from repro.sim.rng import RngStream
 from repro.sip.timers import TimerPolicy
 from repro.workloads.scenarios import ScenarioConfig
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_run_cache(tmp_path_factory):
+    """Point the default run cache at a temp dir for the whole session,
+    so CLI tests that leave caching on never write into the repo."""
+    path = str(tmp_path_factory.mktemp("repro-cache"))
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = path
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture

@@ -1,0 +1,94 @@
+"""Run-cache behaviour: round-trips, corruption tolerance, invalidation."""
+
+import json
+
+import pytest
+
+from repro.harness import runcache
+from repro.harness.runcache import CACHE_SCHEMA_VERSION, RunCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(str(tmp_path / "cache"))
+
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def test_miss_then_roundtrip(cache):
+    assert cache.get(KEY) is None
+    payload = {"result": {"throughput_cps": 123.5}, "extras": {"events": 7}}
+    cache.put(KEY, "scenario", {"builder": "n_series"}, payload)
+    assert cache.get(KEY) == payload
+    # Entry records provenance alongside the result.
+    entry = json.loads(cache.path_for(KEY).read_text())
+    assert entry["schema"] == CACHE_SCHEMA_VERSION
+    assert entry["kind"] == "scenario"
+    assert entry["spec"] == {"builder": "n_series"}
+
+
+def test_overwrite_replaces(cache):
+    cache.put(KEY, "scenario", {}, {"v": 1})
+    cache.put(KEY, "scenario", {}, {"v": 2})
+    assert cache.get(KEY) == {"v": 2}
+
+
+def test_corrupt_entry_reads_as_miss(cache):
+    cache.put(KEY, "scenario", {}, {"v": 1})
+    cache.path_for(KEY).write_text('{"schema": 1, "key": truncated')
+    assert cache.get(KEY) is None
+    # And a fresh put recovers it.
+    cache.put(KEY, "scenario", {}, {"v": 3})
+    assert cache.get(KEY) == {"v": 3}
+
+
+def test_mismatched_key_reads_as_miss(cache):
+    cache.put(KEY, "scenario", {}, {"v": 1})
+    # Entry moved/copied under the wrong key must not be served.
+    cache.path_for(OTHER).parent.mkdir(parents=True, exist_ok=True)
+    cache.path_for(OTHER).write_text(cache.path_for(KEY).read_text())
+    assert cache.get(OTHER) is None
+
+
+def test_schema_bump_invalidates(cache, monkeypatch):
+    cache.put(KEY, "scenario", {}, {"v": 1})
+    monkeypatch.setattr(runcache, "CACHE_SCHEMA_VERSION",
+                        CACHE_SCHEMA_VERSION + 1)
+    assert cache.get(KEY) is None  # old version dir is never consulted
+    cache.put(KEY, "scenario", {}, {"v": 2})
+    assert cache.get(KEY) == {"v": 2}
+    # Both version directories exist; stale clear keeps only the current.
+    stats = cache.stats()
+    assert len(stats["versions"]) == 2
+    removed = cache.clear(stale_only=True)
+    assert removed["removed_entries"] == 1
+    assert cache.get(KEY) == {"v": 2}
+
+
+def test_stats_and_clear(cache):
+    assert cache.stats()["entries"] == 0
+    cache.put(KEY, "scenario", {}, {"v": 1})
+    cache.put(OTHER, "resilience", {}, {"v": 2})
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["bytes"] > 0
+    assert stats["versions"][f"v{CACHE_SCHEMA_VERSION}"]["current"] is True
+    removed = cache.clear()
+    assert removed["removed_entries"] == 2
+    assert cache.stats()["entries"] == 0
+    assert cache.get(KEY) is None
+
+
+def test_clear_on_missing_root_is_noop(tmp_path):
+    cache = RunCache(str(tmp_path / "never-created"))
+    assert cache.clear() == {"removed_entries": 0, "removed_bytes": 0}
+    assert cache.stats()["entries"] == 0
+
+
+def test_default_cache_dir_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert runcache.default_cache_dir() == ".repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
+    assert RunCache().root.as_posix() == "/tmp/elsewhere"

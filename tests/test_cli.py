@@ -55,17 +55,82 @@ class TestRun:
 
 
 class TestSweep:
+    SWEEP = [
+        "sweep", "--topology", "series", "--policy", "static",
+        "--start", "3000", "--stop", "5000", "--step", "1000",
+        "--scale", "50", "--duration", "1.5", "--warmup", "0.5",
+    ]
+
     def test_sweep_prints_saturation(self, capsys):
-        rc = main([
-            "sweep", "--topology", "series", "--policy", "static",
-            "--start", "3000", "--stop", "5000", "--step", "1000",
-            "--scale", "50", "--duration", "1.5", "--warmup", "0.5",
-        ])
+        rc = main(self.SWEEP)
         assert rc == 0
         out = capsys.readouterr().out
         assert "saturation" in out
         assert "offered_cps" in out
         assert out.count("\n") >= 5  # header + 3 load rows
+
+    def test_parallel_flags_parse(self):
+        args = build_parser().parse_args(self.SWEEP + ["-j", "2", "--no-cache"])
+        assert args.jobs == 2
+        assert args.no_cache is True
+        assert build_parser().parse_args(self.SWEEP).jobs is None
+
+    def test_sweep_warm_cache_identical_output(self, tmp_path, capsys):
+        argv = self.SWEEP + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "hit_rate=100.0%" in second.err
+
+    def test_sweep_dedupes_repeated_loads(self, tmp_path, capsys):
+        # Stop is not on the step grid, so the staircase only has the 3
+        # grid points; repeating the run exercises the cache, and a
+        # degenerate single-point sweep exercises within-batch dedupe.
+        argv = [
+            "sweep", "--topology", "series", "--policy", "static",
+            "--start", "4000", "--stop", "4000", "--step", "1000",
+            "--scale", "50", "--duration", "1.5", "--warmup", "0.5",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "executed=1" in capsys.readouterr().err
+        assert main(argv) == 0
+        assert "executed=0" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_stats_empty(self, tmp_path, capsys):
+        rc = main(["cache", "stats", "--dir", str(tmp_path / "none")])
+        assert rc == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_stats_json_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(TestSweep.SWEEP + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "3 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_clear_stale_keeps_current(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(TestSweep.SWEEP + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--dir", cache_dir, "--stale",
+                     "--json"]) == 0
+        removed = json.loads(capsys.readouterr().out)
+        assert removed["removed_entries"] == 0  # current version kept
+        assert main(["cache", "stats", "--dir", cache_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 3
 
 
 class TestFigures:
