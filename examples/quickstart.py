@@ -9,13 +9,8 @@ Run:
     python examples/quickstart.py
 """
 
-from repro import (
-    ScenarioConfig,
-    optimal_stateful_rate,
-    run_scenario,
-    series_optimal_throughput,
-    two_series,
-)
+from repro import optimal_stateful_rate, series_optimal_throughput
+from repro.api import run_scenario
 
 
 def main() -> None:
@@ -41,10 +36,10 @@ def main() -> None:
     offered = 9800  # above the static chain's capacity (~9,000 cps)
     print(f"Simulated testbed at {offered} cps offered")
     for policy in ("static", "servartuka"):
-        scenario = two_series(
-            offered, policy=policy, config=ScenarioConfig(scale=25.0, seed=42)
+        result = run_scenario(
+            "n_series", n=2, rate=offered, policy=policy,
+            scale=25.0, seed=42, duration=8.0, warmup=4.0,
         )
-        result = run_scenario(scenario, duration=8.0, warmup=4.0)
         print(f"  {policy:10s}: {result.throughput_cps:7.0f} cps completed, "
               f"goodput {result.goodput_ratio:5.1%}, "
               f"stateful coverage {result.stateful_coverage:5.1%}, "

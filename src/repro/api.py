@@ -1,0 +1,294 @@
+"""Stable public API for the SERvartuka reproduction.
+
+This facade is the supported way to drive the toolkit from Python.  It
+is a thin, keyword-only layer over the internals (``repro.workloads``,
+``repro.harness``, ``repro.obs``) with one property the internals do
+not promise: **the names exported here are stable** -- they are pinned
+by ``tests/api_surface.txt`` and CI fails when the surface drifts.
+
+Everything composes in one place:
+
+- ``engine=`` picks the simulation engine rung (``"reference"``,
+  ``"copy"``, ``"fast"``; all bit-identical, only wall-clock differs),
+- ``observe=`` attaches the :mod:`repro.obs` observability layer
+  (``"cpu,telemetry,spans"`` or an :class:`ObserveConfig`),
+- ``jobs=`` / ``cache=`` fan independent runs across worker processes
+  and memoize them in the content-addressed run cache,
+- ``faults=`` injects a :class:`FaultSchedule` into a single run.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run_scenario("n_series", rate=9000, n=2,
+                              policy="servartuka", observe="cpu")
+    print(result.throughput_cps, result.obs["profiles"]["P1"])
+
+    sweep = api.sweep("single_proxy", loads=[8000, 10000, 12000],
+                      mode="stateless", jobs=4)
+    print(sweep.max_throughput)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence, Union
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentSuite
+from repro.harness.figures import FULL, QUICK, STANDARD, FigureData, Quality
+from repro.harness.parallel import (
+    SCENARIO_BUILDERS,
+    SpecTemplate,
+    execution,
+    run_specs,
+    scenario_spec,
+)
+from repro.harness.runner import RunResult
+from repro.harness.runner import run_scenario as _run_live
+from repro.harness.saturation import SweepResult
+from repro.harness.saturation import find_capacity as _find_capacity
+from repro.harness.saturation import sweep_loads as _sweep_loads
+from repro.obs import ObserveConfig
+from repro.sim.faults import FaultSchedule
+from repro.workloads.scenarios import Scenario, ScenarioConfig
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "STANDARD",
+    "TOPOLOGIES",
+    "FaultSchedule",
+    "FigureData",
+    "ObserveConfig",
+    "Quality",
+    "RunResult",
+    "Scenario",
+    "ScenarioConfig",
+    "SweepResult",
+    "experiments",
+    "find_capacity",
+    "make_scenario",
+    "run_experiment",
+    "run_scenario",
+    "sweep",
+]
+
+#: Topology names accepted by :func:`run_scenario` / :func:`sweep` /
+#: :func:`find_capacity`; extra keyword arguments are forwarded to the
+#: matching builder in :mod:`repro.workloads.scenarios`.
+TOPOLOGIES = tuple(sorted(SCENARIO_BUILDERS))
+
+_QUALITIES = {"quick": QUICK, "standard": STANDARD, "full": FULL}
+
+
+def _config(
+    config: Optional[ScenarioConfig],
+    *,
+    scale: Optional[float],
+    seed: Optional[int],
+    engine: Optional[str],
+    observe,
+) -> ScenarioConfig:
+    """Resolve the per-call config: overrides > explicit config > defaults."""
+    overrides = {
+        key: value
+        for key, value in (
+            ("scale", scale), ("seed", seed),
+            ("engine", engine), ("observe", observe),
+        )
+        if value is not None
+    }
+    if config is None:
+        return ScenarioConfig(**overrides)
+    if not overrides:
+        return config
+    payload = config.to_payload()
+    payload.update(overrides)
+    return ScenarioConfig.from_payload(payload)
+
+
+@contextmanager
+def _maybe_execution(jobs, cache, cache_dir):
+    """Install an execution context when any knob is given; otherwise
+    inherit whatever ``repro.harness.parallel.execution`` is ambient."""
+    if jobs is None and cache is None and cache_dir is None:
+        yield None
+        return
+    with execution(
+        jobs=max(1, jobs if jobs is not None else 1),
+        use_cache=True if cache is None else bool(cache),
+        cache_dir=cache_dir,
+    ) as context:
+        yield context
+
+
+def _template(topology: str, config: ScenarioConfig, kwargs) -> SpecTemplate:
+    if topology not in SCENARIO_BUILDERS:
+        raise ValueError(
+            f"unknown topology {topology!r}; one of {list(TOPOLOGIES)}"
+        )
+    return SpecTemplate(topology, config, label=topology, **kwargs)
+
+
+def make_scenario(
+    topology: str = "single_proxy",
+    *,
+    rate: float,
+    config: Optional[ScenarioConfig] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
+    **kwargs,
+) -> Scenario:
+    """Build a live :class:`Scenario` without running it.
+
+    For custom drives (time-varying load, mid-run inspection).  Most
+    callers want :func:`run_scenario` instead.
+    """
+    if topology not in SCENARIO_BUILDERS:
+        raise ValueError(
+            f"unknown topology {topology!r}; one of {list(TOPOLOGIES)}"
+        )
+    resolved = _config(config, scale=scale, seed=seed,
+                       engine=engine, observe=observe)
+    # All-keyword call, matching the parallel executor's build_scenario:
+    # some builders (n_series) take a topology argument before rate.
+    return SCENARIO_BUILDERS[topology](rate=rate, config=resolved, **kwargs)
+
+
+def run_scenario(
+    topology: str = "single_proxy",
+    *,
+    rate: float,
+    duration: float = 10.0,
+    warmup: float = 4.0,
+    drain: float = 0.0,
+    config: Optional[ScenarioConfig] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
+    faults: Optional[FaultSchedule] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    **kwargs,
+) -> RunResult:
+    """Run one (topology, offered load) point and measure it.
+
+    Returns a :class:`RunResult`; when ``observe=`` is set the result
+    additionally carries the observability snapshot as ``result.obs``
+    (the JSON-able dict of :meth:`repro.obs.Observer.snapshot`).
+
+    Fault-free runs route through the parallel executor's job path, so
+    they participate in the ambient run cache (or the one ``cache=`` /
+    ``cache_dir=`` requests); a run with ``faults=`` executes inline.
+    """
+    resolved = _config(config, scale=scale, seed=seed,
+                       engine=engine, observe=observe)
+    if faults is not None:
+        scenario = make_scenario(topology, rate=rate, config=resolved,
+                                 **kwargs)
+        scenario.install_faults(faults)
+        result = _run_live(scenario, duration=duration, warmup=warmup,
+                           drain=drain)
+        result.obs = (scenario.observer.snapshot()
+                      if scenario.observer is not None else None)
+        return result
+    spec = scenario_spec(topology, rate=rate, config=resolved,
+                         duration=duration, warmup=warmup, drain=drain,
+                         label=f"{topology}@{rate:.0f}", **kwargs)
+    with _maybe_execution(None, cache, cache_dir):
+        payload = run_specs([spec])[0]
+    result = RunResult.from_payload(payload["result"])
+    result.obs = payload["extras"].get("obs")
+    return result
+
+
+def sweep(
+    topology: str = "single_proxy",
+    *,
+    loads: Sequence[float],
+    duration: float = 10.0,
+    warmup: float = 4.0,
+    label: str = "",
+    config: Optional[ScenarioConfig] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    **kwargs,
+) -> SweepResult:
+    """Run one fresh scenario per offered load (the paper's methodology).
+
+    ``jobs=`` fans the load points across worker processes and
+    ``cache=`` memoizes each point on disk; neither changes a metric.
+    """
+    resolved = _config(config, scale=scale, seed=seed,
+                       engine=engine, observe=observe)
+    template = _template(topology, resolved, kwargs)
+    with _maybe_execution(jobs, cache, cache_dir):
+        return _sweep_loads(template, loads, duration=duration,
+                            warmup=warmup, label=label or topology)
+
+
+def find_capacity(
+    topology: str = "single_proxy",
+    *,
+    hint: float,
+    duration: float = 10.0,
+    warmup: float = 4.0,
+    span: float = 0.35,
+    points: int = 6,
+    refine: bool = True,
+    label: str = "",
+    config: Optional[ScenarioConfig] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    **kwargs,
+) -> SweepResult:
+    """Saturation search around an analytic ``hint`` (paper cps)."""
+    resolved = _config(config, scale=scale, seed=seed,
+                       engine=engine, observe=observe)
+    template = _template(topology, resolved, kwargs)
+    with _maybe_execution(jobs, cache, cache_dir):
+        return _find_capacity(template, hint, duration=duration,
+                              warmup=warmup, span=span, points=points,
+                              label=label or topology, refine=refine)
+
+
+def experiments() -> Dict[str, str]:
+    """Available experiment ids mapped to one-line descriptions."""
+    return {name: description for name, (_fn, description) in EXPERIMENTS.items()}
+
+
+def run_experiment(
+    experiment: str,
+    *,
+    quality: Union[str, Quality] = "quick",
+    engine: Optional[str] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> FigureData:
+    """Reproduce one paper figure/table (see :func:`experiments`)."""
+    if isinstance(quality, str):
+        if quality not in _QUALITIES:
+            raise ValueError(
+                f"unknown quality {quality!r}; one of {sorted(_QUALITIES)}"
+            )
+        quality = _QUALITIES[quality]
+    quality = quality.with_overrides(engine=engine, observe=observe)
+    suite = ExperimentSuite(quality)
+    with _maybe_execution(jobs, cache, cache_dir):
+        results = suite.run([experiment])
+    return results[experiment]

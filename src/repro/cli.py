@@ -10,14 +10,20 @@ Commands:
 - ``lp`` -- solve the state-distribution LP for a topology described
   in a small JSON file,
 - ``trace`` -- simulate a few calls and print their ladder diagrams,
+- ``obs`` -- run one load point with the observability layer attached
+  and report the per-functionality CPU profile, control-loop telemetry
+  and (optionally) per-call spans; exportable as JSON/CSV,
 - ``bench`` -- wall-clock benchmark of the simulation engines
   (reference vs copy vs fast), with a built-in differential check,
 - ``cache`` -- inspect or clear the on-disk run cache.
 
 The simulation-heavy commands (``figures``, ``experiments``, ``sweep``,
-``bench``) accept ``--jobs/-j N`` to fan independent runs across worker
-processes and use a content-addressed run cache under ``.repro-cache/``
-(disable with ``--no-cache``); neither changes a single reported metric.
+``run``, ``bench``) accept ``--jobs/-j N`` to fan independent runs
+across worker processes and use a content-addressed run cache under
+``.repro-cache/`` (disable with ``--no-cache``); neither changes a
+single reported metric.  Scenario-building commands accept
+``--engine`` (simulation engine rung) and ``--observe`` (attach the
+:mod:`repro.obs` recorders); observability changes no metric either.
 
 All loads are paper-equivalent calls/second.
 """
@@ -50,6 +56,7 @@ from repro.workloads.scenarios import (
 
 FIGURE_COMMANDS: Dict[str, Callable] = {
     "fig3": figure_mod.figure3_profile,
+    "fig3-breakdown": figure_mod.figure3_breakdown,
     "fig4": figure_mod.figure4_utilization,
     "lp": figure_mod.lp_optima,
     "fig5": figure_mod.figure5_two_series,
@@ -67,8 +74,19 @@ QUALITIES = {
 }
 
 
+def _scenario_config(args, **overrides) -> ScenarioConfig:
+    kwargs = dict(
+        scale=args.scale,
+        seed=args.seed,
+        engine=getattr(args, "engine", None) or "copy",
+        observe=getattr(args, "observe", None),
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
 def _build_scenario(args) -> object:
-    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    config = _scenario_config(args)
     if args.topology == "single":
         return single_proxy(args.rate, mode=args.mode, config=config)
     if args.topology == "series":
@@ -127,6 +145,18 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=25.0,
                         help="cost scale factor (capacity divisor)")
     parser.add_argument("--seed", type=int, default=1)
+    _add_engine_observe_args(parser)
+
+
+def _add_engine_observe_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default=None,
+                        choices=["reference", "copy", "fast"],
+                        help="simulation engine rung (default: copy; "
+                             "all rungs are bit-identical)")
+    parser.add_argument("--observe", default=None, metavar="SPEC",
+                        help="attach the observability layer: 'all' or "
+                             "a comma list of cpu,telemetry,spans "
+                             "(default: off; changes no metric)")
 
 
 def cmd_figures(args) -> int:
@@ -139,7 +169,9 @@ def cmd_figures(args) -> int:
               f"choose from {sorted(FIGURE_COMMANDS)} or 'all'",
               file=sys.stderr)
         return 2
-    quality = QUALITIES[args.quality]
+    quality = QUALITIES[args.quality].with_overrides(
+        engine=args.engine, observe=args.observe
+    )
     with _execution(args) as ctx:
         for name in wanted:
             figure = FIGURE_COMMANDS[name](quality)
@@ -152,7 +184,9 @@ def cmd_figures(args) -> int:
 def cmd_experiments(args) -> int:
     from repro.harness.experiments import ExperimentSuite
 
-    suite = ExperimentSuite(QUALITIES[args.quality])
+    suite = ExperimentSuite(QUALITIES[args.quality].with_overrides(
+        engine=args.engine, observe=args.observe
+    ))
     ids = args.ids or None
     with _execution(args) as ctx:
         results = suite.run(
@@ -173,7 +207,7 @@ def cmd_experiments(args) -> int:
 
 def _sweep_template(args) -> SpecTemplate:
     """The declarative twin of :func:`_build_scenario` (load left open)."""
-    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    config = _scenario_config(args)
     if args.topology == "single":
         return SpecTemplate("single_proxy", config,
                             label=f"single/{args.mode}", mode=args.mode)
@@ -215,19 +249,33 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_run(args) -> int:
-    scenario = _build_scenario(args)
-    result = run_scenario(scenario, duration=args.duration, warmup=args.warmup)
+    from repro.harness.parallel import run_specs
+    from repro.harness.runner import RunResult
+
+    spec = _sweep_template(args).at(args.rate, args.duration, args.warmup)
+    with _execution(args):
+        payload = run_specs([spec])[0]
+    result = RunResult.from_payload(payload["result"])
+    obs = payload["extras"].get("obs")
     if args.json:
-        print(json.dumps(result.as_dict(), indent=2))
-    else:
-        print(format_table(
-            ["metric", "value"],
-            sorted(
-                (key, str(value))
-                for key, value in result.as_dict().items()
-            ),
-            title=f"{scenario.name} at {args.rate:.0f} cps",
-        ))
+        out = result.as_dict()
+        if obs is not None:
+            out["obs"] = obs
+        print(json.dumps(out, indent=2))
+        return 0
+    print(format_table(
+        ["metric", "value"],
+        sorted(
+            (key, str(value))
+            for key, value in result.as_dict().items()
+        ),
+        title=f"{result.scenario_name} at {args.rate:.0f} cps",
+    ))
+    if obs is not None:
+        from repro.obs import render_profile_table
+
+        print()
+        print(render_profile_table(obs))
     return 0
 
 
@@ -272,11 +320,28 @@ def topology_from_json(spec: dict) -> Topology:
     return topology
 
 
+def _observe_with_spans(spec: Optional[str]):
+    """Coerce an ``--observe`` spec, forcing span tracing on."""
+    from repro.obs import ObserveConfig
+
+    config = ObserveConfig.coerce(spec)
+    if config is None:
+        return ObserveConfig(cpu=False, telemetry=False, spans=True)
+    if config.spans:
+        return config
+    return ObserveConfig(
+        cpu=config.cpu, telemetry=config.telemetry, spans=True,
+        trace_max_entries=config.trace_max_entries,
+        trace_sample_every=config.trace_sample_every,
+    )
+
+
 def cmd_trace(args) -> int:
     factory_args = argparse.Namespace(**vars(args))
     factory_args.rate = args.rate
+    factory_args.observe = _observe_with_spans(args.observe)
     scenario = _build_scenario(factory_args)
-    trace = scenario.enable_trace()
+    trace = scenario.observer.trace
     scenario.start()
     scenario.loop.run_until(args.calls / (args.rate / args.scale) + 1.0)
     scenario.stop_load()
@@ -285,6 +350,64 @@ def cmd_trace(args) -> int:
         print(f"--- {call_id} ---")
         print(render_ladder(trace.call_flow(call_id)))
         print()
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Run one observed load point and report/export what was recorded."""
+    from repro.obs import (
+        ObserveConfig,
+        export_csv,
+        export_json,
+        render_profile_table,
+        render_spans,
+        spans_by_call,
+    )
+
+    spec = args.observe or ("all" if args.spans else "cpu,telemetry")
+    observe = ObserveConfig.coerce(spec)
+    if args.spans and not observe.spans:
+        observe = _observe_with_spans(spec)
+    factory_args = argparse.Namespace(**vars(args))
+    factory_args.observe = observe
+    scenario = _build_scenario(factory_args)
+    result = run_scenario(scenario, duration=args.duration,
+                          warmup=args.warmup)
+    snapshot = scenario.observer.snapshot()
+    print(f"{scenario.name} at {args.rate:.0f} cps: "
+          f"throughput {result.throughput_cps:.0f} cps, "
+          f"goodput {result.goodput_ratio:.3f}")
+    print()
+    if observe.cpu:
+        print(render_profile_table(snapshot))
+        print()
+    if observe.telemetry and snapshot.get("telemetry"):
+        rows = []
+        for key, telemetry in sorted(snapshot["telemetry"].items()):
+            periods = telemetry["periods"]
+            last = periods[-1] if periods else {}
+            rows.append([
+                key, len(periods), len(telemetry["events"]),
+                last.get("branch", "-"),
+                "yes" if last.get("overload_active") else "no",
+            ])
+        print(format_table(
+            ["policy", "periods", "events", "last_branch", "overloaded"],
+            rows, title="control-loop telemetry",
+        ))
+        print()
+    if observe.spans and scenario.observer.trace is not None:
+        spans = spans_by_call(scenario.observer.trace)
+        for call_id in list(spans)[: args.calls]:
+            print(f"--- {call_id} ---")
+            print(render_spans(spans[call_id]))
+            print()
+    if args.json:
+        export_json(snapshot, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.csv_dir:
+        for path in export_csv(snapshot, args.csv_dir):
+            print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -364,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"figure ids ({', '.join(FIGURE_COMMANDS)}) or 'all'")
     p_fig.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
     _add_parallel_args(p_fig)
+    _add_engine_observe_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_exp = sub.add_parser(
@@ -375,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", help="write machine-readable results here")
     p_exp.add_argument("--markdown", help="write a Markdown report here")
     _add_parallel_args(p_exp)
+    _add_engine_observe_args(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
 
     p_sweep = sub.add_parser("sweep", help="throughput sweep to saturation")
@@ -393,7 +518,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--duration", type=float, default=8.0)
     p_run.add_argument("--warmup", type=float, default=3.0)
     p_run.add_argument("--json", action="store_true")
+    _add_parallel_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_obs = sub.add_parser(
+        "obs", help="observe one load point: CPU profile, telemetry, spans"
+    )
+    _add_scenario_args(p_obs)
+    p_obs.add_argument("--rate", type=float, default=8000)
+    p_obs.add_argument("--duration", type=float, default=8.0)
+    p_obs.add_argument("--warmup", type=float, default=3.0)
+    p_obs.add_argument("--spans", action="store_true",
+                       help="also record per-call spans and print the "
+                            "first --calls of them")
+    p_obs.add_argument("--calls", type=int, default=2,
+                       help="span trees to print with --spans")
+    p_obs.add_argument("--json", metavar="PATH",
+                       help="write the full observability snapshot here")
+    p_obs.add_argument("--csv-dir", metavar="DIR",
+                       help="write profile/telemetry CSV files here")
+    p_obs.set_defaults(func=cmd_obs)
 
     p_lp = sub.add_parser("lp", help="solve the state-distribution LP")
     p_lp.add_argument("topology_file", help="JSON topology description")
@@ -417,6 +561,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--engines", nargs="*",
                          choices=["reference", "copy", "fast"],
                          help="engine subset (default: all three)")
+    p_bench.add_argument("--engine", action="append", dest="engines",
+                         choices=["reference", "copy", "fast"],
+                         help="add one engine (repeatable alias of "
+                              "--engines)")
     _add_parallel_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 

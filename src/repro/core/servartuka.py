@@ -120,6 +120,9 @@ class ServartukaPolicy(StatePolicy):
         self.last_msg_rate = 0.0
         self.last_feasible_sf = math.inf
         self.periods_run = 0
+        # Optional repro.obs.ControlTelemetry recorder; None keeps the
+        # control loop free of any observability work.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -217,6 +220,7 @@ class ServartukaPolicy(StatePolicy):
             for stats in self.paths.values():
                 stats.myshare = math.inf
             self._maybe_clear_overload(forced_rate=msg_rate, feasible=feasible_sf)
+            self._record_period(now, "hold-all")
             self._reset_counters(elapsed)
             return
 
@@ -273,14 +277,29 @@ class ServartukaPolicy(StatePolicy):
                 self._send_overload(feasible_sf)
             else:
                 self._maybe_clear_overload(forced_rate=planned, feasible=feasible_sf)
+            self._record_period(now, "shed")
         else:
             # No path can take delegated state (paper lines 20-23).
             if tot_sf_rate > feasible_sf or forced_rate > feasible_sf:
                 self._send_overload(feasible_sf)
             else:
                 self._maybe_clear_overload(forced_rate=forced_rate, feasible=feasible_sf)
+            self._record_period(now, "forced-only")
 
         self._reset_counters(elapsed)
+
+    def _record_period(self, now: float, branch: str) -> None:
+        """Telemetry sample of the operating point just computed."""
+        if self.telemetry is None:
+            return
+        self.telemetry.record_period(
+            now,
+            msg_rate=self.last_msg_rate,
+            feasible_sf=self.last_feasible_sf,
+            branch=branch,
+            overload_active=self._overload_active,
+            paths=self.paths,
+        )
 
     # ------------------------------------------------------------------
     # Overload reporting
@@ -295,6 +314,13 @@ class ServartukaPolicy(StatePolicy):
             sequence=self._report_sequence,
             resource=self.resource,
         )
+        if self.telemetry is not None:
+            self.telemetry.record_overload_sent(
+                self._proxy.loop.now,
+                overloaded=True,
+                c_asf_rate=max(0.0, sustainable_sf_rate),
+                sequence=self._report_sequence,
+            )
 
     def _maybe_clear_overload(self, forced_rate: float, feasible: float) -> None:
         if not self._overload_active:
@@ -313,11 +339,20 @@ class ServartukaPolicy(StatePolicy):
                 sequence=self._report_sequence,
                 resource=self.resource,
             )
+            if self.telemetry is not None:
+                self.telemetry.record_overload_sent(
+                    self._proxy.loop.now,
+                    overloaded=False,
+                    c_asf_rate=0.0,
+                    sequence=self._report_sequence,
+                )
 
     def on_overload_report(self, report: OverloadReport, now: float) -> None:
         """Record a downstream path's overload state (keyed by origin)."""
         stats = self.path(report.origin)
         stats.overload.apply(report, now)
+        if self.telemetry is not None:
+            self.telemetry.record_report_received(now, report)
 
     # ------------------------------------------------------------------
     # Fault handling (see repro.sim.faults)

@@ -45,6 +45,7 @@ from repro.harness.figures import (
     QUICK,
     STANDARD,
     FULL,
+    figure3_breakdown,
     figure3_profile,
     figure4_utilization,
     figure5_two_series,
@@ -81,6 +82,7 @@ __all__ = [
     "QUICK",
     "STANDARD",
     "FULL",
+    "figure3_breakdown",
     "figure3_profile",
     "figure4_utilization",
     "figure5_two_series",

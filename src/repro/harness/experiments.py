@@ -29,6 +29,8 @@ from repro.harness.resilience import resilience_figure
 EXPERIMENTS: Dict[str, tuple] = {
     "fig3": (figure_mod.figure3_profile,
              "CPU events per call by functionality mode"),
+    "fig3-breakdown": (figure_mod.figure3_breakdown,
+                       "measured per-functionality CPU split (repro.obs)"),
     "fig4": (figure_mod.figure4_utilization,
              "utilization vs load; stateful/stateless saturation"),
     "lp": (figure_mod.lp_optima,

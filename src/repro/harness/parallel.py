@@ -185,7 +185,7 @@ def build_scenario(payload: dict):
 
 def _scenario_extras(scenario) -> dict:
     """Cheap per-run observables beyond the RunResult (figure inputs)."""
-    return {
+    extras = {
         "events": scenario.loop.events_processed,
         "uas_calls_completed": [s.calls_completed for s in scenario.servers],
         "proxy_cpu_components": {
@@ -193,6 +193,12 @@ def _scenario_extras(scenario) -> dict:
             for name, proxy in sorted(scenario.proxies.items())
         },
     }
+    # Key is only present under observe=, so observe-off extras (and
+    # their cache entries) are byte-for-byte what they were before.
+    observer = getattr(scenario, "observer", None)
+    if observer is not None:
+        extras["obs"] = observer.snapshot()
+    return extras
 
 
 def _job_scenario(payload: dict) -> dict:

@@ -11,6 +11,7 @@ so figure generation does not need a wide, dense sweep.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.harness.parallel import SpecTemplate, run_scenario_specs
@@ -102,6 +103,13 @@ def sweep_loads(
     previously-seen points come out of the run cache, and results merge
     back in load order -- bit-identical to the closure path, which runs
     each point inline.
+
+    .. deprecated::
+        Passing a bare ``Callable[[float], Scenario]`` closure is
+        deprecated: closures cannot be serialised, so they forfeit
+        parallel execution and the run cache.  Build a
+        :class:`~repro.harness.parallel.SpecTemplate` (or use
+        :func:`repro.api.sweep`) instead.
     """
     if not loads:
         raise ValueError("need at least one load point")
@@ -112,6 +120,13 @@ def sweep_loads(
             SweepPoint(load, result) for load, result in zip(loads, results)
         ]
         return SweepResult(label or "sweep", points)
+    warnings.warn(
+        "passing a scenario-factory closure to sweep_loads/find_capacity "
+        "is deprecated; pass a repro.harness.parallel.SpecTemplate (or "
+        "use repro.api.sweep) to get parallel execution and caching",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     points = []
     for load in loads:
         scenario = factory(load)

@@ -1,0 +1,129 @@
+"""Export and rendering of Observer snapshots (JSON / CSV / text).
+
+The ``repro obs`` CLI subcommand drives these: one JSON file carries
+the whole snapshot; CSV export splits it into flat per-row files
+(profile, telemetry periods, telemetry events) that load directly into
+a spreadsheet or pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, List
+
+from repro.obs.profile import FUNCTIONALITIES
+
+
+def export_json(snapshot: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def export_csv(snapshot: Dict[str, object], directory: str) -> List[str]:
+    """Write flat CSV files into ``directory``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    profiles = snapshot.get("profiles") or {}
+    if profiles:
+        path = os.path.join(directory, "profile.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["node", "functionality", "seconds", "share"])
+            for node, profile in sorted(profiles.items()):
+                seconds = profile.get("functionality_seconds", {})
+                shares = profile.get("functionality_shares", {})
+                for name in sorted(seconds):
+                    writer.writerow([
+                        node, name, seconds[name], shares.get(name, 0.0),
+                    ])
+        written.append(path)
+
+    telemetry = snapshot.get("telemetry") or {}
+    periods_rows = []
+    events_rows = []
+    for key, record in sorted(telemetry.items()):
+        node = record.get("node", key)
+        resource = record.get("resource", "state")
+        for sample in record.get("periods", []):
+            for path_key, entry in sorted(sample.get("paths", {}).items()):
+                periods_rows.append([
+                    node, resource, sample["time"], sample["msg_rate"],
+                    sample["feasible_sf"], sample["branch"],
+                    sample["overload_active"], path_key, entry["rcv"],
+                    entry["sf"], entry["fasf"], entry["myshare"],
+                    entry["path_overloaded"],
+                ])
+        for event in record.get("events", []):
+            events_rows.append([
+                node, resource, event["time"], event["event"],
+                event.get("origin", ""), event.get("c_asf_rate", ""),
+                event.get("sequence", ""),
+            ])
+    if periods_rows:
+        path = os.path.join(directory, "telemetry_periods.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "node", "resource", "time", "msg_rate", "feasible_sf",
+                "branch", "overload_active", "path", "rcv", "sf", "fasf",
+                "myshare", "path_overloaded",
+            ])
+            writer.writerows(periods_rows)
+        written.append(path)
+    if events_rows:
+        path = os.path.join(directory, "telemetry_events.csv")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "node", "resource", "time", "event", "origin",
+                "c_asf_rate", "sequence",
+            ])
+            writer.writerows(events_rows)
+        written.append(path)
+    return written
+
+
+def render_profile_table(snapshot: Dict[str, object]) -> str:
+    """Per-node functionality breakdown as a text table."""
+    from repro.harness.report import format_table
+
+    profiles = snapshot.get("profiles") or {}
+    if not profiles:
+        return "(no CPU profiles recorded)"
+    blocks = []
+    for node, profile in sorted(profiles.items()):
+        seconds = profile.get("functionality_seconds", {})
+        shares = profile.get("functionality_shares", {})
+        # Endpoints don't model CPU; only show them if they counted
+        # something (e.g. timer fires).
+        if not seconds and not profile.get("event_counts"):
+            continue
+        rows = []
+        for name in FUNCTIONALITIES:
+            if name in seconds:
+                rows.append([
+                    name,
+                    f"{seconds[name] * 1e3:.3f}",
+                    f"{shares.get(name, 0.0):.1%}",
+                ])
+        for name in sorted(set(seconds) - set(FUNCTIONALITIES)):
+            rows.append([
+                name, f"{seconds[name] * 1e3:.3f}",
+                f"{shares.get(name, 0.0):.1%}",
+            ])
+        counts = profile.get("event_counts") or {}
+        title = (f"{node}: {profile.get('jobs', 0)} jobs, "
+                 f"{profile.get('seconds', 0.0):.4f}s CPU, "
+                 f"state-ops {profile.get('state_ops_share', 0.0):.1%}")
+        if counts:
+            title += ", " + ", ".join(
+                f"{k}={v}" for k, v in sorted(counts.items())
+            )
+        blocks.append(format_table(
+            ["functionality", "ms", "share"], rows, title=title
+        ))
+    return "\n\n".join(blocks)

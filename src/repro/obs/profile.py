@@ -1,0 +1,185 @@
+"""Per-functionality CPU accounting (paper Figure 3, measured live).
+
+The paper's argument opens with a per-functionality CPU profile of
+OpenSER: parsing, transaction-state creation/hashing/memory, user
+lookup, forwarding.  The simulator's :class:`~repro.sim.cpu.CpuModel`
+already tracks *component* seconds (the cost model's Figure-3 bands);
+this module adds the second axis: **which functionality** a charge
+served, derived from the call site that submitted the job.
+
+Two axes compose:
+
+- the *site label* (``func=`` on :meth:`CpuModel.submit`) says what the
+  proxy was doing -- creating transaction state, matching a retransmit
+  against stored state, tearing a transaction down, plain forwarding,
+  or processing a control message;
+- the *component breakdown* (from
+  :meth:`~repro.core.costmodel.CostModel.message_cost`) says where the
+  microseconds went inside that job.
+
+:func:`functionality_of` folds the two into the fixed functionality
+taxonomy (:data:`FUNCTIONALITIES`).  The ``state``/``memory``
+components are attributed to the site's state operation (create /
+lookup / destroy); ``hashing`` and ``lookup`` are state reads wherever
+they occur; ``parsing``/``lumping`` are always ``parse``; control
+messages are accounted whole.  ``timer`` is count-only: proxy
+downstream retransmissions deliberately charge no CPU in the
+simulation, so charging them here would violate the "observability
+changes no metric" contract.
+
+The profiler is a pure sink: it never touches a
+:class:`~repro.sim.metrics.MetricsRegistry`, so registry snapshots --
+the object every differential battery compares -- are bit-identical
+with profiling on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: The functionality taxonomy, in report order.
+FUNCTIONALITIES = (
+    "parse",
+    "state-create",
+    "state-lookup",
+    "state-destroy",
+    "forward",
+    "timer",
+    "control-msg",
+    "auth",
+)
+
+#: Site labels that name a transaction/dialog state operation.
+STATE_FUNCTIONALITIES = frozenset(
+    {"state-create", "state-lookup", "state-destroy"}
+)
+
+_PARSE_COMPONENTS = frozenset({"parsing", "lumping"})
+_MATCH_COMPONENTS = frozenset({"lookup", "hashing"})
+_STATE_COMPONENTS = frozenset({"state", "memory"})
+
+
+def functionality_of(component: str, site: Optional[str]) -> str:
+    """Map one (cost component, call-site label) pair to a functionality.
+
+    ``site`` is the ``func=`` label the submitting call site passed
+    (``None`` for unlabelled submissions, treated as plain forwarding).
+    """
+    if site == "control-msg":
+        return "control-msg"
+    if component in _PARSE_COMPONENTS:
+        return "parse"
+    if component == "authentication":
+        return "auth"
+    if component in _MATCH_COMPONENTS:
+        return "state-lookup"
+    if component in _STATE_COMPONENTS:
+        if site in STATE_FUNCTIONALITIES:
+            return site  # type: ignore[return-value]
+        return "forward"
+    # routing, others, baseline -- the cost of moving the message on.
+    return "forward"
+
+
+class CpuProfiler:
+    """Accumulates per-site and per-functionality CPU seconds for one node.
+
+    Attached to a :class:`~repro.sim.cpu.CpuModel` as ``cpu.profiler``;
+    the CPU calls :meth:`record` once per admitted job (with the job's
+    site label, actual cost, and nominal component breakdown) and call
+    sites may bump count-only events via :meth:`count` (e.g. timer
+    fires that charge no CPU).
+    """
+
+    __slots__ = (
+        "node",
+        "jobs",
+        "seconds",
+        "site_seconds",
+        "site_jobs",
+        "functionality_seconds",
+        "event_counts",
+    )
+
+    def __init__(self, node: str):
+        self.node = node
+        self.jobs = 0
+        self.seconds = 0.0
+        self.site_seconds: Dict[str, float] = {}
+        self.site_jobs: Dict[str, int] = {}
+        self.functionality_seconds: Dict[str, float] = {}
+        self.event_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot path when enabled; never called when disabled)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        site: Optional[str],
+        cost: float,
+        components: Optional[Dict[str, float]],
+    ) -> None:
+        """One admitted CPU job: ``cost`` is the actual (noise-scaled)
+        service time; ``components`` the nominal per-component split."""
+        label = site or "forward"
+        self.jobs += 1
+        self.seconds += cost
+        self.site_seconds[label] = self.site_seconds.get(label, 0.0) + cost
+        self.site_jobs[label] = self.site_jobs.get(label, 0) + 1
+        if components:
+            for component, share in components.items():
+                name = functionality_of(component, label)
+                self.functionality_seconds[name] = (
+                    self.functionality_seconds.get(name, 0.0) + share
+                )
+
+    def count(self, event: str) -> None:
+        """Count-only observation (no CPU charged), e.g. ``"timer"``."""
+        self.event_counts[event] = self.event_counts.get(event, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def functionality_shares(self) -> Dict[str, float]:
+        """Fraction of accounted seconds per functionality (sums to 1)."""
+        total = sum(self.functionality_seconds.values())
+        if total <= 0:
+            return {}
+        return {
+            name: self.functionality_seconds[name] / total
+            for name in sorted(self.functionality_seconds)
+        }
+
+    def state_ops_share(self) -> float:
+        """Fraction of accounted seconds spent on state operations."""
+        total = sum(self.functionality_seconds.values())
+        if total <= 0:
+            return 0.0
+        state = sum(
+            seconds
+            for name, seconds in self.functionality_seconds.items()
+            if name in STATE_FUNCTIONALITIES
+        )
+        return state / total
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of everything accumulated."""
+        return {
+            "node": self.node,
+            "jobs": self.jobs,
+            "seconds": self.seconds,
+            "site_seconds": dict(sorted(self.site_seconds.items())),
+            "site_jobs": dict(sorted(self.site_jobs.items())),
+            "functionality_seconds": dict(
+                sorted(self.functionality_seconds.items())
+            ),
+            "functionality_shares": self.functionality_shares(),
+            "state_ops_share": self.state_ops_share(),
+            "event_counts": dict(sorted(self.event_counts.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CpuProfiler {self.node} jobs={self.jobs} "
+            f"seconds={self.seconds:.4f}>"
+        )

@@ -1,0 +1,126 @@
+"""Control-loop telemetry for the SERvartuka feedback algorithm.
+
+Algorithm 2 recomputes ``myshare`` every monitoring period from local
+counters and neighbour overload reports; the resilience work showed the
+loop can go unstable under loss, but until now there was nothing to
+diagnose it with beyond the final counters.  A
+:class:`ControlTelemetry` recorder attaches to a
+:class:`~repro.core.servartuka.ServartukaPolicy` (``policy.telemetry``)
+and captures:
+
+- one **period sample** per Algorithm-2 run: the observed message
+  rate, the eq-(8) feasible stateful rate, which branch of the
+  operating rule was taken, and the per-downstream-path accounting
+  (received/stateful/FASF counts and the resulting ``myshare``);
+- one **event** per overload-control action: reports sent upstream,
+  reports received from downstream, and clears.
+
+Recording is pure observation -- nothing here feeds back into the
+policy or any metric registry, so runs with telemetry on and off are
+bit-identical in every compared metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON has no Infinity; ``myshare`` is often unbounded."""
+    return None if math.isinf(value) else value
+
+
+class ControlTelemetry:
+    """Time-series recorder for one policy instance on one node."""
+
+    __slots__ = ("node", "resource", "periods", "events")
+
+    def __init__(self, node: str, resource: str = "state"):
+        self.node = node
+        self.resource = resource
+        self.periods: List[Dict[str, object]] = []
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by ServartukaPolicy when attached)
+    # ------------------------------------------------------------------
+    def record_period(
+        self,
+        now: float,
+        *,
+        msg_rate: float,
+        feasible_sf: float,
+        branch: str,
+        overload_active: bool,
+        paths: Dict[str, object],
+    ) -> None:
+        """One Algorithm-2 run.  ``paths`` maps downstream-path key to
+        its :class:`~repro.core.servartuka.PathStats` (read before the
+        period counters reset)."""
+        per_path = {}
+        for key, stats in sorted(paths.items()):
+            per_path[key] = {
+                "rcv": stats.rcv_count,
+                "sf": stats.sf_count,
+                "fasf": stats.fasf_count,
+                "nasf_forwarded": stats.nasf_forwarded,
+                "myshare": _finite(stats.myshare),
+                "path_overloaded": stats.overload.overloaded,
+            }
+        self.periods.append({
+            "time": now,
+            "msg_rate": msg_rate,
+            "feasible_sf": _finite(feasible_sf),
+            "branch": branch,
+            "overload_active": overload_active,
+            "paths": per_path,
+        })
+
+    def record_overload_sent(
+        self, now: float, *, overloaded: bool, c_asf_rate: float, sequence: int
+    ) -> None:
+        self.events.append({
+            "time": now,
+            "event": "overload_sent" if overloaded else "overload_cleared",
+            "c_asf_rate": c_asf_rate,
+            "sequence": sequence,
+        })
+
+    def record_report_received(self, now: float, report) -> None:
+        self.events.append({
+            "time": now,
+            "event": "report_received",
+            "origin": report.origin,
+            "overloaded": report.overloaded,
+            "c_asf_rate": report.c_asf_rate,
+            "sequence": report.sequence,
+            "resource": report.resource,
+        })
+
+    # ------------------------------------------------------------------
+    # Queries / export
+    # ------------------------------------------------------------------
+    def myshare_series(self, path: str) -> List[tuple]:
+        """``(time, myshare)`` samples for one downstream path (``None``
+        myshare means unbounded)."""
+        series = []
+        for sample in self.periods:
+            entry = sample["paths"].get(path)  # type: ignore[union-attr]
+            if entry is not None:
+                series.append((sample["time"], entry["myshare"]))
+        return series
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "resource": self.resource,
+            "periods": list(self.periods),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ControlTelemetry {self.node}/{self.resource} "
+            f"periods={len(self.periods)} events={len(self.events)}>"
+        )

@@ -79,9 +79,13 @@ class Node:
             return
         kind, features, extra_vias = self.classify(packet.payload)
         cost, components = self.cost_model.message_cost(kind, features, extra_vias)
+        func = None
+        if self.cpu.profiler is not None:
+            func = ("control-msg" if kind is MessageKind.CONTROL
+                    else "forward")
         job = self.cpu.submit(
             cost, self.handle_message, packet.payload, packet.src,
-            components=components,
+            components=components, func=func,
         )
         if job is None:
             self.metrics.counter("messages_dropped_overload").increment()

@@ -248,7 +248,8 @@ class ProxyServer(Node):
         if isinstance(payload, OverloadReport):
             cost, components = self.cost_model.message_cost(MessageKind.CONTROL)
             self.cpu.submit(
-                cost, self._handle_control, payload, components=components
+                cost, self._handle_control, payload, components=components,
+                func="control-msg",
             )
             return
         if not isinstance(payload, SipMessage):
@@ -264,9 +265,46 @@ class ProxyServer(Node):
         cost, components = self.cost_model.message_cost(
             plan.kind, plan.features, plan.extra_vias
         )
-        job = self.cpu.submit(cost, self._execute, plan, components=components)
+        func = self._plan_func(plan) if self.cpu.profiler is not None else None
+        job = self.cpu.submit(cost, self._execute, plan, components=components,
+                              func=func)
         if job is None:
             self.metrics.counter("messages_dropped_overload").increment()
+
+    # Simple plan actions -> functionality label; the forward_* actions
+    # refine on the plan's policy decision in _plan_func.
+    _ACTION_FUNCS = {
+        "absorb": "state-lookup",
+        "ack_stateful": "state-lookup",
+        "cancel_stateful": "state-lookup",
+        "register": "state-create",
+        "reject": "forward",
+        "forward_other": "forward",
+    }
+
+    def _plan_func(self, plan: _Plan) -> str:
+        """Functionality label for a planned action (profiling only)."""
+        action = plan.action
+        label = self._ACTION_FUNCS.get(action)
+        if label is not None:
+            return label
+        stateful = plan.decision is not None and plan.decision.stateful
+        if action == "forward_invite":
+            return "state-create" if stateful else "forward"
+        if action == "forward_bye":
+            # An owning BYE begins the dialog/transaction teardown.
+            return "state-destroy" if stateful else "forward"
+        if action == "forward_response":
+            top = plan.message.top_via
+            transaction = (
+                self._by_forwarded_branch.get(top.branch or "")
+                if top is not None else None
+            )
+            if transaction is None:
+                return "forward"
+            return ("state-destroy" if plan.message.is_final
+                    else "state-lookup")
+        return "forward"
 
     # ------------------------------------------------------------------
     # Request planning
@@ -682,6 +720,11 @@ class ProxyServer(Node):
             return
         transaction.downstream_retransmits += 1
         self.metrics.counter("downstream_retransmits").increment()
+        profiler = self.cpu.profiler
+        if profiler is not None:
+            # Count-only: timer-driven retransmits charge no CPU in the
+            # simulation, so the profiler must not invent seconds either.
+            profiler.count("timer")
         self.send(transaction.next_hop, transaction.forwarded_message.copy())
         transaction.retransmit_interval = self.timers.next_retransmit_interval(
             transaction.retransmit_interval, invite=transaction.method == "INVITE"

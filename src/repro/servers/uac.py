@@ -130,6 +130,9 @@ class CallGenerator(Node):
         self._branch_counter = 0
         self._running = False
         self._dest_index = 0
+        # Optional count-only hook propagated to every client
+        # transaction's retransmission timer (see repro.obs).
+        self.timer_observer = None
 
     # ------------------------------------------------------------------
     # Load control
@@ -228,6 +231,7 @@ class CallGenerator(Node):
             on_timeout=lambda: self._on_invite_timeout(call_id),
             timers=self.timers,
         )
+        transaction.timer_observer = self.timer_observer
         self._transactions[(branch, "INVITE")] = transaction
         transaction.start()
 
@@ -321,6 +325,7 @@ class CallGenerator(Node):
             on_timeout=lambda: None,
             timers=self.timers,
         )
+        transaction.timer_observer = self.timer_observer
         self._transactions[(record.invite_branch, "CANCEL")] = transaction
         transaction.start()
 
@@ -371,6 +376,7 @@ class CallGenerator(Node):
             on_timeout=lambda: self._on_bye_timeout(call_id, branch),
             timers=self.timers,
         )
+        transaction.timer_observer = self.timer_observer
         self._transactions[(branch, "BYE")] = transaction
         transaction.start()
 

@@ -60,6 +60,9 @@ class AnsweringServer(Node):
         self._seen_invites: Dict[str, str] = {}  # call-id -> to-tag
         self._ringing: Dict[str, tuple] = {}  # call-id -> (handle, request, hop)
         self._tag_counter = 0
+        # Optional count-only hook for 200-OK retransmission timers
+        # (see repro.obs).
+        self.timer_observer = None
 
     # ------------------------------------------------------------------
     # Message handling
@@ -164,6 +167,8 @@ class AnsweringServer(Node):
         if pending is None:
             return
         self.metrics.counter("ok_retransmits").increment()
+        if self.timer_observer is not None:
+            self.timer_observer("timer-ok")
         self.send(pending.next_hop, pending.response.copy())
         pending.interval = min(pending.interval * 2, self.timers.t2)
         pending.handle = self.loop.schedule(pending.interval, self._retransmit_ok, call_id)

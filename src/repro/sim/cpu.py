@@ -103,6 +103,9 @@ class CpuModel:
         self.jobs_rejected = 0
         self.jobs_aborted = 0
         self.halted = False
+        # Optional repro.obs.CpuProfiler; None keeps the hot path free
+        # of any observability work beyond this one attribute test.
+        self.profiler = None
         self._pending: "set[CpuJob]" = set()
         self.component_seconds: Dict[str, float] = {}
         self.utilization_series = TimeSeries("cpu.utilization")
@@ -118,13 +121,15 @@ class CpuModel:
         fn: Callable[..., Any],
         *args: Any,
         components: Optional[Dict[str, float]] = None,
+        func: Optional[str] = None,
     ) -> Optional[CpuJob]:
         """Enqueue a job; returns ``None`` if admission control rejects it.
 
         ``components`` optionally breaks ``cost`` down by functional
         component (parsing, state, lookup, ...) for Figure-3-style
         profiles; the breakdown is accounting-only and does not change
-        scheduling.
+        scheduling.  ``func`` is the call-site functionality label for
+        the optional profiler (``None`` when profiling is off).
         """
         if cost < 0:
             raise ValueError(f"negative cost: {cost}")
@@ -154,6 +159,8 @@ class CpuModel:
                 self.component_seconds[name] = (
                     self.component_seconds.get(name, 0.0) + share
                 )
+        if self.profiler is not None:
+            self.profiler.record(func, actual, components)
         return job
 
     def _complete(self, job: CpuJob) -> None:

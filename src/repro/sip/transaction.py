@@ -89,6 +89,9 @@ class ClientTransaction:
         self._timer_handles = _TimerSet()
         self._retransmit_handle: Optional[Any] = None
         self._interval = timers.timer_a if self.is_invite else timers.timer_e
+        # Optional count-only observability hook, called with the RFC
+        # timer letter on each retransmission fire (see repro.obs).
+        self.timer_observer: Optional[Callable[[str], Any]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,6 +115,8 @@ class ClientTransaction:
             # INVITE retransmissions stop once a provisional arrives.
             return
         self.retransmit_count += 1
+        if self.timer_observer is not None:
+            self.timer_observer("timer-a" if self.is_invite else "timer-e")
         self.send_fn(self.request)
         self._interval = self.timers.next_retransmit_interval(self._interval, self.is_invite)
         self._arm_retransmit(self._interval)
@@ -241,6 +246,8 @@ class ServerTransaction:
         self._timer_handles = _TimerSet()
         self._retransmit_handle: Optional[Any] = None
         self._interval = timers.timer_g
+        # Optional count-only observability hook (see ClientTransaction).
+        self.timer_observer: Optional[Callable[[str], Any]] = None
 
     # ------------------------------------------------------------------
     # TU-facing API
@@ -317,6 +324,8 @@ class ServerTransaction:
         if self.state != TransactionState.COMPLETED or self.last_response is None:
             return
         self.response_retransmits += 1
+        if self.timer_observer is not None:
+            self.timer_observer("timer-g")
         self.send_fn(self.last_response)
         self._interval = min(self._interval * 2, self.timers.t2)
         self._arm_final_retransmit()

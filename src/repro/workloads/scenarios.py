@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.costmodel import CostModel, PAPER_T_SF, PAPER_T_SL
 from repro.core.servartuka import ServartukaConfig, ServartukaPolicy
+from repro.obs import ObserveConfig, Observer
 from repro.core.static_policy import (
     StatePolicy,
     stateful_policy,
@@ -74,6 +75,7 @@ class ScenarioConfig:
         servartuka: Optional[ServartukaConfig] = None,
         engine: str = "copy",
         lean_metrics: Optional[bool] = None,
+        observe=None,
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -114,6 +116,12 @@ class ScenarioConfig:
         #: Zero-allocation metrics mode (pre-sized histogram reservoirs).
         #: Defaults to on for the fast engine, off for reference.
         self.lean_metrics = (engine == "fast") if lean_metrics is None else lean_metrics
+        #: Observability: None (default, fully off), True/"all", a
+        #: comma list ("cpu,telemetry,spans"), or an ObserveConfig.
+        #: Off changes no code path beyond per-site ``is not None``
+        #: tests; on changes no *metric* either (recorders are pure
+        #: sinks) -- see repro.obs.
+        self.observe = ObserveConfig.coerce(observe)
 
     def to_payload(self) -> Dict[str, object]:
         """Every knob as a JSON-able dict (the parallel executor's spec
@@ -145,6 +153,9 @@ class ScenarioConfig:
             },
             "engine": self.engine,
             "lean_metrics": self.lean_metrics,
+            "observe": (
+                self.observe.to_payload() if self.observe is not None else None
+            ),
         }
 
     @classmethod
@@ -155,6 +166,8 @@ class ScenarioConfig:
         servartuka["clear_periods"] = int(servartuka["clear_periods"])
         kwargs["servartuka"] = ServartukaConfig(**servartuka)
         kwargs["seed"] = int(kwargs["seed"])
+        if "observe" in kwargs:
+            kwargs["observe"] = ObserveConfig.coerce(kwargs["observe"])
         return cls(**kwargs)
 
     def make_event_loop(self) -> EventLoop:
@@ -223,6 +236,14 @@ class Scenario:
         self.servers: List[AnsweringServer] = []
         self.trace = None
         self.faults = None
+        self.observer: Optional[Observer] = None
+        if config.observe is not None:
+            self.observer = Observer(config.observe)
+            if config.observe.spans:
+                self.observer.trace = self.enable_trace(
+                    config.observe.trace_max_entries,
+                    config.observe.trace_sample_every,
+                )
 
     def install_faults(self, schedule):
         """Bind a :class:`repro.sim.faults.FaultSchedule` to this run.
@@ -295,7 +316,24 @@ class Scenario:
             max_queue_delay=self.config.max_queue_delay,
         )
         self.proxies[name] = proxy
+        if self.observer is not None:
+            self._observe_proxy(proxy)
         return proxy
+
+    def _observe_proxy(self, proxy: ProxyServer) -> None:
+        """Attach the run's recorders to one proxy (observe= enabled)."""
+        profiler = self.observer.profiler_for(proxy.name)
+        if profiler is not None:
+            proxy.cpu.profiler = profiler
+        if hasattr(proxy.policy, "telemetry"):
+            proxy.policy.telemetry = self.observer.telemetry_for(
+                proxy.name, getattr(proxy.policy, "resource", "state")
+            )
+        if proxy.auth_policy is not None and hasattr(proxy.auth_policy,
+                                                     "telemetry"):
+            proxy.auth_policy.telemetry = self.observer.telemetry_for(
+                proxy.name, "auth"
+            )
 
     def add_uas(self, name: str, aors: Sequence[str]) -> AnsweringServer:
         server = AnsweringServer(
@@ -304,6 +342,10 @@ class Scenario:
         for aor in aors:
             self.location.register(aor, name)
         self.servers.append(server)
+        if self.observer is not None:
+            profiler = self.observer.profiler_for(name)
+            if profiler is not None:
+                server.timer_observer = profiler.count
         return server
 
     def add_uac(
@@ -333,6 +375,10 @@ class Scenario:
             rng=self.rng,
         )
         self.generators.append(generator)
+        if self.observer is not None:
+            profiler = self.observer.profiler_for(name)
+            if profiler is not None:
+                generator.timer_observer = profiler.count
         return generator
 
     # ------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""The legacy closure path into sweep_loads/find_capacity is deprecated."""
+
+import warnings
+
+import pytest
+
+from repro.harness.parallel import SpecTemplate
+from repro.harness.saturation import find_capacity, sweep_loads
+from repro.workloads.scenarios import single_proxy
+
+
+def _factory(fast_config):
+    def factory(load):
+        return single_proxy(load, mode="stateless", config=fast_config)
+    return factory
+
+
+class TestClosureDeprecation:
+    def test_sweep_loads_closure_warns(self, fast_config):
+        with pytest.warns(DeprecationWarning, match="SpecTemplate"):
+            sweep_loads(_factory(fast_config), [1500],
+                        duration=1.0, warmup=0.5)
+
+    def test_find_capacity_closure_warns(self, fast_config):
+        with pytest.warns(DeprecationWarning):
+            find_capacity(_factory(fast_config), hint=3000, duration=1.0,
+                          warmup=0.5, points=2, refine=False)
+
+    def test_spec_template_does_not_warn(self, fast_config):
+        template = SpecTemplate("single_proxy", fast_config,
+                                mode="stateless")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweep_loads(template, [1500], duration=1.0, warmup=0.5)
+
+    def test_closure_path_still_produces_results(self, fast_config):
+        with pytest.warns(DeprecationWarning):
+            sweep = sweep_loads(_factory(fast_config), [1500],
+                                duration=1.0, warmup=0.5)
+        assert sweep.points[0].result.throughput_cps > 0

@@ -58,6 +58,10 @@ class TestStaircase:
             staircase(10, 50, 0)
 
 
+# The closure path still works but is deprecated (SpecTemplate is the
+# supported source); tests/harness/test_deprecation.py asserts the
+# warning fires, these just exercise the behaviour.
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestSweepLoads:
     def test_runs_each_load_fresh(self, fast_config):
         def factory(load):
@@ -75,6 +79,7 @@ class TestSweepLoads:
             sweep_loads(lambda load: None, [], duration=1, warmup=0)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestFindCapacity:
     def test_brackets_the_hint(self, fast_config):
         calls = []
@@ -109,6 +114,7 @@ class TestFindCapacity:
             find_capacity(lambda l: None, hint=10, points=1)
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestRefinePeak:
     def test_short_sweeps_returned_unchanged(self):
         sweep = SweepResult("s", [fake_point(100, 90)])

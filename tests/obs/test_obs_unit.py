@@ -1,0 +1,242 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import run_scenario
+from repro.obs.observe import Observer, ObserveConfig
+from repro.obs.profile import (
+    FUNCTIONALITIES,
+    STATE_FUNCTIONALITIES,
+    CpuProfiler,
+    functionality_of,
+)
+from repro.obs.spans import build_call_spans, render_spans, spans_by_call
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig, n_series, single_proxy
+
+
+def observed_config(observe="all", **overrides):
+    kwargs = dict(
+        scale=50.0,
+        seed=7,
+        noise_sigma=0.30,
+        monitor_period=0.5,
+        timers=TimerPolicy(t1=0.05, t2=0.2, t4=0.2),
+        observe=observe,
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestFunctionalityOf:
+    def test_control_site_wins_over_component(self):
+        assert functionality_of("parsing", "control-msg") == "control-msg"
+        assert functionality_of("routing", "control-msg") == "control-msg"
+
+    def test_parse_components(self):
+        assert functionality_of("parsing", None) == "parse"
+        assert functionality_of("lumping", "state-create") == "parse"
+
+    def test_authentication(self):
+        assert functionality_of("authentication", "forward") == "auth"
+
+    def test_match_components_are_state_lookup(self):
+        assert functionality_of("lookup", None) == "state-lookup"
+        assert functionality_of("hashing", "state-create") == "state-lookup"
+
+    def test_state_components_follow_site(self):
+        for site in STATE_FUNCTIONALITIES:
+            assert functionality_of("state", site) == site
+            assert functionality_of("memory", site) == site
+
+    def test_state_components_without_state_site_are_forward(self):
+        assert functionality_of("state", None) == "forward"
+        assert functionality_of("memory", "forward") == "forward"
+
+    def test_everything_else_is_forward(self):
+        assert functionality_of("routing", None) == "forward"
+        assert functionality_of("baseline", "state-create") == "forward"
+
+    def test_every_result_is_in_the_taxonomy(self):
+        components = ["parsing", "lumping", "authentication", "lookup",
+                      "hashing", "state", "memory", "routing", "baseline"]
+        sites = [None, "forward", "control-msg", *STATE_FUNCTIONALITIES]
+        for component in components:
+            for site in sites:
+                assert functionality_of(component, site) in FUNCTIONALITIES
+
+
+class TestCpuProfiler:
+    def test_record_accumulates_both_axes(self):
+        profiler = CpuProfiler("P1")
+        profiler.record("state-create", 0.002,
+                        {"parsing": 0.001, "state": 0.0005})
+        profiler.record(None, 0.001, {"routing": 0.001})
+        assert profiler.jobs == 2
+        assert profiler.seconds == pytest.approx(0.003)
+        assert profiler.site_jobs == {"state-create": 1, "forward": 1}
+        assert profiler.functionality_seconds["parse"] == pytest.approx(0.001)
+        assert profiler.functionality_seconds["state-create"] == (
+            pytest.approx(0.0005))
+        assert profiler.functionality_seconds["forward"] == (
+            pytest.approx(0.001))
+
+    def test_shares_sum_to_one(self):
+        profiler = CpuProfiler("P1")
+        profiler.record("state-create", 0.004,
+                        {"parsing": 0.003, "state": 0.001})
+        shares = profiler.functionality_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["parse"] == pytest.approx(0.75)
+
+    def test_state_ops_share(self):
+        profiler = CpuProfiler("P1")
+        profiler.record("state-create", 0.004,
+                        {"state": 0.001, "routing": 0.003})
+        assert profiler.state_ops_share() == pytest.approx(0.25)
+
+    def test_empty_profiler(self):
+        profiler = CpuProfiler("P1")
+        assert profiler.functionality_shares() == {}
+        assert profiler.state_ops_share() == 0.0
+
+    def test_count_only_events(self):
+        profiler = CpuProfiler("P1")
+        profiler.count("timer")
+        profiler.count("timer")
+        assert profiler.event_counts == {"timer": 2}
+        assert profiler.seconds == 0.0
+
+    def test_snapshot_is_json_serializable(self):
+        profiler = CpuProfiler("P1")
+        profiler.record("state-lookup", 0.001, {"hashing": 0.001})
+        profiler.count("timer")
+        snapshot = profiler.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["node"] == "P1"
+        assert snapshot["site_jobs"] == {"state-lookup": 1}
+
+
+class TestObserveConfig:
+    def test_coerce_off_spellings(self):
+        assert ObserveConfig.coerce(None) is None
+        assert ObserveConfig.coerce(False) is None
+        assert ObserveConfig.parse("none") is None
+        assert ObserveConfig.parse("off") is None
+        assert ObserveConfig.parse("") is None
+
+    def test_coerce_all_spellings(self):
+        for spec in (True, "all", "cpu,telemetry,spans"):
+            config = ObserveConfig.coerce(spec)
+            assert config.cpu and config.telemetry and config.spans
+
+    def test_parse_subset(self):
+        config = ObserveConfig.parse("cpu, telemetry")
+        assert config.cpu and config.telemetry and not config.spans
+
+    def test_parse_unknown_part_rejected(self):
+        with pytest.raises(ValueError, match="unknown observe parts"):
+            ObserveConfig.parse("cpu,flamegraph")
+
+    def test_everything_off_rejected(self):
+        with pytest.raises(ValueError):
+            ObserveConfig(cpu=False, telemetry=False, spans=False)
+
+    def test_coerce_passthrough_and_dict(self):
+        config = ObserveConfig(cpu=True, telemetry=False, spans=False)
+        assert ObserveConfig.coerce(config) is config
+        assert ObserveConfig.coerce({"cpu": True, "telemetry": False,
+                                     "spans": False}) == config
+
+    def test_coerce_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ObserveConfig.coerce(42)
+
+    def test_payload_round_trip(self):
+        config = ObserveConfig(cpu=False, telemetry=True, spans=True,
+                               trace_max_entries=500, trace_sample_every=3)
+        assert ObserveConfig.from_payload(config.to_payload()) == config
+
+    def test_equality(self):
+        assert ObserveConfig() == ObserveConfig()
+        assert ObserveConfig() != ObserveConfig(spans=True)
+
+
+class TestObserver:
+    def test_profiler_factory_respects_config(self):
+        observer = Observer(ObserveConfig(cpu=False, telemetry=True))
+        assert observer.profiler_for("P1") is None
+        observer = Observer(ObserveConfig(cpu=True, telemetry=False))
+        assert observer.profiler_for("P1") is observer.profiler_for("P1")
+        assert observer.telemetry_for("P1") is None
+
+    def test_telemetry_keying_by_resource(self):
+        observer = Observer(ObserveConfig())
+        state = observer.telemetry_for("P1", "state")
+        auth = observer.telemetry_for("P1", "auth")
+        assert state is not auth
+        assert set(observer.telemetries) == {"P1", "P1/auth"}
+
+    def test_snapshot_shape(self):
+        observer = Observer(ObserveConfig())
+        observer.profiler_for("P1")
+        snapshot = observer.snapshot()
+        assert set(snapshot) == {"config", "profiles", "telemetry"}
+        assert "spans" not in snapshot  # spans not enabled
+
+
+class TestScenarioIntegration:
+    def test_telemetry_records_periods(self):
+        scenario = n_series(2, 400.0, policy="servartuka",
+                            config=observed_config("telemetry"))
+        run_scenario(scenario, duration=4.0, warmup=1.0)
+        telemetry = scenario.observer.telemetries["P1"]
+        assert telemetry.periods, "Algorithm-2 periods should be recorded"
+        sample = telemetry.periods[0]
+        assert sample["branch"] in ("hold-all", "shed", "forced-only")
+        assert set(sample) == {"time", "msg_rate", "feasible_sf", "branch",
+                               "overload_active", "paths"}
+        for entry in sample["paths"].values():
+            assert set(entry) == {"rcv", "sf", "fasf", "nasf_forwarded",
+                                  "myshare", "path_overloaded"}
+
+    def test_profiler_attached_and_populated(self):
+        scenario = single_proxy(400.0, mode="transaction_stateful",
+                                config=observed_config("cpu"))
+        run_scenario(scenario, duration=3.0, warmup=1.0)
+        profiler = scenario.observer.profilers["P1"]
+        assert profiler.jobs > 0
+        shares = profiler.functionality_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert profiler.state_ops_share() > 0
+
+    def test_spans_from_traced_run(self):
+        scenario = single_proxy(200.0, mode="transaction_stateful",
+                                config=observed_config("spans"))
+        assert scenario.observer.trace is not None
+        run_scenario(scenario, duration=3.0, warmup=0.0)
+        spans = spans_by_call(scenario.observer.trace)
+        assert spans
+        call_id, root = next(iter(spans.items()))
+        assert root.name == "call"
+        phases = {child.name for child in root.children}
+        assert "setup" in phases
+        setup = next(c for c in root.children if c.name == "setup")
+        assert any(d.node == "P1" for d in setup.children)
+        text = render_spans(root)
+        assert "setup" in text and "dwell @P1" in text
+
+    def test_full_snapshot_is_json_serializable(self):
+        scenario = single_proxy(300.0, mode="transaction_stateful",
+                                config=observed_config("all"))
+        run_scenario(scenario, duration=2.0, warmup=0.5)
+        snapshot = scenario.observer.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert "spans" in snapshot
+
+
+class TestBuildCallSpansEdgeCases:
+    def test_empty_entries(self):
+        assert build_call_spans([]) is None

@@ -202,3 +202,76 @@ class TestTrace:
         out = capsys.readouterr().out
         assert "INVITE" in out
         assert "---" in out
+
+
+class TestObserveFlags:
+    def test_observe_flag_parses_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "--observe", "cpu"],
+            ["sweep", "--observe", "all"],
+            ["figures", "fig3", "--observe", "cpu,telemetry"],
+            ["experiments", "lp", "--observe", "none"],
+        ):
+            assert parser.parse_args(argv).observe == argv[-1]
+
+    def test_engine_flag_parses_everywhere(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "--engine", "fast"]).engine == "fast"
+        assert parser.parse_args(["figures", "fig3"]).engine is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--engine", "warp"])
+
+    def test_run_observe_prints_functionality_table(self, capsys):
+        rc = main([
+            "run", "--topology", "single", "--rate", "2000",
+            "--scale", "50", "--duration", "2", "--warmup", "1",
+            "--observe", "cpu",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "functionality" in out
+        assert "state-create" in out
+
+    def test_run_observe_json_includes_obs(self, capsys):
+        rc = main([
+            "run", "--topology", "single", "--rate", "2000",
+            "--scale", "50", "--duration", "2", "--warmup", "1",
+            "--observe", "cpu", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["obs"]["profiles"]["P1"]["jobs"] > 0
+
+
+class TestObsCommand:
+    def test_obs_profile_and_telemetry(self, capsys):
+        rc = main([
+            "obs", "--topology", "series", "--rate", "3000",
+            "--scale", "50", "--duration", "2", "--warmup", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "functionality" in out       # CPU profile table
+        assert "control-loop telemetry" in out   # telemetry summary
+        assert "P1" in out
+
+    def test_obs_spans_and_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "obs.json"
+        csv_dir = tmp_path / "csv"
+        rc = main([
+            "obs", "--topology", "single", "--rate", "200",
+            "--scale", "50", "--duration", "2", "--warmup", "0.5",
+            "--spans", "--calls", "1",
+            "--json", str(json_path), "--csv-dir", str(csv_dir),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "setup" in out and "dwell" in out
+        payload = json.loads(json_path.read_text())
+        assert {"config", "profiles", "telemetry", "spans"} <= set(payload)
+        assert (csv_dir / "profile.csv").exists()
+
+    def test_fig3_breakdown_registered(self):
+        args = build_parser().parse_args(["figures", "fig3-breakdown"])
+        assert args.ids == ["fig3-breakdown"]
