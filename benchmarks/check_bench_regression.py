@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Gate engine-bench performance against the checked-in report.
+
+CI runs ``python -m repro bench --quick ... --json BENCH_new.json`` and
+then this script, which fails (exit 1) when any engine rung regressed
+by more than ``--tolerance`` (default 15%) relative to the checked-in
+``BENCH_engine.json``.
+
+Absolute calls/sec are not comparable across machines (the checked-in
+report and the CI runner have different CPUs), so the comparison is
+**within-run normalized**: each rung's calls/sec is divided by the same
+run's ``copy`` rung (and ``copy`` itself by ``reference``), and only
+those machine-independent speedup ratios are compared across reports.
+A 20% slowdown injected into a single rung still shifts its own ratio
+by 20%, so real regressions are caught; a uniformly slower CI box
+shifts nothing.
+
+Only the long-window steady-state scenarios are gated by default: the
+resilience campaign's sub-second cells swing well past any usable
+tolerance run-to-run (observed ~25%), so gating them would only flake.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Scenarios stable enough to gate (6s+ measurement windows).
+DEFAULT_SCENARIOS = ("two_series", "parallel_fig8")
+
+#: The within-run normalization: rung -> denominator rung.
+NORMALIZERS = {
+    "reference": "copy",
+    "fast": "copy",
+    "turbo": "copy",
+    "copy": "reference",
+}
+
+
+def normalized_ratios(report: dict, scenario: str) -> Dict[str, float]:
+    """Each rung's calls/sec relative to its same-run normalizer."""
+    per_engine = report["scenarios"][scenario]["per_engine"]
+    ratios = {}
+    for engine, m in per_engine.items():
+        base = NORMALIZERS.get(engine)
+        if base is None or base not in per_engine:
+            continue
+        denominator = float(per_engine[base]["calls_per_sec"])
+        if denominator <= 0:
+            continue
+        ratios[engine] = float(m["calls_per_sec"]) / denominator
+    return ratios
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = 0.15,
+    scenarios=DEFAULT_SCENARIOS,
+) -> List[str]:
+    """Regression messages (empty when the candidate is acceptable)."""
+    failures = []
+    for scenario in scenarios:
+        if scenario not in baseline.get("scenarios", {}):
+            continue  # nothing checked in to compare against
+        if scenario not in candidate.get("scenarios", {}):
+            failures.append(f"{scenario}: missing from candidate report")
+            continue
+        base_ratios = normalized_ratios(baseline, scenario)
+        cand_ratios = normalized_ratios(candidate, scenario)
+        for engine, base_ratio in sorted(base_ratios.items()):
+            cand_ratio = cand_ratios.get(engine)
+            if cand_ratio is None:
+                failures.append(f"{scenario}/{engine}: rung missing from "
+                                f"candidate report")
+                continue
+            floor = base_ratio * (1.0 - tolerance)
+            if cand_ratio < floor:
+                drop = 1.0 - cand_ratio / base_ratio
+                failures.append(
+                    f"{scenario}/{engine}: speedup ratio vs "
+                    f"{NORMALIZERS[engine]} dropped {drop:.1%} "
+                    f"({base_ratio:.3f} -> {cand_ratio:.3f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_engine.json",
+                        help="checked-in report (default: BENCH_engine.json)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly measured report to gate")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max allowed normalized-ratio drop "
+                             "(default: 0.15)")
+    parser.add_argument("--scenarios", nargs="*",
+                        default=list(DEFAULT_SCENARIOS),
+                        help="scenarios to gate "
+                             f"(default: {' '.join(DEFAULT_SCENARIOS)})")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.candidate) as handle:
+        candidate = json.load(handle)
+
+    for scenario in args.scenarios:
+        if scenario in candidate.get("scenarios", {}):
+            ratios = normalized_ratios(candidate, scenario)
+            base = (normalized_ratios(baseline, scenario)
+                    if scenario in baseline.get("scenarios", {}) else {})
+            for engine, ratio in sorted(ratios.items()):
+                ref = base.get(engine)
+                ref_text = f" (baseline {ref:.3f})" if ref else ""
+                print(f"{scenario}/{engine}: ratio vs "
+                      f"{NORMALIZERS[engine]} = {ratio:.3f}{ref_text}")
+
+    failures = compare(baseline, candidate, args.tolerance, args.scenarios)
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno bench regression (all normalized ratios within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from repro.harness.parallel import (
     run_specs,
     scenario_spec,
 )
+from repro.core.fluid import capacity_hint
 from repro.harness.runner import RunResult
 from repro.harness.runner import run_scenario as _run_live
 from repro.harness.saturation import SweepResult
@@ -65,6 +66,7 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "SweepResult",
+    "capacity_hint",
     "experiments",
     "find_capacity",
     "make_scenario",
@@ -244,6 +246,7 @@ def find_capacity(
     span: float = 0.35,
     points: int = 6,
     refine: bool = True,
+    adaptive: bool = False,
     label: str = "",
     config: Optional[ScenarioConfig] = None,
     scale: Optional[float] = None,
@@ -255,14 +258,22 @@ def find_capacity(
     cache_dir: Optional[str] = None,
     **kwargs,
 ) -> SweepResult:
-    """Saturation search around an analytic ``hint`` (paper cps)."""
+    """Saturation search around an analytic ``hint`` (paper cps).
+
+    ``adaptive=True`` trusts the hint (see :func:`capacity_hint`):
+    instead of sweeping the full ``points``-wide grid it probes the
+    hint and its grid neighbours, walks outward only while the peak
+    keeps moving by a grid spacing, and refines once it stops --
+    typically about half the simulations for the same answer.
+    """
     resolved = _config(config, scale=scale, seed=seed,
                        engine=engine, observe=observe)
     template = _template(topology, resolved, kwargs)
     with _maybe_execution(jobs, cache, cache_dir):
         return _find_capacity(template, hint, duration=duration,
                               warmup=warmup, span=span, points=points,
-                              label=label or topology, refine=refine)
+                              label=label or topology, refine=refine,
+                              adaptive=adaptive)
 
 
 def experiments() -> Dict[str, str]:

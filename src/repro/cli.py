@@ -150,7 +150,7 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_observe_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None,
-                        choices=["reference", "copy", "fast"],
+                        choices=["reference", "copy", "fast", "turbo"],
                         help="simulation engine rung (default: copy; "
                              "all rungs are bit-identical)")
     parser.add_argument("--observe", default=None, metavar="SPEC",
@@ -431,6 +431,7 @@ def cmd_bench(args) -> int:
         scenarios=args.scenarios or None,
         engines=tuple(args.engines) if args.engines else ENGINES,
         jobs=max(1, jobs),
+        profile=args.profile,
     )
     if args.json:
         write_report(report, args.json)
@@ -551,7 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.set_defaults(func=cmd_trace)
 
     p_bench = sub.add_parser(
-        "bench", help="benchmark the simulation engines (ref/copy/fast)"
+        "bench", help="benchmark the simulation engines "
+                      "(ref/copy/fast/turbo)"
     )
     p_bench.add_argument("scenarios", nargs="*",
                          help="bench scenarios (default: all)")
@@ -559,12 +561,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="short measurement windows (CI smoke)")
     p_bench.add_argument("--json", help="write the machine-readable report here")
     p_bench.add_argument("--engines", nargs="*",
-                         choices=["reference", "copy", "fast"],
-                         help="engine subset (default: all three)")
+                         choices=["reference", "copy", "fast", "turbo"],
+                         help="engine subset (default: all four)")
     p_bench.add_argument("--engine", action="append", dest="engines",
-                         choices=["reference", "copy", "fast"],
+                         choices=["reference", "copy", "fast", "turbo"],
                          help="add one engine (repeatable alias of "
                               "--engines)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="attach the repro.obs CPU profiler and "
+                              "report per-functionality shares (timing "
+                              "cells then measure instrumented runs)")
     _add_parallel_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 

@@ -128,3 +128,25 @@ class FluidModel:
             f"<FluidModel capacity={self.capacity:.0f}cps rho={self.rho:.3f} "
             f"collapse={self.collapse_load:.0f}cps>"
         )
+
+
+def capacity_hint(
+    mode: str = "transaction_stateful",
+    depth: float = 0.0,
+    cost_model: Optional[CostModel] = None,
+) -> float:
+    """Analytic capacity prediction (paper cps) for one node.
+
+    Convenience wrapper over :class:`FluidModel` meant to seed
+    :func:`repro.harness.saturation.find_capacity`: the adaptive search
+    converges in its minimum number of probes when the hint lands
+    within one grid spacing of the true knee, which this prediction
+    does for the calibrated scenarios.  ``mode`` is any name accepted
+    by :func:`repro.core.costmodel.scenario_features`.
+    """
+    model = FluidModel(
+        cost_model=cost_model,
+        features=scenario_features(mode),
+        depth=depth,
+    )
+    return model.capacity

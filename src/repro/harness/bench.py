@@ -2,10 +2,12 @@
 
 Every simulated *result* in this repository is engine-independent: the
 ``reference`` (wire-faithful per-hop serialization), ``copy`` (light
-object copies, the default) and ``fast`` (timer wheel + copy-on-write
-messages + parse interning) engines are required to produce bit-identical
-metrics (see ``tests/engine/test_differential.py``).  What differs is
-how much host CPU a run burns, and that is what this module measures:
+object copies, the default), ``fast`` (timer wheel + copy-on-write
+messages + parse interning) and ``turbo`` (``fast`` plus object
+pooling, fused forwarding and relaxed GC) engines are required to
+produce bit-identical metrics (see
+``tests/engine/test_differential.py``).  What differs is how much host
+CPU a run burns, and that is what this module measures:
 
 - **calls/sec** -- completed calls per wall-clock second (how fast the
   simulator chews through SIP traffic),
@@ -13,9 +15,10 @@ how much host CPU a run burns, and that is what this module measures:
 - **peak RSS** -- the process high-water mark after the run
   (``ru_maxrss``; note this is monotone across a process, so within one
   bench invocation later runs can only report an equal or larger value),
-- **speedups** -- fast vs the wire-faithful reference baseline, and
-  fast vs the light-copy engine, both reported so nothing hides in the
-  choice of baseline.
+- **speedups** -- each optimized rung vs the wire-faithful reference
+  baseline and vs the light-copy engine, plus turbo vs fast (the
+  incremental win of the pooled rung), all reported so nothing hides
+  in the choice of baseline.
 
 Every bench run re-verifies the differential contract on its own
 output: the per-node metric registries, run observables and event
@@ -49,7 +52,7 @@ from repro.workloads.scenarios import (
 )
 
 #: Engine modes in report order; "reference" is the speedup baseline.
-ENGINES = ("reference", "copy", "fast")
+ENGINES = ("reference", "copy", "fast", "turbo")
 
 #: Offered load for the steady-state scenarios, paper-equivalent cps.
 BENCH_RATE = 10_000.0
@@ -78,9 +81,10 @@ def _registry_snapshots(scenario: Scenario) -> Dict[str, object]:
 # Each builder returns (scenario, drive) where drive() runs the workload
 # and returns its observables (a plain dict).  Only drive() is timed.
 
-def _two_series(engine: str, quick: bool):
+def _two_series(engine: str, quick: bool, profile: bool = False):
     duration, warmup = (6.0, 2.0) if quick else (20.0, 5.0)
-    config = ScenarioConfig(seed=1, engine=engine)
+    config = ScenarioConfig(seed=1, engine=engine,
+                            observe="cpu" if profile else None)
     scenario = two_series(BENCH_RATE, policy="servartuka", config=config)
 
     def drive() -> dict:
@@ -89,9 +93,10 @@ def _two_series(engine: str, quick: bool):
     return scenario, drive
 
 
-def _parallel_fig8(engine: str, quick: bool):
+def _parallel_fig8(engine: str, quick: bool, profile: bool = False):
     duration, warmup = (6.0, 2.0) if quick else (20.0, 5.0)
-    config = ScenarioConfig(seed=1, engine=engine)
+    config = ScenarioConfig(seed=1, engine=engine,
+                            observe="cpu" if profile else None)
     scenario = parallel_fork(BENCH_RATE, policy="servartuka", config=config)
 
     def drive() -> dict:
@@ -100,7 +105,9 @@ def _parallel_fig8(engine: str, quick: bool):
     return scenario, drive
 
 
-def _resilience(engine: str, quick: bool):
+def _resilience(engine: str, quick: bool, profile: bool = False):
+    # The resilience campaign builds its own ScenarioConfig and does not
+    # thread observability; its cells always run unprofiled.
     if quick:
         params = ResilienceParams(
             engine=engine, crash_times=(2.2, 4.2), run_for=6.0, drain=4.0
@@ -133,16 +140,22 @@ def _calls_completed(scenario: Scenario) -> int:
 
 
 def bench_one(
-    name: str, engine: str, quick: bool = False
+    name: str, engine: str, quick: bool = False, profile: bool = False
 ) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Run one (scenario, engine) cell; returns (measurements, identity).
 
     ``identity`` holds everything the differential contract covers
     (registries, observables, event count) and is compared -- never
     reported -- by :func:`run_engine_bench`.
+
+    ``profile`` attaches the :mod:`repro.obs` CPU profiler to the
+    scenario (where it threads observability) and adds each proxy's
+    per-functionality share split to the measurements.  Off by default:
+    the dormant-hook contract means an unprofiled cell runs the exact
+    pre-observability code path, so headline numbers stay clean.
     """
     builder = SCENARIOS[name]
-    scenario, drive = builder(engine, quick)
+    scenario, drive = builder(engine, quick, profile)
     gc.collect()
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
@@ -161,6 +174,16 @@ def bench_one(
         "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    observer = getattr(scenario, "observer", None)
+    if observer is not None:
+        measurements["profile"] = {
+            node: {
+                functionality: round(share, 4)
+                for functionality, share in
+                snap["functionality_shares"].items()
+            }
+            for node, snap in observer.snapshot()["profiles"].items()
+        }
     identity = {
         "registries": _registry_snapshots(scenario),
         "observables": observables,
@@ -174,6 +197,7 @@ def run_engine_bench(
     scenarios: Optional[Sequence[str]] = None,
     engines: Sequence[str] = ENGINES,
     jobs: int = 1,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Benchmark every (scenario, engine) pair; returns the report dict.
 
@@ -202,13 +226,17 @@ def run_engine_bench(
         "notes": (
             "reference = wire-faithful per-hop serialization (what a real "
             "SIP stack pays); copy = light object copies (repo default); "
-            "fast = timer wheel + copy-on-write + parse interning.  All "
-            "engines produce bit-identical simulated results; peak_rss_kb "
-            "is the process high-water mark at the end of the run."
+            "fast = timer wheel + copy-on-write + parse interning; turbo = "
+            "fast + message/packet/job pooling, fused forwarding and "
+            "relaxed GC.  All engines produce bit-identical simulated "
+            "results; peak_rss_kb is the process high-water mark at the "
+            "end of the run."
         ),
         "scenarios": {},
     }
-    cells = _run_cells(chosen, engines, quick, jobs)
+    if profile:
+        report["profiled"] = True
+    cells = _run_cells(chosen, engines, quick, jobs, profile)
     all_identical = True
     for name in chosen:
         per_engine: Dict[str, Dict[str, object]] = {}
@@ -222,14 +250,14 @@ def run_engine_bench(
             "per_engine": per_engine,
             "identical": identical,
         }
-        if "reference" in per_engine and "fast" in per_engine:
-            entry["speedup_fast_vs_reference"] = _speedup(
-                per_engine["reference"], per_engine["fast"]
-            )
-        if "copy" in per_engine and "fast" in per_engine:
-            entry["speedup_fast_vs_copy"] = _speedup(
-                per_engine["copy"], per_engine["fast"]
-            )
+        for fast_engine, baseline in (
+            ("fast", "reference"), ("fast", "copy"),
+            ("turbo", "reference"), ("turbo", "copy"), ("turbo", "fast"),
+        ):
+            if fast_engine in per_engine and baseline in per_engine:
+                entry[f"speedup_{fast_engine}_vs_{baseline}"] = _speedup(
+                    per_engine[baseline], per_engine[fast_engine]
+                )
         report["scenarios"][name] = entry
     report["identical"] = all_identical
     return report
@@ -240,11 +268,12 @@ def _run_cells(
     engines: Sequence[str],
     quick: bool,
     jobs: int,
+    profile: bool = False,
 ) -> Dict[Tuple[str, str], Tuple[dict, dict]]:
     """All (scenario, engine) cells, serial or fanned across workers."""
     if jobs <= 1:
         return {
-            (name, engine): bench_one(name, engine, quick)
+            (name, engine): bench_one(name, engine, quick, profile)
             for name in chosen
             for engine in engines
         }
@@ -255,7 +284,8 @@ def _run_cells(
     specs = [
         RunSpec(
             kind="bench",
-            payload={"scenario": name, "engine": engine, "quick": quick},
+            payload={"scenario": name, "engine": engine, "quick": quick,
+                     "profile": profile},
             label=f"bench/{name}/{engine}",
         )
         for name, engine in grid
@@ -290,17 +320,33 @@ def render_report(report: Dict[str, object]) -> str:
                 m["events_per_sec"], m["peak_rss_kb"],
             ])
         title = f"{name}: identical={entry['identical']}"
-        if "speedup_fast_vs_reference" in entry:
-            title += (f", fast vs reference "
-                      f"{entry['speedup_fast_vs_reference']:.2f}x")
-        if "speedup_fast_vs_copy" in entry:
-            title += f", fast vs copy {entry['speedup_fast_vs_copy']:.2f}x"
+        for key in ("speedup_fast_vs_reference", "speedup_turbo_vs_reference",
+                    "speedup_turbo_vs_fast"):
+            if key in entry:
+                label = key[len("speedup_"):].replace("_vs_", " vs ")
+                title += f", {label} {entry[key]:.2f}x"
         blocks.append(format_table(
             ["engine", "wall_s", "calls", "calls/s", "events/s", "rss_kb"],
             rows,
             title=title,
         ))
+        profile_rows = _profile_rows(entry["per_engine"])
+        if profile_rows:
+            blocks.append(format_table(
+                ["engine", "node", "functionality", "share"],
+                profile_rows,
+                title=f"{name}: per-functionality CPU split (repro.obs)",
+            ))
     return "\n\n".join(blocks)
+
+
+def _profile_rows(per_engine: Dict[str, Dict[str, object]]):
+    rows = []
+    for engine, m in per_engine.items():
+        for node, shares in sorted(m.get("profile", {}).items()):
+            for functionality, share in sorted(shares.items()):
+                rows.append([engine, node, functionality, share])
+    return rows
 
 
 def write_report(report: Dict[str, object], path: str) -> None:

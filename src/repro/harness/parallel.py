@@ -295,7 +295,8 @@ def _job_bench(payload: dict) -> dict:
     from repro.harness.bench import bench_one
 
     measurements, identity = bench_one(
-        payload["scenario"], payload["engine"], payload["quick"]
+        payload["scenario"], payload["engine"], payload["quick"],
+        payload.get("profile", False),
     )
     return {"measurements": measurements, "identity": identity}
 

@@ -41,11 +41,26 @@ from repro.sim.network import Network, Packet
 from repro.sip.digest import CredentialStore, make_challenge
 from repro.sip.dialog import DialogId, DialogStore
 from repro.sip.headers import SipHeaderError, Via
-from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.message import (
+    SipMessage,
+    SipRequest,
+    SipResponse,
+    forward_clone,
+    release_message,
+    turbo_enabled,
+)
 from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
 
 #: Route-table action meaning "this proxy delivers to the end point".
 DELIVER_ACTION = "__deliver__"
+
+# Interned feature sets for the planner.  Frozensets compare and hash by
+# value, so sharing these singletons is observationally identical to
+# building a fresh literal per message; it just skips the allocation.
+_FS_EMPTY = frozenset()
+_FS_BASE = frozenset({Feature.BASE})
+_FS_BASE_LOOKUP = frozenset({Feature.BASE, Feature.LOOKUP})
+_FS_AUTH = frozenset({Feature.AUTH})
 
 #: Header carrying the FASF ("state already maintained upstream") bit.
 STATE_HEADER = "X-Servartuka-State"
@@ -229,6 +244,23 @@ class ProxyServer(Node):
         self._via_ema = 0.0
         self._upstream_new_calls: Dict[str, float] = {}
         self._down_peers: set = set()
+        # Turbo planner caches.  Route tables are static once the
+        # topology is built (only the down-peer overlay changes at run
+        # time, and that is applied per message below), so the
+        # candidate list per request-URI host is memoizable.  Feature
+        # sets are memoized by their deciding booleans, and retired
+        # _Plan shells are recycled instead of reallocated.
+        self._turbo = turbo_enabled()
+        self._route_cache: Dict[str, List[str]] = {}
+        self._feature_sets: Dict[tuple, frozenset] = {}
+        self._plan_pool: List[_Plan] = []
+        self._packets_counter = None
+        # Bound-method dispatch table (built once; getattr per message
+        # is measurable on the hot path).
+        self._handlers = {
+            action: getattr(self, method)
+            for action, method in self._ACTION_HANDLERS.items()
+        }
         self.policy.attach(self)
         if self.auth_policy is not None:
             self.auth_policy.attach(self)
@@ -243,7 +275,15 @@ class ProxyServer(Node):
         if not self.alive:
             self.metrics.counter("activity_while_dead").increment()
             return
-        self.metrics.counter("packets_received").increment()
+        # Lazily memoized on first use (never pre-created: registry
+        # snapshots are compared exactly across engines, so an eager
+        # zero-valued counter would diverge).
+        counter = self._packets_counter
+        if counter is None:
+            counter = self._packets_counter = self.metrics.counter(
+                "packets_received"
+            )
+        counter.increment()
         payload = packet.payload
         if isinstance(payload, OverloadReport):
             cost, components = self.cost_model.message_cost(MessageKind.CONTROL)
@@ -270,6 +310,8 @@ class ProxyServer(Node):
                               func=func)
         if job is None:
             self.metrics.counter("messages_dropped_overload").increment()
+            if self._turbo:
+                self._release_plan(plan)
 
     # Simple plan actions -> functionality label; the forward_* actions
     # refine on the plan's policy decision in _plan_func.
@@ -307,39 +349,96 @@ class ProxyServer(Node):
         return "forward"
 
     # ------------------------------------------------------------------
+    # Plan construction (turbo recycles retired shells)
+    # ------------------------------------------------------------------
+    def _make_plan(self, action: str, message, src: str, kind: MessageKind,
+                   features: frozenset, extra_vias: int) -> _Plan:
+        if self._turbo and self._plan_pool:
+            plan = self._plan_pool.pop()
+            plan.action = action
+            plan.message = message
+            plan.src = src
+            plan.kind = kind
+            plan.features = features
+            plan.extra_vias = extra_vias
+            plan.next_hop = None
+            plan.ds_key = None
+            plan.is_exit = False
+            plan.decision = None
+            plan.status = 0
+            plan.do_auth = False
+            return plan
+        return _Plan(action, message, src, kind, features, extra_vias)
+
+    def _release_plan(self, plan: _Plan) -> None:
+        plan.message = None
+        plan.decision = None
+        if len(self._plan_pool) < 256:
+            self._plan_pool.append(plan)
+
+    def _features_for(self, is_exit: bool, do_auth: bool, stateful: bool,
+                      dialog: bool) -> frozenset:
+        """Memoized feature set; identical to building it imperatively."""
+        key = (is_exit, do_auth, stateful, dialog and stateful)
+        interned = self._feature_sets.get(key)
+        if interned is None:
+            features = {Feature.BASE}
+            if is_exit:
+                features.add(Feature.LOOKUP)
+            if do_auth:
+                features.add(Feature.AUTH)
+            if stateful:
+                features.add(Feature.TXN_STATE)
+                if dialog:
+                    features.add(Feature.DIALOG_STATE)
+            interned = self._feature_sets[key] = frozenset(features)
+        return interned
+
+    # ------------------------------------------------------------------
     # Request planning
     # ------------------------------------------------------------------
     def _plan_request(self, request: SipRequest, src: str) -> Optional[_Plan]:
-        extra_vias = max(0, len(request.get_all("Via")) - 1)
+        extra_vias = request.count("Via") - 1
+        if extra_vias < 0:
+            extra_vias = 0
         kind = classify_sip_kind(request)
 
         # Retransmission / ACK / CANCEL handling by an existing transaction.
         transaction = self._find_transaction(request)
         if transaction is not None:
             if request.method == "ACK":
-                plan = _Plan("ack_stateful", request, src, MessageKind.ACK,
-                             frozenset({Feature.BASE}), extra_vias)
-                return plan
+                return self._make_plan("ack_stateful", request, src,
+                                       MessageKind.ACK, _FS_BASE, extra_vias)
             if request.method == "CANCEL":
-                plan = _Plan("cancel_stateful", request, src,
-                             MessageKind.GENERIC, frozenset({Feature.BASE}),
-                             extra_vias)
-                return plan
-            plan = _Plan("absorb", request, src, MessageKind.ABSORB_RETRANSMIT,
-                         frozenset(), extra_vias)
-            return plan
+                return self._make_plan("cancel_stateful", request, src,
+                                       MessageKind.GENERIC, _FS_BASE,
+                                       extra_vias)
+            return self._make_plan("absorb", request, src,
+                                   MessageKind.ABSORB_RETRANSMIT, _FS_EMPTY,
+                                   extra_vias)
 
         if request.method == "REGISTER":
-            return _Plan("register", request, src, MessageKind.REGISTER,
-                         frozenset({Feature.BASE, Feature.LOOKUP}), extra_vias)
+            return self._make_plan("register", request, src,
+                                   MessageKind.REGISTER, _FS_BASE_LOOKUP,
+                                   extra_vias)
 
         # Routing, with failover: once the failure detector reports a
         # next hop dead, skip it for any live alternative (the Figure-8
-        # load balancer's behaviour after losing a fork).
-        candidates = self.route_table.candidates_for(request.uri.host)
+        # load balancer's behaviour after losing a fork).  The candidate
+        # list per host is static; the down-peer overlay is not, so only
+        # the lookup is cached, never the failover outcome.
+        host = request.uri.host
+        if self._turbo:
+            candidates = self._route_cache.get(host)
+            if candidates is None:
+                candidates = self._route_cache[host] = (
+                    self.route_table.candidates_for(host)
+                )
+        else:
+            candidates = self.route_table.candidates_for(host)
         if not candidates:
-            plan = _Plan("reject", request, src, MessageKind.REJECT,
-                         frozenset(), extra_vias)
+            plan = self._make_plan("reject", request, src, MessageKind.REJECT,
+                                   _FS_EMPTY, extra_vias)
             plan.status = 404
             return plan
         action = candidates[0]
@@ -352,10 +451,6 @@ class ProxyServer(Node):
         is_exit = action == DELIVER_ACTION
         ds_key = action
 
-        features = {Feature.BASE}
-        if is_exit:
-            features.add(Feature.LOOKUP)
-
         if request.method == "INVITE":
             # Overload shedding: answer 500 when the backlog is deep.
             if (
@@ -365,8 +460,9 @@ class ProxyServer(Node):
                 self.policy.note_rejected(ds_key, is_exit)
                 if self.auth_policy is not None:
                     self.auth_policy.note_rejected(ds_key, is_exit)
-                plan = _Plan("reject", request, src, MessageKind.REJECT,
-                             frozenset(), extra_vias)
+                plan = self._make_plan("reject", request, src,
+                                       MessageKind.REJECT, _FS_EMPTY,
+                                       extra_vias)
                 plan.status = 500
                 return plan
 
@@ -385,13 +481,12 @@ class ProxyServer(Node):
                     ).stateful
                 else:
                     do_auth = not already_authed
-                if do_auth:
-                    features.add(Feature.AUTH)
-                    if not self._check_auth(request):
-                        plan = _Plan("reject", request, src, MessageKind.REJECT,
-                                     frozenset({Feature.AUTH}), extra_vias)
-                        plan.status = 407
-                        return plan
+                if do_auth and not self._check_auth(request):
+                    plan = self._make_plan("reject", request, src,
+                                           MessageKind.REJECT, _FS_AUTH,
+                                           extra_vias)
+                    plan.status = 407
+                    return plan
 
             already_stateful = request.get(STATE_HEADER) == STATE_HELD
             decision = self.policy.decide(
@@ -400,27 +495,29 @@ class ProxyServer(Node):
                 in_transaction=False,
                 is_exit=is_exit,
             )
-            if decision.stateful:
-                features.add(Feature.TXN_STATE)
-                if decision.dialog_stateful:
-                    features.add(Feature.DIALOG_STATE)
             self._track_via_ema(extra_vias)
             self._upstream_new_calls[src] = self._upstream_new_calls.get(src, 0.0) + 1.0
 
-            plan = _Plan("forward_invite", request, src, kind,
-                         frozenset(features), extra_vias)
+            plan = self._make_plan(
+                "forward_invite", request, src, kind,
+                self._features_for(is_exit, do_auth, decision.stateful,
+                                   decision.dialog_stateful),
+                extra_vias,
+            )
             plan.decision = decision
             plan.do_auth = do_auth
         elif request.method == "BYE":
             owns = self._owns_dialog(request)
-            if owns:
-                features.add(Feature.TXN_STATE)
-            plan = _Plan("forward_bye", request, src, kind,
-                         frozenset(features), extra_vias)
+            plan = self._make_plan(
+                "forward_bye", request, src, kind,
+                self._features_for(is_exit, False, owns, False), extra_vias,
+            )
             plan.decision = PolicyDecision(stateful=owns)
         else:
-            plan = _Plan("forward_other", request, src, kind,
-                         frozenset(features), extra_vias)
+            plan = self._make_plan(
+                "forward_other", request, src, kind,
+                _FS_BASE_LOOKUP if is_exit else _FS_BASE, extra_vias,
+            )
 
         plan.next_hop = None if is_exit else action
         plan.ds_key = ds_key
@@ -456,14 +553,16 @@ class ProxyServer(Node):
     # Response planning
     # ------------------------------------------------------------------
     def _plan_response(self, response: SipResponse, src: str) -> Optional[_Plan]:
-        extra_vias = max(0, len(response.get_all("Via")) - 1)
+        extra_vias = response.count("Via") - 1
+        if extra_vias < 0:
+            extra_vias = 0
         kind = classify_sip_kind(response)
         top = response.top_via
         if top is None or top.host != self.name:
             self.metrics.counter("stray_responses").increment()
             return None
-        return _Plan("forward_response", response, src, kind,
-                     frozenset({Feature.BASE}), extra_vias)
+        return self._make_plan("forward_response", response, src, kind,
+                               _FS_BASE, extra_vias)
 
     # ==================================================================
     # Execution (runs after the CPU job completes)
@@ -483,7 +582,10 @@ class ProxyServer(Node):
     }
 
     def _execute(self, plan: _Plan) -> None:
-        getattr(self, self._ACTION_HANDLERS[plan.action])(plan)
+        self._handlers[plan.action](plan)
+        if self._turbo:
+            # No handler retains the plan past its call; recycle it.
+            self._release_plan(plan)
 
     # ------------------------------------------------------------------
     # Stateful absorption
@@ -645,6 +747,47 @@ class ProxyServer(Node):
                 return
             next_hop = binding.node
 
+        if self._turbo:
+            # Fused path: compute the forwarding decisions first, then
+            # build the downstream copy in a single pass.  The 100
+            # Trying still precedes the forwarded request on the wire,
+            # and counter totals are unchanged -- only the local
+            # mutation order differs, which is not observable.
+            set_state = False
+            add_rr = False
+            stateful = plan.decision is not None and plan.decision.stateful
+            if stateful:
+                branch = self._next_branch()
+                self._create_transaction(request, plan.src, branch, plan)
+                if request.method == "INVITE":
+                    self._send_trying(request, plan.src)
+                    set_state = True
+                    add_rr = self.config.record_route_when_stateful
+                    self.metrics.counter("invites_stateful").increment()
+                else:
+                    self.metrics.counter("byes_stateful").increment()
+            else:
+                branch = self._stateless_branch(request)
+                if request.method == "INVITE":
+                    self.metrics.counter("invites_stateless").increment()
+                elif request.method == "BYE":
+                    self.metrics.counter("byes_stateless").increment()
+            if plan.do_auth:
+                self.metrics.counter("invites_authenticated").increment()
+            forwarded = forward_clone(
+                request,
+                self.name,
+                branch,
+                (AUTH_HEADER, AUTH_DONE) if plan.do_auth else None,
+                (STATE_HEADER, STATE_HELD) if set_state else None,
+                f"<sip:{self.name};lr>" if add_rr else None,
+            )
+            self.metrics.counter("requests_forwarded").increment()
+            self.send(next_hop, forwarded)
+            if stateful:
+                self._arm_downstream_retransmit(request, forwarded, next_hop)
+            return
+
         forwarded = request.copy()
         # Pop our own Route entry if present (loose routing).
         routes = forwarded.get_all("Route")
@@ -763,6 +906,21 @@ class ProxyServer(Node):
             # whose own timers manage its lifetime.
             del self._transactions[key]
             transaction.stop_retransmitting()
+            if self._turbo:
+                # The transaction exclusively owns these shells by now:
+                # upstream replays always sent .copy(), and downstream
+                # processing of the un-copied first send finished well
+                # inside the Timer-B / linger horizon (the UAS keeps a
+                # private copy while ringing; nothing else retains
+                # received messages).
+                response = transaction.last_upstream_response
+                if response is not None:
+                    transaction.last_upstream_response = None
+                    release_message(response)
+                forwarded = transaction.forwarded_message
+                if forwarded is not None:
+                    transaction.forwarded_message = None
+                    release_message(forwarded)
         self._by_forwarded_branch.pop(branch, None)
 
     # ------------------------------------------------------------------
@@ -797,6 +955,12 @@ class ProxyServer(Node):
             self.metrics.counter("trying_relayed").increment()
 
         if transaction is not None and response.is_final:
+            if self._turbo:
+                # A retransmitted final replaces the stored one; the
+                # displaced shell was ours alone (upstream got copies).
+                previous = transaction.last_upstream_response
+                if previous is not None and previous is not forwarded:
+                    release_message(previous)
             transaction.last_upstream_response = forwarded
             if not transaction.completed:
                 transaction.completed = True

@@ -25,10 +25,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.servers.node import Node
 from repro.sim.events import EventLoop
 from repro.sim.network import Network
+from repro.sim.rng import rng_fast_path_active
 from repro.sip.digest import make_authorization
 from repro.sip.headers import Via
 from repro.sip.sdp import SessionDescription
-from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.message import SipMessage, SipRequest, SipResponse, turbo_enabled
 from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
 from repro.sip.transaction import ClientTransaction
 
@@ -124,12 +125,19 @@ class CallGenerator(Node):
         self.config = config
         self.timers = timers
         self._arrival_rng = self.rng.spawn("arrivals")
+        if rng_fast_path_active():
+            # The arrival stream is exponential-only, so the turbo rung
+            # may batch its underlying uniforms (same values, same order).
+            self._arrival_rng.enable_predraw()
         self._calls: Dict[str, CallRecord] = {}
         self._transactions: Dict[tuple, ClientTransaction] = {}  # (branch, method)
         self._call_counter = 0
         self._branch_counter = 0
         self._running = False
         self._dest_index = 0
+        # Turbo: the SDP offer depends only on the generator's name, so
+        # its wire form is rendered once and reused for every call.
+        self._offer_body: Optional[str] = None
         # Optional count-only hook propagated to every client
         # transaction's retransmission timer (see repro.obs).
         self.timer_observer = None
@@ -185,6 +193,14 @@ class CallGenerator(Node):
         call_id = f"{self.name}-call-{self._call_counter}"
         from_uri = f"sip:user{self._call_counter}@{self.config.from_domain}"
 
+        if turbo_enabled():
+            body = self._offer_body
+            if body is None:
+                body = self._offer_body = (
+                    SessionDescription.offer(self.name).to_body()
+                )
+        else:
+            body = SessionDescription.offer(self.name).to_body()
         invite = SipRequest.build(
             "INVITE",
             uri=destination,
@@ -193,12 +209,15 @@ class CallGenerator(Node):
             call_id=call_id,
             cseq=1,
             from_tag=f"uac-{self._call_counter}",
-            body=SessionDescription.offer(self.name).to_body(),
+            body=body,
         )
-        invite.set("Contact", f"<sip:{self.name}>")
-        invite.set("Content-Type", "application/sdp")
+        # add() rather than set(): a freshly built request carries none
+        # of these headers, so appending is equivalent and skips the
+        # replace scan.
+        invite.add("Contact", f"<sip:{self.name}>")
+        invite.add("Content-Type", "application/sdp")
         if self.config.wants_auth:
-            invite.set(
+            invite.add(
                 "Proxy-Authorization",
                 make_authorization(
                     self.config.auth_username,

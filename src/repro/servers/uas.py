@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.servers.node import Node
 from repro.sim.events import EventHandle, EventLoop
 from repro.sim.network import Network
-from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.message import SipMessage, SipRequest, SipResponse, turbo_enabled
 from repro.sip.sdp import SdpError, SessionDescription
 from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
 
@@ -59,6 +59,10 @@ class AnsweringServer(Node):
         self._pending_acks: Dict[str, _PendingAck] = {}
         self._seen_invites: Dict[str, str] = {}  # call-id -> to-tag
         self._ringing: Dict[str, tuple] = {}  # call-id -> (handle, request, hop)
+        # Turbo: offer body -> rendered answer body.  SDP answering is
+        # deterministic (first codec wins, fixed ports), and each
+        # generator reuses one offer body, so the memo stays tiny.
+        self._answer_memo: Dict[str, str] = {}
         self._tag_counter = 0
         # Optional count-only hook for 200-OK retransmission timers
         # (see repro.obs).
@@ -111,12 +115,22 @@ class AnsweringServer(Node):
         # no/broken SDP still complete -- the control plane is the
         # subject here, not the media.
         if request.body:
-            try:
-                offer = SessionDescription.parse(request.body)
-                ok.body = offer.answer(self.name).to_body()
-                ok.set("Content-Type", "application/sdp")
-            except SdpError:
-                self.metrics.counter("bad_sdp_offers").increment()
+            answer = (self._answer_memo.get(request.body)
+                      if turbo_enabled() else None)
+            # add() rather than set(): for_request() never copies
+            # Content-Type, so appending is equivalent.
+            if answer is not None:
+                ok.body = answer
+                ok.add("Content-Type", "application/sdp")
+            else:
+                try:
+                    offer = SessionDescription.parse(request.body)
+                    ok.body = offer.answer(self.name).to_body()
+                    ok.add("Content-Type", "application/sdp")
+                    if turbo_enabled() and len(self._answer_memo) < 256:
+                        self._answer_memo[request.body] = ok.body
+                except SdpError:
+                    self.metrics.counter("bad_sdp_offers").increment()
         next_hop = self._response_next_hop(ringing)
         if next_hop is None:
             self.metrics.counter("unroutable_responses").increment()
@@ -127,7 +141,11 @@ class AnsweringServer(Node):
             handle = self.loop.schedule(
                 self.ring_delay, self._send_ok, call_id, ok, next_hop
             )
-            self._ringing[call_id] = (handle, request, next_hop)
+            # Turbo: hold a private copy -- the received shell belongs to
+            # the upstream proxy's transaction and may be recycled while
+            # the call is still ringing.
+            held = request.copy() if turbo_enabled() else request
+            self._ringing[call_id] = (handle, held, next_hop)
         else:
             self.send(next_hop, ringing)
             self._send_ok(call_id, ok, next_hop)

@@ -30,6 +30,26 @@ from repro.sim.events import EventLoop
 from repro.sim.metrics import TimeSeries
 from repro.sim.rng import RngStream
 
+# Turbo-engine job free list.  A job shell lives from submit() to
+# _complete(); the completion pops the callback into locals and recycles
+# the shell before invoking it, so the handler it triggers can reuse the
+# same shell for its own submissions.  Flipped by
+# repro.sip.message.set_engine_mode.
+_JOB_POOLING = False
+_JOB_POOL: "list[CpuJob]" = []
+_JOB_POOL_LIMIT = 4096
+
+
+def set_job_pooling(enabled: bool) -> None:
+    global _JOB_POOLING
+    _JOB_POOLING = enabled
+    if not enabled:
+        del _JOB_POOL[:]
+
+
+def job_pooling_active() -> bool:
+    return _JOB_POOLING
+
 
 class CpuJob:
     """A unit of CPU work: service time plus a completion callback."""
@@ -91,6 +111,10 @@ class CpuModel:
     ):
         if noise_sigma > 0 and rng is None:
             raise ValueError("noise_sigma > 0 requires an RngStream")
+        if noise_sigma > 0 and _JOB_POOLING:
+            # The noise stream is lognormal-only; turbo batches its
+            # underlying uniforms (same values, same order).
+            rng.enable_predraw()
         self.loop = loop
         self.rng = rng
         self.noise_sigma = noise_sigma
@@ -107,7 +131,13 @@ class CpuModel:
         # of any observability work beyond this one attribute test.
         self.profiler = None
         self._pending: "set[CpuJob]" = set()
-        self.component_seconds: Dict[str, float] = {}
+        self._component_seconds: Dict[str, float] = {}
+        # Deferred component accounting (turbo): the memoized cost model
+        # hands over a small set of long-lived breakdown dicts, so the
+        # hot path just counts occurrences per dict identity and the
+        # property below materializes seconds on read.  Holding the dict
+        # in the entry also pins its id.
+        self._component_acc: Dict[int, list] = {}
         self.utilization_series = TimeSeries("cpu.utilization")
         self._last_tick_time = loop.now
         self._last_tick_busy = 0.0
@@ -150,25 +180,60 @@ class CpuModel:
         end = start + actual
         self.busy_until = end
         self.pending_jobs += 1
-        job = CpuJob(actual, fn, args, now, start, end)
+        if _JOB_POOLING and _JOB_POOL:
+            job = _JOB_POOL.pop()
+            job.cost = actual
+            job.fn = fn
+            job.args = args
+            job.submitted_at = now
+            job.start_at = start
+            job.end_at = end
+        else:
+            job = CpuJob(actual, fn, args, now, start, end)
         job.handle = self.loop.schedule_at(end, self._complete, job)
         self._pending.add(job)
 
         if components:
-            for name, share in components.items():
-                self.component_seconds[name] = (
-                    self.component_seconds.get(name, 0.0) + share
-                )
+            if _JOB_POOLING:
+                acc = self._component_acc.get(id(components))
+                if acc is None:
+                    self._component_acc[id(components)] = [components, 1]
+                else:
+                    acc[1] += 1
+            else:
+                seconds = self._component_seconds
+                for name, share in components.items():
+                    seconds[name] = seconds.get(name, 0.0) + share
         if self.profiler is not None:
             self.profiler.record(func, actual, components)
         return job
+
+    @property
+    def component_seconds(self) -> Dict[str, float]:
+        """Busy seconds by functional component (Figure-3 profiles)."""
+        if self._component_acc:
+            seconds = self._component_seconds
+            for components, count in self._component_acc.values():
+                for name, share in components.items():
+                    seconds[name] = seconds.get(name, 0.0) + share * count
+            self._component_acc.clear()
+        return self._component_seconds
 
     def _complete(self, job: CpuJob) -> None:
         self._pending.discard(job)
         self.pending_jobs -= 1
         self.busy_seconds += job.cost
         self.jobs_completed += 1
-        job.fn(*job.args)
+        fn = job.fn
+        args = job.args
+        if _JOB_POOLING and len(_JOB_POOL) < _JOB_POOL_LIMIT:
+            # Dead as of now; recycle before the handler runs so it can
+            # reuse the shell for its own submissions.
+            job.fn = None
+            job.args = ()
+            job.handle = None
+            _JOB_POOL.append(job)
+        fn(*args)
 
     # ------------------------------------------------------------------
     # Crash/restart lifecycle (see repro.sim.faults)

@@ -29,6 +29,25 @@ from repro.sim.rng import RngStream
 
 DEFAULT_ONE_WAY_LATENCY = 0.00025  # 0.25 ms, see module docstring
 
+# Turbo-engine packet free list.  A packet lives exactly from send() to
+# _deliver(), so the fabric can recycle the shells; the generation
+# counter is bumped on release so any holder of a delivered packet can
+# detect recycling.  Flipped by repro.sip.message.set_engine_mode.
+_PACKET_POOLING = False
+_PACKET_POOL: List["Packet"] = []
+_PACKET_POOL_LIMIT = 4096
+
+
+def set_packet_pooling(enabled: bool) -> None:
+    global _PACKET_POOLING
+    _PACKET_POOLING = enabled
+    if not enabled:
+        del _PACKET_POOL[:]
+
+
+def packet_pooling_active() -> bool:
+    return _PACKET_POOLING
+
 
 class Packet:
     """An addressed payload in flight.
@@ -37,13 +56,14 @@ class Packet:
     small control object (e.g. a SERvartuka overload report).
     """
 
-    __slots__ = ("src", "dst", "payload", "sent_at")
+    __slots__ = ("src", "dst", "payload", "sent_at", "pool_gen")
 
     def __init__(self, src: str, dst: str, payload: Any, sent_at: float):
         self.src = src
         self.dst = dst
         self.payload = payload
         self.sent_at = sent_at
+        self.pool_gen = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Packet {self.src}->{self.dst} {type(self.payload).__name__}>"
@@ -183,7 +203,6 @@ class Network:
         link = self._links.get(pair)
         if link is None:
             link = self.default_link
-        packet = Packet(src, dst, payload, self.loop.now)
         self.packets_sent += 1
 
         if pair in self._blocked:
@@ -199,6 +218,17 @@ class Network:
         if link.jitter > 0:
             delay += self.rng.uniform(0.0, link.jitter)
         loop = self.loop
+        # The packet is materialized only for sends that actually enter
+        # the fabric; dropped sends never needed one (no RNG or metric
+        # depends on construction, so this is unobservable).
+        if _PACKET_POOLING and _PACKET_POOL:
+            packet = _PACKET_POOL.pop()
+            packet.src = src
+            packet.dst = dst
+            packet.payload = payload
+            packet.sent_at = loop.now
+        else:
+            packet = Packet(src, dst, payload, loop.now)
         loop.schedule_at(loop.now + delay, self._deliver, packet)
         return packet
 
@@ -208,8 +238,13 @@ class Network:
         if receiver is None or not getattr(receiver, "alive", True):
             self.packets_dropped += 1
             self.packets_dropped_dead += 1
-            return
-        receiver.receive(packet)
+        else:
+            receiver.receive(packet)
+        if _PACKET_POOLING and len(_PACKET_POOL) < _PACKET_POOL_LIMIT:
+            # A packet's life ends at delivery; recycle the shell.
+            packet.payload = None
+            packet.pool_gen += 1
+            _PACKET_POOL.append(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Network nodes={len(self._nodes)} sent={self.packets_sent}>"

@@ -21,7 +21,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.network import Network
-from repro.sip.message import SipMessage, SipRequest, SipResponse
+from repro.sip.message import (
+    SipMessage,
+    SipRequest,
+    SipResponse,
+    resume_message_pooling,
+    suspend_message_pooling,
+)
 
 
 class TraceEntry:
@@ -97,6 +103,10 @@ class MessageTrace:
     def attach(self) -> None:
         if self._original_send is not None:
             return
+        # Trace entries retain message payloads indefinitely, which is
+        # incompatible with the turbo engine's shell recycling; park the
+        # message pools while any trace is attached.
+        suspend_message_pooling()
         original = self.network.send
         self._original_send = original
 
@@ -122,6 +132,7 @@ class MessageTrace:
         if self._original_send is not None:
             self.network.send = self._original_send
             self._original_send = None
+            resume_message_pooling()
 
     # ------------------------------------------------------------------
     # Queries

@@ -79,9 +79,10 @@ class ScenarioConfig:
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
-        if engine not in ("reference", "copy", "fast"):
+        if engine not in ("reference", "copy", "fast", "turbo"):
             raise ValueError(
-                f"unknown engine {engine!r}; 'reference', 'copy' or 'fast'"
+                f"unknown engine {engine!r}; "
+                "'reference', 'copy', 'fast' or 'turbo'"
             )
         self.scale = scale
         self.seed = seed
@@ -109,13 +110,18 @@ class ScenarioConfig:
         #: re-parses, exactly what a real SIP stack pays); ``"copy"``
         #: (the default) keeps the heap loop but hands over light object
         #: copies; ``"fast"`` runs the timer-wheel loop, copy-on-write
-        #: messages and parse/cost memoization.  All three engines are
-        #: required to produce bit-identical results (enforced by
-        #: tests/engine/test_differential.py) -- only wall-clock differs.
+        #: messages and parse/cost memoization; ``"turbo"`` adds object
+        #: pooling (messages, packets, CPU jobs), header indexing,
+        #: proxy action-plan caching and reduced RNG dispatch on top of
+        #: ``"fast"``.  All engines are required to produce bit-identical
+        #: results (enforced by tests/engine/test_differential.py) --
+        #: only wall-clock differs.
         self.engine = engine
         #: Zero-allocation metrics mode (pre-sized histogram reservoirs).
-        #: Defaults to on for the fast engine, off for reference.
-        self.lean_metrics = (engine == "fast") if lean_metrics is None else lean_metrics
+        #: Defaults to on for the fast/turbo engines, off for reference.
+        self.lean_metrics = (
+            engine in ("fast", "turbo") if lean_metrics is None else lean_metrics
+        )
         #: Observability: None (default, fully off), True/"all", a
         #: comma list ("cpu,telemetry,spans"), or an ObserveConfig.
         #: Off changes no code path beyond per-site ``is not None``
@@ -171,7 +177,7 @@ class ScenarioConfig:
         return cls(**kwargs)
 
     def make_event_loop(self) -> EventLoop:
-        if self.engine == "fast":
+        if self.engine in ("fast", "turbo"):
             from repro.sim.timers_wheel import WheelEventLoop
 
             # Level-0 buckets sized to T1 so retransmission timers (T1,
@@ -186,7 +192,7 @@ class ScenarioConfig:
             t_sl=self.t_sl,
             scale=self.scale,
             via_overhead=self.via_overhead,
-            memoize=self.engine == "fast",
+            memoize=self.engine in ("fast", "turbo"),
         )
 
     def make_policy(self, spec: str) -> StatePolicy:

@@ -1,17 +1,20 @@
-"""Differential battery: the three engines must be observationally equal.
+"""Differential battery: all engine rungs must be observationally equal.
 
-The simulator has three engine modes (``repro.workloads.scenarios``):
+The simulator has four engine modes (``repro.workloads.scenarios``):
 
 - ``reference`` -- wire-faithful: every hop serializes the message and
   re-parses the octets,
 - ``copy`` -- light object copies (the repo default),
 - ``fast`` -- timer-wheel loop, copy-on-write messages, parse interning
-  and lean metrics.
+  and lean metrics,
+- ``turbo`` -- everything ``fast`` does, plus message/packet/CPU-job
+  pooling, fused forwarding, proxy action-plan caching, reduced RNG
+  dispatch and a relaxed GC cadence.
 
-The contract the fast path is allowed to exploit is *only wall-clock
+The contract the fast paths are allowed to exploit is *only wall-clock
 changes*: same RNG draw order, same event ordering, same costs, same
 counters.  This battery runs every experiment scenario family on all
-three engines across five seeds and asserts the full observable
+engines across five seeds and asserts the full observable
 fingerprint is bit-identical (no tolerances anywhere):
 
 - every node's deep metrics snapshot (counters, gauges, histogram
@@ -40,7 +43,7 @@ from repro.workloads.scenarios import (
     two_series,
 )
 
-ENGINES = ("reference", "copy", "fast")
+ENGINES = ("reference", "copy", "fast", "turbo")
 SEEDS = (1, 2, 3, 4, 5)
 
 # Short timers + aggressive scale keep each run well under a second
@@ -175,7 +178,7 @@ def test_engines_bit_identical(name):
             for engine in ENGINES
         }
         reference = fingerprints["reference"]
-        for engine in ("copy", "fast"):
+        for engine in ("copy", "fast", "turbo"):
             assert fingerprints[engine] == reference, (
                 f"{name} seed={seed}: {engine} diverges from reference -- "
                 + _first_divergence(reference, fingerprints[engine])
@@ -201,7 +204,7 @@ def test_resilience_bit_identical():
                 scenario, run_for=params.run_for, drain=params.drain
             )
         reference = fingerprints["reference"]
-        for engine in ("copy", "fast"):
+        for engine in ("copy", "fast", "turbo"):
             assert fingerprints[engine] == reference, (
                 f"resilience seed={seed}: {engine} diverges -- "
                 + _first_divergence(reference, fingerprints[engine])

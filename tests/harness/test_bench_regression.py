@@ -1,0 +1,111 @@
+"""The CI bench-regression gate (benchmarks/check_bench_regression.py).
+
+The gate compares within-run speedup ratios, never absolute calls/sec,
+so it must (a) catch a slowdown injected into any single rung, (b) stay
+quiet when the whole machine is uniformly slower, and (c) stay quiet on
+ordinary run-to-run noise within tolerance.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "benchmarks" / "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def _report(scale: float = 1.0, slow_engine: str = None,
+            slow_by: float = 0.2) -> dict:
+    """Synthetic engine-bench report.
+
+    ``scale`` multiplies every rung (a uniformly faster/slower host);
+    ``slow_engine`` gets an extra ``slow_by`` fractional slowdown (the
+    injected regression).
+    """
+    base = {"reference": 400.0, "copy": 600.0, "fast": 900.0,
+            "turbo": 1400.0}
+    scenarios = {}
+    for name in ("two_series", "parallel_fig8"):
+        per_engine = {}
+        for engine, calls_per_sec in base.items():
+            value = calls_per_sec * scale
+            if engine == slow_engine:
+                value *= 1.0 - slow_by
+            per_engine[engine] = {"calls_per_sec": round(value, 1),
+                                  "wall_s": 6.0, "calls": 8000}
+        scenarios[name] = {"per_engine": per_engine, "identical": True}
+    return {"benchmark": "engine", "scenarios": scenarios}
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        assert check.compare(_report(), _report()) == []
+
+    def test_uniformly_slower_host_passes(self):
+        # Half-speed CI box: every ratio is unchanged, so no failure.
+        assert check.compare(_report(), _report(scale=0.5)) == []
+
+    @pytest.mark.parametrize("engine", ["reference", "copy", "fast", "turbo"])
+    def test_20pct_single_rung_slowdown_fails(self, engine):
+        failures = check.compare(_report(), _report(slow_engine=engine))
+        assert failures, f"20% slowdown in {engine!r} was not caught"
+        assert any(engine in failure for failure in failures)
+
+    def test_noise_within_tolerance_passes(self):
+        failures = check.compare(_report(), _report(slow_engine="turbo",
+                                                    slow_by=0.10))
+        assert failures == []
+
+    def test_missing_rung_fails(self):
+        candidate = _report()
+        for name in candidate["scenarios"]:
+            del candidate["scenarios"][name]["per_engine"]["turbo"]
+        failures = check.compare(_report(), candidate)
+        assert any("turbo" in failure and "missing" in failure
+                   for failure in failures)
+
+    def test_missing_scenario_fails(self):
+        candidate = _report()
+        del candidate["scenarios"]["parallel_fig8"]
+        failures = check.compare(_report(), candidate)
+        assert any("parallel_fig8" in failure for failure in failures)
+
+    def test_new_rung_in_candidate_is_ignored(self):
+        # A rung absent from the checked-in baseline (e.g. just added)
+        # cannot regress; it only starts being gated once checked in.
+        baseline = _report()
+        for name in baseline["scenarios"]:
+            del baseline["scenarios"][name]["per_engine"]["turbo"]
+        assert check.compare(baseline, _report()) == []
+
+
+class TestMain:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_on_clean_candidate(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report())
+        candidate = self._write(tmp_path / "cand.json", _report(scale=0.9))
+        assert check.main(["--baseline", baseline,
+                           "--candidate", candidate]) == 0
+        assert "no bench regression" in capsys.readouterr().out
+
+    def test_exit_one_on_injected_slowdown(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report())
+        candidate = self._write(tmp_path / "cand.json",
+                                _report(slow_engine="turbo"))
+        assert check.main(["--baseline", baseline,
+                           "--candidate", candidate]) == 1
+        assert "BENCH REGRESSION" in capsys.readouterr().err
+
+    def test_checked_in_report_passes_against_itself(self, tmp_path):
+        checked_in = str(_SCRIPT.parent.parent / "BENCH_engine.json")
+        assert check.main(["--baseline", checked_in,
+                           "--candidate", checked_in]) == 0

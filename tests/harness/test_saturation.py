@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.harness.parallel import SpecTemplate, execution
 from repro.harness.runner import RunResult
 from repro.harness.saturation import (
     SweepPoint,
@@ -56,6 +57,20 @@ class TestStaircase:
             staircase(100, 50, 10)
         with pytest.raises(ValueError):
             staircase(10, 50, 0)
+
+    def test_no_float_accumulation_drift(self):
+        # Regression: repeated `current += step` drops the final point
+        # for non-representable steps (0.07 * 10 accumulates past 0.7).
+        loads = staircase(0.07, 0.7, 0.07)
+        assert len(loads) == 10
+        assert loads[-1] == 0.7
+        assert loads == [round(0.07 * i, 6) for i in range(1, 11)]
+
+    def test_long_staircase_stays_on_grid(self):
+        loads = staircase(20, 20000, 20)
+        assert len(loads) == 1000
+        assert loads[0] == 20 and loads[-1] == 20000
+        assert all(load == 20 * (i + 1) for i, load in enumerate(loads))
 
 
 # The closure path still works but is deprecated (SpecTemplate is the
@@ -135,3 +150,113 @@ class TestRefinePeak:
         refined = refine_peak(factory, coarse, duration=1.0, warmup=0.5)
         assert len(refined) == 7
         assert all(8000 <= load <= 12000 for load in probed)
+
+
+PEAK = 10000.0  # synthetic knee for the adaptive-search unit tests
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestAdaptiveFindCapacity:
+    """Model-guided search semantics against a synthetic goodput curve.
+
+    ``run_scenario`` is stubbed out with a deterministic tent curve
+    (throughput == offered up to ``PEAK``, then a fluid-model-style
+    linear collapse), so the probe count and the probe positions are
+    exact -- no simulation noise.
+    """
+
+    def _install_curve(self, monkeypatch, calls):
+        def fake_run(scenario, duration=10.0, warmup=4.0):
+            load = scenario  # the factory below passes the load through
+            calls.append(load)
+            result = RunResult("fake", load, 1.0)
+            if load <= PEAK:
+                result.throughput_cps = load
+            else:
+                result.throughput_cps = max(0.0, PEAK - 0.8 * (load - PEAK))
+            return result
+
+        monkeypatch.setattr(
+            "repro.harness.saturation.run_scenario", fake_run
+        )
+        return lambda load: load
+
+    def test_good_hint_beats_fixed_grid_budget(self, monkeypatch):
+        fixed_calls, adaptive_calls = [], []
+        factory = self._install_curve(monkeypatch, fixed_calls)
+        fixed = find_capacity(factory, hint=PEAK)
+        factory = self._install_curve(monkeypatch, adaptive_calls)
+        adaptive = find_capacity(factory, hint=PEAK, adaptive=True)
+
+        # 6 coarse + 3 refine for the grid; 3 seeds + 2 refine adaptive.
+        assert len(fixed_calls) == 9
+        assert len(adaptive_calls) == 5
+        assert len(adaptive_calls) <= 0.6 * len(fixed_calls)
+
+        spacing = PEAK * 2 * 0.35 / 5
+        best_fixed = fixed.points[max(range(len(fixed.points)),
+                                      key=lambda i: fixed.points[i].result.throughput_cps)]
+        best_adaptive = adaptive.points[max(range(len(adaptive.points)),
+                                            key=lambda i: adaptive.points[i].result.throughput_cps)]
+        assert abs(best_adaptive.offered_cps - best_fixed.offered_cps) <= spacing + 1e-9
+        assert adaptive.max_throughput == pytest.approx(fixed.max_throughput, rel=0.01)
+
+    def test_bad_hint_walks_to_the_peak(self, monkeypatch):
+        calls = []
+        factory = self._install_curve(monkeypatch, calls)
+        result = find_capacity(factory, hint=6000, adaptive=True)
+        spacing = 6000 * 2 * 0.35 / 5
+        best = max(result.points, key=lambda p: p.result.throughput_cps)
+        # The walk climbed from 6000 all the way to the real knee.
+        assert abs(best.offered_cps - PEAK) <= spacing + 1e-9
+        # Probes stepped one spacing at a time, never skipping the peak.
+        assert max(calls) <= PEAK + 2 * spacing
+
+    def test_adaptive_without_refine_probes_bracket_only(self, monkeypatch):
+        calls = []
+        factory = self._install_curve(monkeypatch, calls)
+        find_capacity(factory, hint=PEAK, adaptive=True, refine=False)
+        spacing = PEAK * 2 * 0.35 / 5
+        assert calls == [PEAK - spacing, PEAK, PEAK + spacing]
+
+    def test_seed_bracket_clips_nonpositive_loads(self, monkeypatch):
+        calls = []
+        factory = self._install_curve(monkeypatch, calls)
+        # spacing > hint: the low seed would be negative and is dropped.
+        find_capacity(factory, hint=10, span=2.0, points=3,
+                      adaptive=True, refine=False)
+        assert all(load > 0 for load in calls)
+
+
+class TestAdaptiveCapacityBudget:
+    """End-to-end sim budget on the figure-5/figure-8 capacity queries.
+
+    The adaptive search seeded with a knee-accurate hint (what the
+    fluid/LP model provides) must answer with at most 60% of the fixed
+    grid's simulations, landing within one grid spacing of the fixed
+    answer.  Executed-simulation counts come from the parallel
+    executor's stats, so run-cache hits would show up as free probes.
+    """
+
+    @pytest.mark.parametrize("builder,kwargs,hint", [
+        ("n_series", {"n": 2, "policy": "servartuka"}, 9800.0),
+        ("parallel_fork", {"policy": "servartuka"}, 11000.0),
+    ])
+    def test_budget_and_answer(self, fast_config, builder, kwargs, hint):
+        template = SpecTemplate(builder, fast_config, **kwargs)
+        with execution(jobs=1) as context:
+            fixed = find_capacity(template, hint=hint,
+                                  duration=1.5, warmup=0.5)
+            fixed_sims = context.stats.executed
+        with execution(jobs=1) as context:
+            adaptive = find_capacity(template, hint=hint, adaptive=True,
+                                     duration=1.5, warmup=0.5)
+            adaptive_sims = context.stats.executed
+        assert adaptive_sims <= 0.6 * fixed_sims
+        spacing = hint * 2 * 0.35 / 5
+        best_fixed = max(fixed.points,
+                         key=lambda p: p.result.throughput_cps)
+        best_adaptive = max(adaptive.points,
+                            key=lambda p: p.result.throughput_cps)
+        assert abs(best_adaptive.offered_cps - best_fixed.offered_cps) \
+            <= spacing + 1e-9
