@@ -14,7 +14,10 @@ Everything composes in one place:
   (``"cpu,telemetry,spans"`` or an :class:`ObserveConfig`),
 - ``jobs=`` / ``cache=`` fan independent runs across worker processes
   and memoize them in the content-addressed run cache,
-- ``faults=`` injects a :class:`FaultSchedule` into a single run.
+- ``faults=`` injects a :class:`FaultSchedule` into a single run,
+- ``control=`` attaches an overload-control policy
+  (``"rate"``/``"window"``/``"occupancy"``/``"signal"`` or a
+  :class:`ControlConfig`) to every proxy.
 
 Quickstart::
 
@@ -39,10 +42,12 @@ from repro.harness.figures import FULL, QUICK, STANDARD, FigureData, Quality
 from repro.harness.parallel import (
     SCENARIO_BUILDERS,
     SpecTemplate,
+    control_snapshot,
     execution,
     run_specs,
     scenario_spec,
 )
+from repro.core.control import ControlConfig
 from repro.core.fluid import capacity_hint
 from repro.harness.runner import RunResult
 from repro.harness.runner import run_scenario as _run_live
@@ -58,6 +63,7 @@ __all__ = [
     "QUICK",
     "STANDARD",
     "TOPOLOGIES",
+    "ControlConfig",
     "FaultSchedule",
     "FigureData",
     "ObserveConfig",
@@ -90,6 +96,7 @@ def _config(
     seed: Optional[int],
     engine: Optional[str],
     observe,
+    control=None,
 ) -> ScenarioConfig:
     """Resolve the per-call config: overrides > explicit config > defaults."""
     overrides = {
@@ -97,6 +104,7 @@ def _config(
         for key, value in (
             ("scale", scale), ("seed", seed),
             ("engine", engine), ("observe", observe),
+            ("control", control),
         )
         if value is not None
     }
@@ -141,6 +149,7 @@ def make_scenario(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    control: Union[None, str, ControlConfig] = None,
     **kwargs,
 ) -> Scenario:
     """Build a live :class:`Scenario` without running it.
@@ -153,7 +162,7 @@ def make_scenario(
             f"unknown topology {topology!r}; one of {list(TOPOLOGIES)}"
         )
     resolved = _config(config, scale=scale, seed=seed,
-                       engine=engine, observe=observe)
+                       engine=engine, observe=observe, control=control)
     # All-keyword call, matching the parallel executor's build_scenario:
     # some builders (n_series) take a topology argument before rate.
     return SCENARIO_BUILDERS[topology](rate=rate, config=resolved, **kwargs)
@@ -171,6 +180,7 @@ def run_scenario(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    control: Union[None, str, ControlConfig] = None,
     faults: Optional[FaultSchedule] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
@@ -180,14 +190,16 @@ def run_scenario(
 
     Returns a :class:`RunResult`; when ``observe=`` is set the result
     additionally carries the observability snapshot as ``result.obs``
-    (the JSON-able dict of :meth:`repro.obs.Observer.snapshot`).
+    (the JSON-able dict of :meth:`repro.obs.Observer.snapshot`), and
+    when ``control=`` is set the overload-control snapshot (per-proxy
+    stats + decision traces) as ``result.control``.
 
     Fault-free runs route through the parallel executor's job path, so
     they participate in the ambient run cache (or the one ``cache=`` /
     ``cache_dir=`` requests); a run with ``faults=`` executes inline.
     """
     resolved = _config(config, scale=scale, seed=seed,
-                       engine=engine, observe=observe)
+                       engine=engine, observe=observe, control=control)
     if faults is not None:
         scenario = make_scenario(topology, rate=rate, config=resolved,
                                  **kwargs)
@@ -196,6 +208,7 @@ def run_scenario(
                            drain=drain)
         result.obs = (scenario.observer.snapshot()
                       if scenario.observer is not None else None)
+        result.control = control_snapshot(scenario)
         return result
     spec = scenario_spec(topology, rate=rate, config=resolved,
                          duration=duration, warmup=warmup, drain=drain,
@@ -204,6 +217,7 @@ def run_scenario(
         payload = run_specs([spec])[0]
     result = RunResult.from_payload(payload["result"])
     result.obs = payload["extras"].get("obs")
+    result.control = payload["extras"].get("control")
     return result
 
 
@@ -219,6 +233,7 @@ def sweep(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    control: Union[None, str, ControlConfig] = None,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
@@ -230,7 +245,7 @@ def sweep(
     ``cache=`` memoizes each point on disk; neither changes a metric.
     """
     resolved = _config(config, scale=scale, seed=seed,
-                       engine=engine, observe=observe)
+                       engine=engine, observe=observe, control=control)
     template = _template(topology, resolved, kwargs)
     with _maybe_execution(jobs, cache, cache_dir):
         return _sweep_loads(template, loads, duration=duration,
@@ -253,6 +268,7 @@ def find_capacity(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    control: Union[None, str, ControlConfig] = None,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
@@ -267,7 +283,7 @@ def find_capacity(
     typically about half the simulations for the same answer.
     """
     resolved = _config(config, scale=scale, seed=seed,
-                       engine=engine, observe=observe)
+                       engine=engine, observe=observe, control=control)
     template = _template(topology, resolved, kwargs)
     with _maybe_execution(jobs, cache, cache_dir):
         return _find_capacity(template, hint, duration=duration,
@@ -287,6 +303,7 @@ def run_experiment(
     quality: Union[str, Quality] = "quick",
     engine: Optional[str] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    control: Union[None, str, ControlConfig] = None,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
@@ -298,7 +315,8 @@ def run_experiment(
                 f"unknown quality {quality!r}; one of {sorted(_QUALITIES)}"
             )
         quality = _QUALITIES[quality]
-    quality = quality.with_overrides(engine=engine, observe=observe)
+    quality = quality.with_overrides(engine=engine, observe=observe,
+                                     control=control)
     suite = ExperimentSuite(quality)
     with _maybe_execution(jobs, cache, cache_dir):
         results = suite.run([experiment])

@@ -22,8 +22,10 @@ The simulation-heavy commands (``figures``, ``experiments``, ``sweep``,
 across worker processes and use a content-addressed run cache under
 ``.repro-cache/`` (disable with ``--no-cache``); neither changes a
 single reported metric.  Scenario-building commands accept
-``--engine`` (simulation engine rung) and ``--observe`` (attach the
-:mod:`repro.obs` recorders); observability changes no metric either.
+``--engine`` (simulation engine rung), ``--observe`` (attach the
+:mod:`repro.obs` recorders; changes no metric) and ``--control``
+(attach an overload-control policy from :mod:`repro.core.control` to
+every proxy).
 
 All loads are paper-equivalent calls/second.
 """
@@ -65,6 +67,7 @@ FIGURE_COMMANDS: Dict[str, Callable] = {
     "fig8": figure_mod.figure8_parallel,
     "three-series": figure_mod.three_series_text,
     "resilience": resilience_figure,
+    "overload": figure_mod.overload_comparative,
 }
 
 QUALITIES = {
@@ -80,6 +83,7 @@ def _scenario_config(args, **overrides) -> ScenarioConfig:
         seed=args.seed,
         engine=getattr(args, "engine", None) or "copy",
         observe=getattr(args, "observe", None),
+        control=getattr(args, "control", None),
     )
     kwargs.update(overrides)
     return ScenarioConfig(**kwargs)
@@ -157,6 +161,11 @@ def _add_engine_observe_args(parser: argparse.ArgumentParser) -> None:
                         help="attach the observability layer: 'all' or "
                              "a comma list of cpu,telemetry,spans "
                              "(default: off; changes no metric)")
+    parser.add_argument("--control", default=None,
+                        choices=["none", "rate", "window", "occupancy",
+                                 "signal"],
+                        help="overload-control policy on every proxy "
+                             "(default: off)")
 
 
 def cmd_figures(args) -> int:
@@ -170,7 +179,7 @@ def cmd_figures(args) -> int:
               file=sys.stderr)
         return 2
     quality = QUALITIES[args.quality].with_overrides(
-        engine=args.engine, observe=args.observe
+        engine=args.engine, observe=args.observe, control=args.control
     )
     with _execution(args) as ctx:
         for name in wanted:
@@ -185,7 +194,7 @@ def cmd_experiments(args) -> int:
     from repro.harness.experiments import ExperimentSuite
 
     suite = ExperimentSuite(QUALITIES[args.quality].with_overrides(
-        engine=args.engine, observe=args.observe
+        engine=args.engine, observe=args.observe, control=args.control
     ))
     ids = args.ids or None
     with _execution(args) as ctx:

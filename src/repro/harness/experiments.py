@@ -47,6 +47,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                      "three in series: static vs SERvartuka"),
     "resilience": (resilience_figure,
                    "call loss under proxy crashes, by state placement"),
+    "overload": (figure_mod.overload_comparative,
+                 "goodput under overload, per control policy"),
 }
 
 

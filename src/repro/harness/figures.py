@@ -30,6 +30,7 @@ from repro.core.costmodel import CostModel, FIG3_TOTALS, Feature
 from repro.core.lp import FlowPathLP, StateDistributionLP
 from repro.core.topology import Topology, series_topology, two_series_topology
 from repro.harness.parallel import SpecTemplate, run_specs, scenario_spec
+from repro.harness.runner import RunResult
 from repro.harness.saturation import (
     SweepResult,
     find_capacity,
@@ -778,4 +779,258 @@ def three_series_text(quality: Quality = QUICK) -> FigureData:
         ["config", "offered_cps", "throughput_cps"],
         rows,
         comparisons=comparisons,
+    )
+
+
+# ----------------------------------------------------------------------
+# Overload control (beyond the paper: repro.core.control)
+# ----------------------------------------------------------------------
+#: Offered-load anchor for the two-series overload sweeps, paper cps.
+#: ~1x the saturation throughput of the static two-series chain under
+#: the overload scenario config below.
+OVERLOAD_ANCHOR = 8500.0
+#: Anchor for the parallel-fork fairness panel (fig8-style topology).
+OVERLOAD_FORK_ANCHOR = 12000.0
+#: Offered-load multipliers swept per policy (0.5x .. 3x capacity).
+OVERLOAD_MULTS = (0.5, 1.0, 1.5, 2.0, 3.0)
+#: Controller column order: no control first, then the four policies.
+OVERLOAD_POLICIES = (None, "rate", "window", "occupancy", "signal")
+#: The overload sweeps need long enough windows for AIMD/EMA loops to
+#: converge and for the no-control retransmission avalanche to develop,
+#: so the durations are pinned rather than taken from the quality
+#: preset (quality still chooses engine/observe overrides and jobs).
+OVERLOAD_DURATION = 24.0
+OVERLOAD_WARMUP = 6.0
+
+
+def overload_config(quality: Quality, control=None, **overrides) -> ScenarioConfig:
+    """The pinned scenario config of the overload experiment family.
+
+    Deep drop queues (``max_queue_delay`` = 4x T1 with the standard
+    500 ms timers) are what make the uncontrolled system collapse: a
+    response that sat near the cap crosses the retransmit timeout, so
+    every queued message breeds duplicates.  ``reject_queue_delay=0``
+    keeps controller 503s on the normal FIFO CPU queue.
+    """
+    kwargs = dict(
+        scale=50.0,
+        seed=7,
+        monitor_period=0.25,
+        reject_queue_delay=0.0,
+        max_queue_delay=2.0,
+        control=control,
+    )
+    kwargs.update(overrides)
+    return quality.scenario_config(**kwargs)
+
+
+def _overload_spec(quality, mult, policy, control, **kwargs):
+    name = control if control is not None else "none"
+    return scenario_spec(
+        "n_series", rate=OVERLOAD_ANCHOR * mult,
+        config=overload_config(quality, control=control),
+        duration=OVERLOAD_DURATION, warmup=OVERLOAD_WARMUP,
+        label=f"overload/{policy}/{name}@{mult:g}x",
+        n=2, policy=policy, **kwargs,
+    )
+
+
+def overload_comparative(quality: Quality = QUICK) -> FigureData:
+    """Goodput under overload: no control vs the four control policies.
+
+    Three panels over the two-series chain plus a fork fairness panel:
+
+    - **sweep** -- goodput vs offered load (0.5x..3x capacity) for no
+      control and each of rate/window/occupancy/signal on the static
+      chain.  Without control the deep-queue retransmission avalanche
+      collapses goodput past the knee; every controller holds the
+      plateau.
+    - **composed** -- at 2x, SERvartuka state-shedding composed with
+      call-shedding (occupancy) against either mechanism alone: the
+      mechanisms are complementary (state distribution raises the
+      capacity the controller then defends).
+    - **fairness** -- fig8-style fork with a 75/25 upstream split at
+      2x: per-upstream-neighbour completion fractions under no
+      control, the per-source window policy and proportional
+      occupancy shedding.
+    """
+    sweep_specs = [
+        _overload_spec(quality, mult, "static", control)
+        for control in OVERLOAD_POLICIES
+        for mult in OVERLOAD_MULTS
+    ]
+    composed_specs = [
+        _overload_spec(quality, 2.0, policy, control)
+        for policy, control in (
+            ("servartuka", None),
+            ("static", "occupancy"),
+            ("servartuka", "occupancy"),
+        )
+    ]
+    fairness_controls = (None, "window", "occupancy")
+    fairness_specs = [
+        scenario_spec(
+            "parallel_fork", rate=OVERLOAD_FORK_ANCHOR * 2.0,
+            config=overload_config(quality, control=control),
+            duration=OVERLOAD_DURATION, warmup=OVERLOAD_WARMUP,
+            label=f"overload/fork/{control or 'none'}@2x",
+            policy="static", upper_share=0.75,
+        )
+        for control in fairness_controls
+    ]
+    payloads = run_specs(sweep_specs + composed_specs + fairness_specs)
+    n_sweep = len(sweep_specs)
+    n_composed = len(composed_specs)
+    sweep_payloads = payloads[:n_sweep]
+    composed_payloads = payloads[n_sweep:n_sweep + n_composed]
+    fairness_payloads = payloads[n_sweep + n_composed:]
+
+    def _rejected(payload) -> int:
+        control_extras = payload["extras"].get("control")
+        if not control_extras:
+            return 0
+        return sum(
+            proxy["stats"]["rejected"]
+            for proxy in control_extras["proxies"].values()
+        )
+
+    rows = []
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    curves: Dict[str, Dict[float, dict]] = {}
+    index = 0
+    for control in OVERLOAD_POLICIES:
+        name = control if control is not None else "none"
+        curve: Dict[float, dict] = {}
+        points: List[Tuple[float, float]] = []
+        for mult in OVERLOAD_MULTS:
+            payload = sweep_payloads[index]
+            index += 1
+            result = RunResult.from_payload(payload["result"])
+            curve[mult] = {
+                "goodput": result.throughput_cps,
+                "retransmissions": result.retransmissions,
+                "rejected": _rejected(payload),
+            }
+            points.append((result.offered_cps, result.throughput_cps))
+            rows.append([
+                name, round(mult, 2), round(result.offered_cps),
+                round(result.throughput_cps),
+                round(result.goodput_ratio, 3),
+                result.retransmissions,
+                curve[mult]["rejected"],
+            ])
+        curves[name] = curve
+        series[name] = points
+
+    # Retention at 2x: each configuration's goodput relative to the
+    # peak of ITS OWN load sweep.  This is the collapse-vs-plateau
+    # metric -- a controller pays a deliberate admission tax at the
+    # knee (target_utilization < 1), so it plateaus slightly below the
+    # uncontrolled knee but must then HOLD that plateau, while the
+    # uncontrolled chain falls off a cliff past its own peak.
+    def _retention(name: str) -> float:
+        own_peak = max(point["goodput"] for point in curves[name].values())
+        return round(curves[name][2.0]["goodput"] / own_peak, 3)
+
+    comparisons = [
+        ["uncontrolled 2x goodput fraction of peak", 0.5,
+         _retention("none"), 0.0],
+    ]
+    for control in OVERLOAD_POLICIES[1:]:
+        comparisons.append([
+            f"{control} 2x goodput fraction of peak", 0.9,
+            _retention(control), 0.0,
+        ])
+    none_retrans = curves["none"][2.0]["retransmissions"]
+    rate_retrans = max(1, curves["rate"][2.0]["retransmissions"])
+    comparisons.append([
+        "2x retransmission amplification (none/rate)", 1.0,
+        round(none_retrans / rate_retrans, 1), 0.0,
+    ])
+
+    # Composed panel: state shedding x call shedding at 2x.
+    composed = {
+        label: RunResult.from_payload(payload["result"]).throughput_cps
+        for label, payload in zip(
+            ("servartuka/none", "static/occupancy", "servartuka/occupancy"),
+            composed_payloads,
+        )
+    }
+    for label, goodput in composed.items():
+        rows.append([label, 2.0, round(OVERLOAD_ANCHOR * 2.0),
+                     round(goodput), round(goodput / (OVERLOAD_ANCHOR * 2.0), 3),
+                     0, 0])
+    comparisons.append([
+        "composed vs call-shedding alone at 2x", 1.0,
+        round(composed["servartuka/occupancy"] / composed["static/occupancy"], 3),
+        0.0,
+    ])
+    comparisons.append([
+        "composed vs state-shedding alone at 2x", 1.0,
+        round(composed["servartuka/occupancy"] / composed["servartuka/none"], 3),
+        0.0,
+    ])
+
+    # Fairness panel: per-upstream completion fractions on the fork.
+    fairness_rows = []
+    for control, payload in zip(fairness_controls, fairness_payloads):
+        name = control if control is not None else "none"
+        generators = (payload["extras"].get("control") or {}).get("generators")
+        if generators is None:
+            generators = {
+                uac: {"attempted": 0, "completed": completed}
+                for uac, completed in zip(
+                    ("uac_u", "uac_l"),
+                    payload["extras"]["uas_calls_completed"],
+                )
+            }
+        fractions = {}
+        for uac, share in (("uac_u", 0.75), ("uac_l", 0.25)):
+            stats = generators[uac]
+            attempted = stats["attempted"] or round(
+                OVERLOAD_FORK_ANCHOR * 2.0 * share / 50.0
+                * (OVERLOAD_DURATION + OVERLOAD_WARMUP)
+            )
+            fractions[uac] = (
+                stats["completed"] / attempted if attempted else 0.0
+            )
+        fairness_rows.append(
+            [f"fork/{name}", 2.0, round(OVERLOAD_FORK_ANCHOR * 2.0),
+             round(fractions["uac_u"], 3), round(fractions["uac_l"], 3)]
+        )
+    comparisons.append([
+        "window light-upstream completion fraction at 2x", 0.5,
+        fairness_rows[1][4], 0.0,
+    ])
+    for row in comparisons:
+        row[3] = round(row[2] / row[1], 3) if row[1] else 0.0
+
+    return FigureData(
+        "Overload",
+        "Overload control -- goodput, composition and fairness",
+        ["config", "load_mult", "offered_cps", "goodput_cps",
+         "goodput_ratio", "retransmissions", "rejected"],
+        rows,
+        description=(
+            "Goodput of the two-series chain from 0.5x to 3x capacity.  "
+            "Uncontrolled, deep drop queues push responses past the "
+            "retransmit timeout and goodput collapses (congestion "
+            "collapse); each overload-control policy (rate AIMD, "
+            "per-source window, occupancy, 503+Retry-After signalling) "
+            "sheds excess INVITEs cheaply and holds the plateau.  "
+            "Composed with SERvartuka state-shedding the controller "
+            "defends a higher capacity than either mechanism alone.  "
+            "Fork fairness rows report per-upstream completion "
+            "fractions (heavy 75% / light 25% split)."
+        ),
+        comparisons=comparisons,
+        series=series,
+        notes=(
+            "fairness rows list [config, mult, offered, heavy-upstream "
+            "completion fraction, light-upstream completion fraction]: "
+            + "; ".join(
+                f"{row[0]}: heavy {row[3]:g} light {row[4]:g}"
+                for row in fairness_rows
+            )
+        ),
     )

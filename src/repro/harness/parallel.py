@@ -198,7 +198,49 @@ def _scenario_extras(scenario) -> dict:
     observer = getattr(scenario, "observer", None)
     if observer is not None:
         extras["obs"] = observer.snapshot()
+    # Same contract for overload control: the key exists only when some
+    # proxy actually carries a controller, so control=None runs (and
+    # their cache entries) are byte-for-byte what they were before.
+    control = control_snapshot(scenario)
+    if control is not None:
+        extras["control"] = control
     return extras
+
+
+def control_snapshot(scenario) -> Optional[dict]:
+    """Overload-control observables for one finished scenario: per-proxy
+    stats + full decision traces, per-UAC feedback accounting.  ``None``
+    when no proxy carries a controller."""
+    controlled = {
+        name: proxy
+        for name, proxy in sorted(scenario.proxies.items())
+        if getattr(proxy, "control", None) is not None
+    }
+    if not controlled:
+        return None
+    return {
+        "proxies": {
+            name: {
+                "policy": proxy.control.kind,
+                "stats": proxy.control.stats(),
+                "decisions": list(proxy.control.decision_log),
+            }
+            for name, proxy in controlled.items()
+        },
+        "generators": {
+            generator.name: {
+                "attempted": generator.calls_attempted,
+                "completed": generator.calls_completed,
+                "failed": generator.calls_failed,
+                "retry_after_received":
+                    generator.metrics.counter("retry_after_received").value,
+                "suppressed_backoff":
+                    generator.metrics.counter(
+                        "calls_suppressed_backoff").value,
+            }
+            for generator in scenario.generators
+        },
+    }
 
 
 def _job_scenario(payload: dict) -> dict:

@@ -25,7 +25,7 @@ from repro.obs.profile import (
     CpuProfiler,
     functionality_of,
 )
-from repro.obs.telemetry import ControlTelemetry
+from repro.obs.telemetry import ControlTelemetry, OverloadControlTelemetry
 from repro.obs.spans import (
     CallSpan,
     build_call_spans,
@@ -42,6 +42,7 @@ __all__ = [
     "CpuProfiler",
     "functionality_of",
     "ControlTelemetry",
+    "OverloadControlTelemetry",
     "CallSpan",
     "build_call_spans",
     "render_spans",

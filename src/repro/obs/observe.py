@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.obs.profile import CpuProfiler
-from repro.obs.telemetry import ControlTelemetry
+from repro.obs.telemetry import ControlTelemetry, OverloadControlTelemetry
 
 _PARTS = ("cpu", "telemetry", "spans")
 
@@ -138,6 +138,7 @@ class Observer:
         self.config = config
         self.profilers: Dict[str, CpuProfiler] = {}
         self.telemetries: Dict[str, ControlTelemetry] = {}
+        self.controls: Dict[str, OverloadControlTelemetry] = {}
         self.trace = None  # set by Scenario when spans are enabled
 
     # ------------------------------------------------------------------
@@ -158,6 +159,14 @@ class Observer:
         if key not in self.telemetries:
             self.telemetries[key] = ControlTelemetry(node, resource)
         return self.telemetries[key]
+
+    def control_for(self, node: str) -> Optional[OverloadControlTelemetry]:
+        """Overload-control decision recorder (repro.core.control)."""
+        if not self.config.telemetry:
+            return None
+        if node not in self.controls:
+            self.controls[node] = OverloadControlTelemetry(node)
+        return self.controls[node]
 
     # ------------------------------------------------------------------
     # Export
@@ -183,6 +192,13 @@ class Observer:
                 for key, telemetry in sorted(self.telemetries.items())
             },
         }
+        if self.controls:
+            # Key present only when a controller actually attached, so
+            # observe-on/control-off snapshots are unchanged by this PR.
+            snapshot["control"] = {
+                name: recorder.snapshot()
+                for name, recorder in sorted(self.controls.items())
+            }
         if self.config.spans and self.trace is not None:
             snapshot["spans"] = {
                 call_id: span.to_payload()

@@ -124,3 +124,38 @@ class ControlTelemetry:
             f"<ControlTelemetry {self.node}/{self.resource} "
             f"periods={len(self.periods)} events={len(self.events)}>"
         )
+
+
+class OverloadControlTelemetry:
+    """Recorder for an overload-control policy's per-period decisions
+    (:mod:`repro.core.control`).
+
+    The controller keeps its own compact ``decision_log`` regardless --
+    that list is deterministic simulation state compared across engine
+    rungs -- so this recorder exists purely to ship the trace through
+    the standard :class:`~repro.obs.observe.Observer` snapshot next to
+    profiles and SERvartuka telemetry.  Pure sink: nothing here feeds
+    back into the controller or any metrics registry.
+    """
+
+    __slots__ = ("node", "decisions")
+
+    def __init__(self, node: str):
+        self.node = node
+        self.decisions: List[Dict[str, object]] = []
+
+    def record_decision(self, decision: Dict[str, object]) -> None:
+        """One control-period decision record (already a plain dict)."""
+        self.decisions.append(decision)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "decisions": list(self.decisions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<OverloadControlTelemetry {self.node} "
+            f"decisions={len(self.decisions)}>"
+        )

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.control import ControlPolicy, format_retry_after
 from repro.core.costmodel import CostModel, Feature, MessageKind
 from repro.core.overload import OverloadReport
 from repro.core.static_policy import PolicyDecision, StatePolicy, stateful_policy
@@ -224,6 +225,7 @@ class ProxyServer(Node):
         cost_model: Optional[CostModel] = None,
         timers: TimerPolicy = DEFAULT_TIMERS,
         auth_policy: Optional[StatePolicy] = None,
+        control: Optional[ControlPolicy] = None,
         **kwargs,
     ):
         super().__init__(name, loop, network, cost_model=cost_model, **kwargs)
@@ -236,6 +238,18 @@ class ProxyServer(Node):
         # Optional dynamic distribution of the authentication function;
         # None means "authenticate here whenever auth is enabled".
         self.auth_policy = auth_policy
+        # Optional overload-control admission policy (repro.core.control);
+        # None (the default) keeps every hot path at a single attribute
+        # test -- the dormant-overhead contract.
+        self.control = control
+        self._control_last_packets = 0
+        # Controller rejections planned but not yet executed: while the
+        # 503 job waits its turn in the CPU queue, upstream INVITE
+        # retransmissions of the same transaction must be absorbed at
+        # the cheap ABSORB cost instead of being re-planned as fresh
+        # INVITEs (which would re-enter admission, schedule duplicate
+        # 503 jobs and self-inflate the reject churn under overload).
+        self._pending_rejects: Dict[Tuple[str, str, str], float] = {}
 
         self._transactions: Dict[Tuple[str, str, str], ProxyTransaction] = {}
         self._by_forwarded_branch: Dict[str, ProxyTransaction] = {}
@@ -264,6 +278,8 @@ class ProxyServer(Node):
         self.policy.attach(self)
         if self.auth_policy is not None:
             self.auth_policy.attach(self)
+        if self.control is not None:
+            self.control.attach(self)
         self._monitor_handle = self.loop.schedule(
             self.config.monitor_period, self._monitor
         )
@@ -407,6 +423,16 @@ class ProxyServer(Node):
         transaction = self._find_transaction(request)
         if transaction is not None:
             if request.method == "ACK":
+                if self.control is not None and transaction.next_hop is None:
+                    # Cheap-rejection path: the ACK for a *locally*
+                    # generated non-2xx (the controller's 503) is
+                    # matched and discarded at absorb cost -- rejecting
+                    # a call must stay far cheaper than processing it,
+                    # ACK included, or rejection itself saturates the
+                    # server under overload.
+                    return self._make_plan("ack_stateful", request, src,
+                                           MessageKind.ABSORB_RETRANSMIT,
+                                           _FS_EMPTY, extra_vias)
                 return self._make_plan("ack_stateful", request, src,
                                        MessageKind.ACK, _FS_BASE, extra_vias)
             if request.method == "CANCEL":
@@ -452,6 +478,37 @@ class ProxyServer(Node):
         ds_key = action
 
         if request.method == "INVITE":
+            # Overload control (repro.core.control): the admission
+            # decision comes first so the controller sees the full
+            # offered load; a controller rejection is a real 503 with
+            # Retry-After, charged at the cheap REJECT cost.
+            if self.control is not None:
+                try:
+                    txn_key = request.transaction_key()
+                except SipHeaderError:
+                    txn_key = None
+                if txn_key is not None and txn_key in self._pending_rejects:
+                    # Retransmit of an INVITE whose 503 is still queued.
+                    return self._make_plan("absorb", request, src,
+                                           MessageKind.ABSORB_RETRANSMIT,
+                                           _FS_EMPTY, extra_vias)
+                try:
+                    call_id = request.call_id
+                except SipHeaderError:
+                    call_id = None
+                if not self.control.admit(src, ds_key, call_id,
+                                          self.loop.now):
+                    self.policy.note_rejected(ds_key, is_exit)
+                    if self.auth_policy is not None:
+                        self.auth_policy.note_rejected(ds_key, is_exit)
+                    plan = self._make_plan("reject", request, src,
+                                           MessageKind.REJECT, _FS_EMPTY,
+                                           extra_vias)
+                    plan.status = 503
+                    if txn_key is not None:
+                        self._pending_rejects[txn_key] = self.loop.now
+                    return plan
+
             # Overload shedding: answer 500 when the backlog is deep.
             if (
                 self.config.reject_queue_delay > 0
@@ -664,6 +721,12 @@ class ProxyServer(Node):
                 "Proxy-Authenticate",
                 make_challenge(self.config.realm, self.config.nonce),
             )
+        elif plan.status == 503 and self.control is not None:
+            # RFC 3261 21.5.4: tell the upstream when to come back.
+            response.set(
+                "Retry-After",
+                format_retry_after(self.control.retry_after_value()),
+            )
         # A locally generated final is inherently stateful (RFC 3261
         # 16.7): remember it briefly so retransmits are absorbed and the
         # client's ACK for a non-2xx is consumed here, not forwarded.
@@ -672,6 +735,10 @@ class ProxyServer(Node):
                 key = request.transaction_key()
             except SipHeaderError:
                 key = None
+            if key is not None and self._pending_rejects:
+                # The 503 left the queue; the transaction below takes
+                # over absorbing retransmits from here.
+                self._pending_rejects.pop(key, None)
             if key is not None and key not in self._transactions:
                 self._branch_counter += 1
                 branch = f"reject-{self.name}-{self._branch_counter}"
@@ -954,6 +1021,9 @@ class ProxyServer(Node):
             # Stateless relay of a downstream node's 100 (see docstring).
             self.metrics.counter("trying_relayed").increment()
 
+        if self.control is not None and response.is_final:
+            self._control_note_response(response, plan.src)
+
         if transaction is not None and response.is_final:
             if self._turbo:
                 # A retransmitted final replaces the stored one; the
@@ -982,6 +1052,19 @@ class ProxyServer(Node):
             return
         self.metrics.counter("responses_forwarded").increment()
         self.send(next_via.host, forwarded.copy() if transaction is not None else forwarded)
+
+    def _control_note_response(self, response: SipResponse, src: str) -> None:
+        """Feed a final response passing back upstream to the overload
+        controller: release the call's window slot and, for a 503 from
+        a downstream neighbor, trigger the signal-based backoff."""
+        control = self.control
+        try:
+            if response.cseq.method == "INVITE":
+                control.note_final(response.call_id, self.loop.now)
+        except SipHeaderError:
+            pass
+        if response.status == 503:
+            control.on_503(src, response.get("Retry-After"), self.loop.now)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -1060,7 +1143,28 @@ class ProxyServer(Node):
         self.policy.on_period(now)
         if self.auth_policy is not None:
             self.auth_policy.on_period(now)
-        self.cpu.tick(now)
+        utilization = self.cpu.tick(now)
+        if self.control is not None:
+            packets = (
+                self._packets_counter.value
+                if self._packets_counter is not None else 0
+            )
+            msg_rate = (
+                (packets - self._control_last_packets)
+                / self.config.monitor_period
+            )
+            self._control_last_packets = packets
+            self.control.observe(now, utilization, self.cpu.pending_jobs,
+                                 msg_rate)
+            if self._pending_rejects:
+                # A planned 503 whose CPU job was dropped at the queue
+                # cap never executes; past Timer B the upstream has
+                # stopped retransmitting, so the entry is dead.
+                horizon = now - self.timers.timer_b
+                stale = [key for key, at in self._pending_rejects.items()
+                         if at <= horizon]
+                for key in stale:
+                    del self._pending_rejects[key]
         # Upstream shares decay so old traffic does not skew the split.
         for upstream in list(self._upstream_new_calls):
             self._upstream_new_calls[upstream] *= 0.5
@@ -1098,6 +1202,9 @@ class ProxyServer(Node):
         self.policy.on_node_crash(self.loop.now)
         if self.auth_policy is not None:
             self.auth_policy.on_node_crash(self.loop.now)
+        if self.control is not None:
+            self._pending_rejects.clear()
+            self.control.on_node_crash(self.loop.now)
 
     def on_restart(self) -> None:
         """Fresh process: empty tables, monitoring restarts from now."""

@@ -51,6 +51,7 @@ class CallGeneratorConfig:
         auth_realm: Optional[str] = None,
         auth_nonce: str = "repro-nonce",
         abandon_after: Optional[float] = None,
+        respect_retry_after: bool = False,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive")
@@ -76,6 +77,11 @@ class CallGeneratorConfig:
         #: Give up (CANCEL) calls still unanswered after this many
         #: seconds; None disables caller abandonment.
         self.abandon_after = abandon_after
+        #: Honour 503 Retry-After by pausing origination for the
+        #: advertised hold-off (off by default: the paper's SIPp
+        #: clients are strictly open-loop, and overload-control
+        #: experiments measure the *servers'* pushback).
+        self.respect_retry_after = respect_retry_after
 
     @property
     def wants_auth(self) -> bool:
@@ -141,6 +147,9 @@ class CallGenerator(Node):
         # Optional count-only hook propagated to every client
         # transaction's retransmission timer (see repro.obs).
         self.timer_observer = None
+        # 503 Retry-After hold-off (repro.core.control): arrivals keep
+        # ticking open-loop, but while backed off no call is started.
+        self._backoff_until = 0.0
 
     # ------------------------------------------------------------------
     # Load control
@@ -176,7 +185,10 @@ class CallGenerator(Node):
     def _originate(self) -> None:
         if not self._running:
             return
-        self._start_call()
+        if self.loop.now < self._backoff_until:
+            self.metrics.counter("calls_suppressed_backoff").increment()
+        else:
+            self._start_call()
         self._schedule_next_arrival()
 
     # ------------------------------------------------------------------
@@ -278,7 +290,25 @@ class CallGenerator(Node):
         if response.is_success:
             self._on_call_answered(record, response)
         else:
+            if response.status == 503:
+                self._note_retry_after(response)
             self._fail_call(record, f"invite_{response.status}")
+
+    def _note_retry_after(self, response: SipResponse) -> None:
+        """Account for (and optionally honour) a 503's Retry-After."""
+        value = response.get("Retry-After")
+        if value is None:
+            return
+        self.metrics.counter("retry_after_received").increment()
+        if not self.config.respect_retry_after:
+            return
+        from repro.core.control import parse_retry_after
+
+        hold = parse_retry_after(value)
+        if hold:
+            self._backoff_until = max(
+                self._backoff_until, self.loop.now + hold
+            )
 
     def _on_call_answered(self, record: CallRecord, response: SipResponse) -> None:
         if record.state != "inviting":

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.control import ControlConfig
 from repro.core.costmodel import CostModel, PAPER_T_SF, PAPER_T_SL
 from repro.core.servartuka import ServartukaConfig, ServartukaPolicy
 from repro.obs import ObserveConfig, Observer
@@ -76,6 +77,7 @@ class ScenarioConfig:
         engine: str = "copy",
         lean_metrics: Optional[bool] = None,
         observe=None,
+        control=None,
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -128,12 +130,21 @@ class ScenarioConfig:
         #: tests; on changes no *metric* either (recorders are pure
         #: sinks) -- see repro.obs.
         self.observe = ObserveConfig.coerce(observe)
+        #: Overload control: None (default, fully off), a policy name
+        #: ("rate", "window", "occupancy", "signal") or a ControlConfig.
+        #: Every proxy gets its own fresh policy instance -- see
+        #: repro.core.control.
+        self.control = ControlConfig.coerce(control)
 
     def to_payload(self) -> Dict[str, object]:
         """Every knob as a JSON-able dict (the parallel executor's spec
         format; participates in the run-cache hash, so any change here
-        correctly invalidates cached runs)."""
-        return {
+        correctly invalidates cached runs).
+
+        The ``control`` key is present only when overload control is
+        on: a dormant controller must leave the payload -- and with it
+        every pre-existing run-cache key -- byte-identical."""
+        payload = {
             "scale": self.scale,
             "seed": self.seed,
             "noise_sigma": self.noise_sigma,
@@ -163,6 +174,9 @@ class ScenarioConfig:
                 self.observe.to_payload() if self.observe is not None else None
             ),
         }
+        if self.control is not None:
+            payload["control"] = self.control.to_payload()
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ScenarioConfig":
@@ -174,6 +188,8 @@ class ScenarioConfig:
         kwargs["seed"] = int(kwargs["seed"])
         if "observe" in kwargs:
             kwargs["observe"] = ObserveConfig.coerce(kwargs["observe"])
+        if "control" in kwargs:
+            kwargs["control"] = ControlConfig.coerce(kwargs["control"])
         return cls(**kwargs)
 
     def make_event_loop(self) -> EventLoop:
@@ -320,6 +336,10 @@ class Scenario:
             rng=self.rng,
             noise_sigma=self.config.noise_sigma,
             max_queue_delay=self.config.max_queue_delay,
+            control=(
+                self.config.control.build()
+                if self.config.control is not None else None
+            ),
         )
         self.proxies[name] = proxy
         if self.observer is not None:
@@ -340,6 +360,8 @@ class Scenario:
             proxy.auth_policy.telemetry = self.observer.telemetry_for(
                 proxy.name, "auth"
             )
+        if proxy.control is not None:
+            proxy.control.telemetry = self.observer.control_for(proxy.name)
 
     def add_uas(self, name: str, aors: Sequence[str]) -> AnsweringServer:
         server = AnsweringServer(

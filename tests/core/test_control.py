@@ -1,0 +1,299 @@
+"""Property battery for the overload-control policies (repro.core.control).
+
+Synthetic drives (no scenario, no event loop): the policies only see
+``admit()`` calls and per-period ``observe()`` feedback, so a list of
+(utilization, arrivals) periods exercises every controller invariant:
+
+- conservation: admitted + rejected == seen, all non-negative, and
+  admitted never exceeds seen (the controller cannot invent calls);
+- the window policy never lets any upstream exceed the current window;
+- determinism: the same drive replays to an identical decision log;
+- convergence: every controller reopens fully after the overload ends.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.control import (
+    CONTROL_POLICIES,
+    ControlConfig,
+    OccupancyControl,
+    RateControl,
+    SignalControl,
+    WindowControl,
+    format_retry_after,
+    parse_retry_after,
+)
+
+#: One synthetic control period: measured utilization and the number of
+#: new INVITEs arriving (evenly spaced) during the period.
+PERIOD = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    st.integers(min_value=0, max_value=40),
+)
+DRIVES = st.lists(PERIOD, min_size=1, max_size=30)
+SOURCES = ("uac1", "uac2", "P0")
+
+
+def build(policy: str, **overrides):
+    """A policy wired as if attached to a ~200-cps proxy (no proxy
+    object: ``_update_panic`` is inert, which these unit drives want)."""
+    control = ControlConfig(policy, **overrides).build()
+    control._capacity = 200.0
+    control._period = 0.25
+    control._slot_timeout = 16.0
+    return control
+
+
+def drive(control, periods, finals_after=None):
+    """Replay a synthetic drive; returns the admitted call ids."""
+    admitted = []
+    now = 0.0
+    for index, (utilization, arrivals) in enumerate(periods):
+        for call in range(arrivals):
+            at = now + control._period * (call + 1) / (arrivals + 1)
+            src = SOURCES[(index + call) % len(SOURCES)]
+            call_id = f"call-{index}-{call}"
+            if control.admit(src, "P2", call_id, at):
+                admitted.append(call_id)
+        now += control._period
+        control.observe(now, utilization, 0, arrivals / control._period)
+        if finals_after is not None and index >= finals_after:
+            for call_id in admitted[-arrivals:]:
+                control.note_final(call_id, now)
+    return admitted
+
+
+@pytest.mark.parametrize("policy", CONTROL_POLICIES)
+@settings(max_examples=40, deadline=None)
+@given(periods=DRIVES)
+def test_counters_conserved(policy, periods):
+    control = build(policy)
+    admitted = drive(control, periods)
+    offered = sum(arrivals for _, arrivals in periods)
+    assert control.calls_seen == offered
+    assert control.calls_admitted == len(admitted)
+    assert control.calls_admitted + control.calls_rejected == offered
+    assert 0 <= control.calls_admitted <= offered
+    assert control.calls_rejected >= 0
+    assert len(control.decision_log) == len(periods)
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods=DRIVES)
+def test_window_never_exceeded(periods):
+    control = build("window", window=4, window_cap=8)
+    now = 0.0
+    for index, (utilization, arrivals) in enumerate(periods):
+        for call in range(arrivals):
+            src = SOURCES[call % len(SOURCES)]
+            before = control._outstanding.get(src, 0)
+            ok = control.admit(src, None, f"c-{index}-{call}", now)
+            held = control._outstanding.get(src, 0)
+            if ok:
+                # Admission never pushes an upstream past the window.
+                assert before < control.window
+                assert held == before + 1 <= control.window
+            else:
+                # Rejections only happen at (or, right after an AIMD
+                # cut, above) the window -- stale slots drain, they are
+                # never forcibly evicted mid-call.
+                assert held == before >= control.window
+        now += control._period
+        control.observe(now, utilization, 0, 0.0)
+        assert 1 <= control.window <= control.config.window_cap
+
+
+@pytest.mark.parametrize("policy", CONTROL_POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(periods=DRIVES)
+def test_deterministic_replay(policy, periods):
+    first = build(policy)
+    second = build(policy)
+    assert drive(first, periods) == drive(second, periods)
+    assert first.decision_log == second.decision_log
+    assert first.stats() == second.stats()
+
+
+@pytest.mark.parametrize("policy", CONTROL_POLICIES)
+def test_converges_after_overload(policy):
+    """Overload for a while, then constant calm load: every controller
+    must fully reopen (no latched shedding)."""
+    control = build(policy)
+    drive(control, [(1.0, 30)] * 12)
+    assert control.calls_rejected > 0  # the overload actually bit
+    drive(control, [(0.4, 5)] * 120, finals_after=0)
+    calm = build(policy)
+    before = calm.calls_rejected
+    drive(calm, [(0.4, 5)] * 4)
+    assert calm.calls_rejected == before  # calm baseline rejects nothing
+    recovered = build(policy)
+    drive(recovered, [(1.0, 30)] * 12)
+    drive(recovered, [(0.4, 5)] * 120, finals_after=0)
+    tail_log = recovered.decision_log[-1]
+    if policy == "rate":
+        assert tail_log["admitted_rate"] is None
+    elif policy == "window":
+        assert tail_log["window"] == recovered.config.window_cap
+    else:
+        assert tail_log["fraction"] == 1.0
+    if policy == "signal":
+        assert tail_log["remote_shed"] == {}
+    # And it admits everything again.
+    seen = recovered.calls_seen
+    admitted = recovered.calls_admitted
+    drive(recovered, [(0.4, 8)] * 3)
+    assert recovered.calls_admitted - admitted == recovered.calls_seen - seen
+
+
+@pytest.mark.parametrize("policy", CONTROL_POLICIES)
+def test_no_sustained_oscillation(policy):
+    """Constant offered load past capacity (with calls completing each
+    period): after convergence the per-period admitted count must sit
+    in a tight band, not limit-cycle between flood and starve."""
+    control = build(policy)
+    now = 0.0
+    per_period = []
+    for index in range(80):
+        admitted_ids = []
+        for call in range(30):
+            at = now + control._period * (call + 1) / 31
+            src = SOURCES[(index + call) % len(SOURCES)]
+            call_id = f"c-{index}-{call}"
+            if control.admit(src, "P2", call_id, at):
+                admitted_ids.append(call_id)
+        now += control._period
+        control.observe(now, 0.97, 0, 30 / control._period)
+        for call_id in admitted_ids:
+            control.note_final(call_id, now)
+        per_period.append(len(admitted_ids))
+    tail = per_period[-20:]
+    assert max(tail) - min(tail) <= 3, f"oscillating tail: {tail}"
+    assert 0 < min(tail), "controller starved a sustained overload"
+    assert max(tail) < 30, "controller stopped shedding under overload"
+
+
+def test_signal_sheds_toward_rejecting_hop():
+    control = build("signal")
+    now = 0.0
+    for _ in range(4):
+        for call in range(10):
+            control.admit("uac1", "P2", f"s-{call}", now)
+        for _ in range(5):
+            control.on_503("P2", "1", now)
+        now += control._period
+        control.observe(now, 0.3, 0, 40.0)
+    shed = control.decision_log[-1]["remote_shed"]
+    assert shed.get("P2", 0.0) > 0.2
+    # Quiet hop: the shed decays geometrically and eventually drops out.
+    for _ in range(20):
+        now += control._period
+        control.observe(now, 0.3, 0, 0.0)
+    assert "P2" not in control.decision_log[-1]["remote_shed"]
+
+
+def test_crash_resets_volatile_state():
+    for policy in CONTROL_POLICIES:
+        control = build(policy)
+        drive(control, [(1.0, 30)] * 10)
+        control.on_node_crash(123.0)
+        assert control._panic is False
+        if policy == "rate":
+            assert control.rate is None
+        elif policy == "window":
+            assert control.window == control.config.window
+            assert control._outstanding == {}
+        else:
+            assert control.fraction == 1.0
+        if policy == "signal":
+            assert control._remote == {}
+        # Cumulative counters survive (they are lifetime accounting).
+        assert control.calls_seen > 0
+
+
+# ---------------------------------------------------------------------------
+# ControlConfig coercion / validation / payload round-trip
+# ---------------------------------------------------------------------------
+
+def test_coerce_spellings():
+    assert ControlConfig.coerce(None) is None
+    assert ControlConfig.coerce("none") is None
+    assert ControlConfig.coerce("off") is None
+    assert ControlConfig.coerce("") is None
+    for policy in CONTROL_POLICIES:
+        config = ControlConfig.coerce(policy.upper())
+        assert config.policy == policy
+    existing = ControlConfig("rate")
+    assert ControlConfig.coerce(existing) is existing
+    assert ControlConfig.coerce({"policy": "window"}).policy == "window"
+    with pytest.raises(ValueError):
+        ControlConfig.coerce("tcp-vegas")
+    with pytest.raises(TypeError):
+        ControlConfig.coerce(3.5)
+
+
+def test_payload_round_trip():
+    config = ControlConfig("signal", target_utilization=0.8, window=16,
+                           retry_after=2.0, signal_max_shed=0.7)
+    payload = config.to_payload()
+    clone = ControlConfig.from_payload(payload)
+    assert clone.to_payload() == payload
+    assert isinstance(clone.window, int)
+    assert isinstance(clone.window_cap, int)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"policy": "rate", "target_utilization": 0.0},
+    {"policy": "rate", "target_utilization": 1.5},
+    {"policy": "rate", "beta": 1.0},
+    {"policy": "window", "window": 0},
+    {"policy": "window", "window": 8, "window_cap": 4},
+    {"policy": "occupancy", "min_fraction": 0.0},
+    {"policy": "occupancy", "growth_limit": 0.9},
+    {"policy": "signal", "signal_max_shed": 1.0},
+    {"policy": "signal", "signal_step": 0.0},
+    {"policy": "signal", "signal_step": 1.5},
+    {"policy": "rate", "retry_after": -1.0},
+])
+def test_validation_rejects(kwargs):
+    with pytest.raises(ValueError):
+        ControlConfig(**kwargs)
+
+
+def test_build_returns_fresh_instances():
+    config = ControlConfig("window")
+    first, second = config.build(), config.build()
+    assert first is not second
+    assert isinstance(first, WindowControl)
+    assert {
+        "rate": RateControl, "occupancy": OccupancyControl,
+        "signal": SignalControl,
+    }["rate"] is RateControl  # sanity on the class map spellings
+    for policy, cls in (("rate", RateControl), ("occupancy", OccupancyControl),
+                        ("signal", SignalControl)):
+        assert isinstance(ControlConfig(policy).build(), cls)
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.integers(min_value=0, max_value=86_400))
+def test_retry_after_integral_round_trip(value):
+    text = format_retry_after(float(value))
+    if value >= 1:
+        assert text == str(value)  # the wire-idiomatic integral form
+    assert parse_retry_after(text) == float(value)
+
+
+@pytest.mark.parametrize("value", [0.5, 0.25, 1.5, 2.75])
+def test_retry_after_fractional_round_trip(value):
+    assert parse_retry_after(format_retry_after(value)) == value
+
+
+def test_parse_retry_after_tolerates_noise():
+    assert parse_retry_after("5 (overloaded)") == 5.0
+    assert parse_retry_after("120;duration=60") == 120.0
+    assert parse_retry_after("0.5") == 0.5
+    assert parse_retry_after("soon") is None
+    assert parse_retry_after("-3") is None
+    assert parse_retry_after(None) is None
+    assert parse_retry_after("") is None

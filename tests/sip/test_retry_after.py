@@ -1,0 +1,113 @@
+"""503 + Retry-After: wire fidelity and the end-to-end feedback path.
+
+The signal-based overload controller only works if its rejections are
+*real* SIP messages: a 503 built by the proxy must carry Retry-After
+across serialization (the reference engine re-parses every hop from
+octets) and land in the upstream UAC's accounting.
+"""
+
+import pytest
+
+from repro.core.control import format_retry_after, parse_retry_after
+from repro.sip.headers import Via
+from repro.sip.message import SipRequest, SipResponse
+from repro.sip.parser import parse_message
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig, two_series
+
+TIMERS = TimerPolicy(t1=0.05, t2=0.2, t4=0.2)
+
+
+def make_invite() -> SipRequest:
+    invite = SipRequest.build(
+        method="INVITE",
+        uri="sip:burdell@edge.example.net",
+        from_addr="sip:hal@clients.example.com",
+        to_addr="sip:burdell@edge.example.net",
+        call_id="ra-call-1@uac1",
+        cseq=1,
+        from_tag="ft1",
+    )
+    invite.push_via(Via("uac1", branch=f"{Via.MAGIC_COOKIE}-ra-1"))
+    return invite
+
+
+# ---------------------------------------------------------------------------
+# Wire round-trip
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seconds,expected", [
+    (0.5, "0.5"),
+    (1.0, "1"),
+    (5.0, "5"),
+    (2.75, "2.75"),
+])
+def test_503_retry_after_survives_the_wire(seconds, expected):
+    invite = make_invite()
+    response = SipResponse.for_request(invite, 503)
+    response.set("Retry-After", format_retry_after(seconds))
+
+    reparsed = parse_message(response.to_wire())
+    assert reparsed.status == 503
+    assert reparsed.get("Retry-After") == expected
+    assert parse_retry_after(reparsed.get("Retry-After")) == seconds
+    # The response still correlates with the transaction it rejects.
+    assert reparsed.call_id == invite.call_id
+    assert reparsed.cseq.method == "INVITE"
+    assert reparsed.top_via.branch == invite.top_via.branch
+
+
+def test_retry_after_absent_without_control():
+    response = SipResponse.for_request(make_invite(), 503)
+    reparsed = parse_message(response.to_wire())
+    assert reparsed.get("Retry-After") is None
+    assert parse_retry_after(reparsed.get("Retry-After")) is None
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the reference engine (every hop re-parses octets)
+# ---------------------------------------------------------------------------
+
+def _overloaded_two_series(respect_retry_after: bool):
+    config = ScenarioConfig(
+        scale=100.0,
+        seed=3,
+        monitor_period=0.5,
+        timers=TIMERS,
+        engine="reference",
+        reject_queue_delay=0.0,
+        control="occupancy",
+    )
+    scenario = two_series(14_000, policy="static", config=config)
+    for generator in scenario.generators:
+        generator.config.respect_retry_after = respect_retry_after
+    scenario.start()
+    scenario.loop.run_until(3.0)
+    scenario.stop_load()
+    scenario.loop.run_until(4.0)
+    return scenario
+
+
+def test_uac_receives_retry_after_end_to_end():
+    scenario = _overloaded_two_series(respect_retry_after=False)
+    rejected = sum(
+        proxy.control.calls_rejected for proxy in scenario.proxies.values()
+    )
+    assert rejected > 0, "overload drive never tripped the controller"
+    uac = scenario.generators[0]
+    received = uac.metrics.counter("retry_after_received").value
+    assert received > 0
+    # Every controller 503 that reached the UAC carried Retry-After, so
+    # the 503-failure count can never exceed it (same transaction).
+    failed_503 = uac.metrics.counter("failure_invite_503").value
+    assert received >= failed_503 > 0
+
+
+def test_respecting_retry_after_suppresses_new_calls():
+    ignoring = _overloaded_two_series(respect_retry_after=False)
+    honouring = _overloaded_two_series(respect_retry_after=True)
+    suppressed = honouring.generators[0].metrics.counter(
+        "calls_suppressed_backoff").value
+    assert suppressed > 0
+    assert (honouring.generators[0].calls_attempted
+            < ignoring.generators[0].calls_attempted)

@@ -66,7 +66,19 @@ class TestRunScenario:
         )
         assert isinstance(result, RunResult)
         assert result.obs is None
+        assert result.control is None
         assert result.throughput_cps > 1000
+
+    def test_control_attaches_snapshot(self):
+        result = api.run_scenario(
+            "single_proxy", rate=2000, mode="stateless", scale=50.0,
+            duration=2.0, warmup=1.0, cache=False, control="occupancy",
+        )
+        assert result.control is not None
+        proxy = result.control["proxies"]["P1"]
+        assert proxy["policy"] == "occupancy"
+        assert proxy["decisions"]
+        assert {"seen", "admitted", "rejected"} <= set(proxy["stats"])
 
     def test_observe_attaches_snapshot(self):
         result = api.run_scenario(
@@ -149,3 +161,20 @@ class TestMakeScenario:
         assert isinstance(scenario, Scenario)
         assert scenario.observer is not None
         assert scenario.config.observe.cpu
+
+    def test_control_threads_through(self):
+        scenario = api.make_scenario(
+            "n_series", rate=1000, n=2, scale=50.0, control="occupancy",
+        )
+        assert scenario.config.control is not None
+        assert scenario.config.control.policy == "occupancy"
+        for proxy in scenario.proxies.values():
+            assert proxy.control is not None
+            assert proxy.control.kind == "occupancy"
+
+    def test_control_config_object_accepted(self):
+        config = api.ControlConfig("window", window=16)
+        scenario = api.make_scenario(
+            "single_proxy", rate=500, scale=50.0, control=config,
+        )
+        assert scenario.config.control.window == 16
