@@ -49,6 +49,10 @@ from repro.harness.parallel import (
 )
 from repro.core.control import ControlConfig
 from repro.core.fluid import capacity_hint
+from repro.core.lp import LPSolution, solve_fixed_routing, solve_free_routing
+from repro.core.topogen import GeneratedTopology
+from repro.core.topogen import generate as _generate_topology
+from repro.core.topology import Topology
 from repro.harness.runner import RunResult
 from repro.harness.runner import run_scenario as _run_live
 from repro.harness.saturation import SweepResult
@@ -66,6 +70,8 @@ __all__ = [
     "ControlConfig",
     "FaultSchedule",
     "FigureData",
+    "GeneratedTopology",
+    "LPSolution",
     "ObserveConfig",
     "Quality",
     "RunResult",
@@ -75,9 +81,11 @@ __all__ = [
     "capacity_hint",
     "experiments",
     "find_capacity",
+    "generate_topology",
     "make_scenario",
     "run_experiment",
     "run_scenario",
+    "solve_topology",
     "sweep",
 ]
 
@@ -290,6 +298,58 @@ def find_capacity(
                               warmup=warmup, span=span, points=points,
                               label=label or topology, refine=refine,
                               adaptive=adaptive)
+
+
+def generate_topology(
+    family: str = "chain",
+    *,
+    size: int,
+    seed: int = 1,
+    heterogeneity: float = 0.0,
+    **params,
+) -> GeneratedTopology:
+    """Generate a seeded cluster topology (see :mod:`repro.core.topogen`).
+
+    ``family`` is ``"chain"``, ``"tree"`` or ``"mesh"``; ``size`` the
+    proxy count (a floor for meshes); ``heterogeneity`` the node-speed
+    spread (0 = homogeneous).  Extra keywords (``external_share``,
+    ``fanout``, ``chain_depth``) parameterize the family.  The result's
+    :meth:`~repro.core.topogen.GeneratedTopology.spec` round-trips
+    through :func:`run_scenario`-style keywords via the ``"generated"``
+    topology builder::
+
+        gen = api.generate_topology("mesh", size=51, heterogeneity=0.3)
+        bound = gen.oracle().throughput
+        result = api.run_scenario("generated", rate=bound, **gen.spec())
+    """
+    return _generate_topology(
+        family, size, seed=seed, heterogeneity=heterogeneity, **params
+    )
+
+
+def solve_topology(
+    topology: Union[Topology, GeneratedTopology],
+    *,
+    free_routing: bool = False,
+    backend: Optional[str] = None,
+) -> LPSolution:
+    """Solve the section 4.1 LP for a topology.
+
+    Accepts a raw :class:`Topology` or a :class:`GeneratedTopology`
+    (whose per-flow hop penalties are applied automatically in the
+    fixed-routing case).  ``backend=`` is ``"scipy"``, ``"simplex"``
+    or ``None`` for auto (scipy when installed, else the pure-python
+    simplex -- the ``repro[lp]`` optional extra).
+    """
+    if isinstance(topology, GeneratedTopology):
+        if free_routing:
+            return solve_free_routing(topology.topology, backend=backend)
+        return solve_fixed_routing(
+            topology.topology, topology.hop_penalties, backend=backend
+        )
+    if free_routing:
+        return solve_free_routing(topology, backend=backend)
+    return solve_fixed_routing(topology, backend=backend)
 
 
 def experiments() -> Dict[str, str]:

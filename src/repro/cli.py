@@ -3,12 +3,16 @@
 Commands:
 
 - ``figures [ids...]`` -- regenerate paper tables/figures
-  (``fig3 fig4 lp fig5 fig6 fig7 fig8 three-series resilience``
-  or ``all``),
+  (``fig3 fig4 lp fig5 fig6 fig7 fig8 three-series resilience overload
+  optgap`` or ``all``),
 - ``sweep`` -- throughput sweep of one topology/policy,
 - ``run`` -- a single load point with full measurement detail,
 - ``lp`` -- solve the state-distribution LP for a topology described
-  in a small JSON file,
+  in a small JSON file (``--backend`` picks scipy or the pure-python
+  simplex),
+- ``topogen`` -- generate a seeded cluster topology (chain, tree or
+  multi-domain mesh), solve its LP oracle and optionally dump it as
+  ``lp``-loadable JSON,
 - ``trace`` -- simulate a few calls and print their ladder diagrams,
 - ``obs`` -- run one load point with the observability layer attached
   and report the per-functionality CPU profile, control-loop telemetry
@@ -38,9 +42,11 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.core import topogen
 from repro.core.lp import solve_fixed_routing, solve_free_routing
 from repro.core.topology import Topology
 from repro.harness import figures as figure_mod
+from repro.harness.optgap import optgap_figure
 from repro.harness.parallel import SpecTemplate, execution
 from repro.harness.report import format_table, render_figure
 from repro.harness.resilience import resilience_figure
@@ -68,6 +74,7 @@ FIGURE_COMMANDS: Dict[str, Callable] = {
     "three-series": figure_mod.three_series_text,
     "resilience": resilience_figure,
     "overload": figure_mod.overload_comparative,
+    "optgap": optgap_figure,
 }
 
 QUALITIES = {
@@ -292,9 +299,10 @@ def cmd_lp(args) -> int:
     with open(args.topology_file) as handle:
         spec = json.load(handle)
     topology = topology_from_json(spec)
+    backend = None if args.backend == "auto" else args.backend
     solution = (
-        solve_free_routing(topology) if args.free_routing
-        else solve_fixed_routing(topology)
+        solve_free_routing(topology, backend=backend) if args.free_routing
+        else solve_fixed_routing(topology, backend=backend)
     )
     solution.verify()
     print(f"admissible load: {solution.throughput:.1f} cps")
@@ -307,6 +315,54 @@ def cmd_lp(args) -> int:
     print(format_table(
         ["node", "stateful_cps", "stateless_cps", "utilization"], rows
     ))
+    return 0
+
+
+def cmd_topogen(args) -> int:
+    """Generate a cluster topology; report its LP oracle, dump JSON."""
+    gen = topogen.generate(
+        args.family, args.size, seed=args.seed,
+        heterogeneity=args.heterogeneity,
+    )
+    solution = gen.oracle()
+    solution.verify()
+    print(
+        f"{gen.family} topology: {gen.n_proxies} proxies, "
+        f"{len(gen.topology.edges)} edges, {len(gen.topology.flows)} flows "
+        f"(seed={gen.seed}, heterogeneity={gen.heterogeneity:g})"
+    )
+    print(f"LP-optimal admitted load: {solution.throughput:.1f} cps")
+    rows = [
+        [
+            node.name, node.depth, f"{node.speed:.2f}",
+            round(node.t_sf), round(node.t_sl),
+            round(solution.stateful_rate[node.name], 1),
+            f"{solution.utilization[node.name]:.1%}",
+        ]
+        for node in gen.nodes.values()
+    ]
+    print(format_table(
+        ["node", "depth", "speed", "t_sf", "t_sl", "lp_stateful_cps",
+         "lp_utilization"],
+        rows,
+    ))
+    if args.json:
+        payload = {
+            "spec": gen.spec(),
+            "nodes": {
+                name: [node.t_sf, node.t_sl]
+                for name, node in gen.nodes.items()
+            },
+            "edges": [list(edge) for edge in gen.topology.edges],
+            "flows": [
+                {"name": flow.name, "path": list(flow.path),
+                 "share": flow.share}
+                for flow in gen.topology.flows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json} (loadable by 'repro lp')")
     return 0
 
 
@@ -552,7 +608,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_lp = sub.add_parser("lp", help="solve the state-distribution LP")
     p_lp.add_argument("topology_file", help="JSON topology description")
     p_lp.add_argument("--free-routing", action="store_true")
+    p_lp.add_argument("--backend", choices=["auto", "scipy", "simplex"],
+                      default="auto",
+                      help="LP solver backend (default: scipy when "
+                           "installed, else the pure-python simplex)")
     p_lp.set_defaults(func=cmd_lp)
+
+    p_topogen = sub.add_parser(
+        "topogen",
+        help="generate a cluster topology and solve its LP oracle",
+    )
+    p_topogen.add_argument("--family", choices=list(topogen.FAMILIES),
+                           default="mesh")
+    p_topogen.add_argument("--size", type=int, default=12,
+                           help="number of proxies (a floor for mesh)")
+    p_topogen.add_argument("--seed", type=int, default=1)
+    p_topogen.add_argument("--heterogeneity", type=float, default=0.0,
+                           help="node speed spread (0 = homogeneous)")
+    p_topogen.add_argument("--json", default=None,
+                           help="also dump the topology as 'repro lp' JSON")
+    p_topogen.set_defaults(func=cmd_topogen)
 
     p_trace = sub.add_parser("trace", help="print call ladder diagrams")
     _add_scenario_args(p_trace)

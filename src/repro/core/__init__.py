@@ -2,7 +2,10 @@
 
 - :mod:`repro.core.costmodel` -- Figure-3-calibrated CPU cost model,
 - :mod:`repro.core.topology` -- server graph with imaginary source/sink,
-- :mod:`repro.core.lp` -- the section 4.1 linear program,
+- :mod:`repro.core.lp` -- the section 4.1 linear program (scipy or
+  the pure-python :mod:`repro.core.simplex` backend),
+- :mod:`repro.core.topogen` -- seeded cluster-scale topology
+  generator (chains, balancer trees, multi-domain meshes),
 - :mod:`repro.core.analysis` -- equation (8) and closed-form optima,
 - :mod:`repro.core.static_policy` / :mod:`repro.core.servartuka` --
   per-node state policies: the static baselines and Algorithms 1 & 2,
@@ -11,7 +14,14 @@
 
 from repro.core.costmodel import CostModel, Feature, MessageKind, FIG3_FEATURE_EVENTS
 from repro.core.topology import Topology, Flow
-from repro.core.lp import StateDistributionLP, LPSolution
+from repro.core.lp import (
+    FlowPathLP,
+    LPSolution,
+    StateDistributionLP,
+    solve_fixed_routing,
+    solve_free_routing,
+)
+from repro.core.topogen import GeneratedTopology, generate
 from repro.core.analysis import (
     optimal_stateful_rate,
     series_optimal_throughput,
@@ -29,7 +39,12 @@ __all__ = [
     "Topology",
     "Flow",
     "StateDistributionLP",
+    "FlowPathLP",
     "LPSolution",
+    "solve_fixed_routing",
+    "solve_free_routing",
+    "GeneratedTopology",
+    "generate",
     "optimal_stateful_rate",
     "series_optimal_throughput",
     "static_series_throughput",

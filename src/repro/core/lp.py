@@ -1,4 +1,4 @@
-"""The section 4.1 optimization formulation, solved with scipy.
+"""The section 4.1 optimization formulation, with pluggable solvers.
 
 Two variants are provided:
 
@@ -18,22 +18,90 @@ Two variants are provided:
 Both maximize admitted call throughput and return a structured
 :class:`LPSolution` whose :meth:`LPSolution.verify` re-checks every
 constraint -- used by the property-based tests.
+
+**Backends.**  scipy is an *optional* extra (``pip install repro[lp]``).
+Every solve accepts ``backend=``:
+
+- ``"scipy"`` -- ``scipy.optimize.linprog`` (HiGHS), fastest for large
+  instances; raises :class:`LPError` when scipy is absent;
+- ``"simplex"`` -- the dependency-free, bit-deterministic two-phase
+  solver in :mod:`repro.core.simplex`;
+- ``None`` / ``"auto"`` (default) -- the process default: the
+  ``REPRO_LP_BACKEND`` environment variable or
+  :func:`set_default_backend` when set, otherwise scipy when
+  importable, simplex otherwise.
+
+The two backends agree to within 1e-6 relative on the objective (gated
+by ``tests/core/test_lp_backends.py``), and every solution passes
+:meth:`LPSolution.verify` regardless of backend.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-from scipy.optimize import linprog
-
+from repro.core.simplex import SimplexError, solve_linear_program
 from repro.core.topology import Flow, SINK, SOURCE, Topology
 
 _TOL = 1e-7
 
+#: Environment variable naming the process-wide default backend.
+DEFAULT_BACKEND_ENV = "REPRO_LP_BACKEND"
+
+BACKENDS = ("scipy", "simplex")
+
+_default_backend: Optional[str] = None
+
 
 class LPError(RuntimeError):
     """Raised when the solver fails or returns an unusable status."""
+
+
+def _scipy_linprog():
+    """scipy's linprog, or None when the optional dep is missing."""
+    try:
+        from scipy.optimize import linprog
+    except ImportError:
+        return None
+    return linprog
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Usable backend names, preferred first."""
+    if _scipy_linprog() is not None:
+        return ("scipy", "simplex")
+    return ("simplex",)
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _default_backend
+    if name is not None and name not in BACKENDS:
+        raise ValueError(f"unknown LP backend {name!r}; one of {BACKENDS}")
+    _default_backend = name
+
+
+def default_backend() -> str:
+    """Resolve the ambient backend: explicit > environment > auto."""
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(DEFAULT_BACKEND_ENV)
+    if env:
+        if env not in BACKENDS:
+            raise LPError(
+                f"{DEFAULT_BACKEND_ENV}={env!r} is not one of {BACKENDS}"
+            )
+        return env
+    return available_backends()[0]
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend in (None, "auto"):
+        backend = default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown LP backend {backend!r}; one of {BACKENDS}")
+    return backend
 
 
 class LPSolution:
@@ -65,6 +133,7 @@ class LPSolution:
         edge_values: Optional[Dict[Tuple[str, str], Dict[str, float]]] = None,
         flow_rates: Optional[Dict[str, float]] = None,
         flow_state_rates: Optional[Dict[Tuple[str, str], float]] = None,
+        utilization: Optional[Dict[str, float]] = None,
     ):
         self.topology = topology
         self.throughput = throughput
@@ -73,7 +142,11 @@ class LPSolution:
         self.edge_values = edge_values or {}
         self.flow_rates = flow_rates or {}
         self.flow_state_rates = flow_state_rates or {}
-        self.utilization = {
+        # The solver may supply the exact capacity-row activity (the
+        # flow-path LP does, since hop penalties reweight each flow's
+        # cost); otherwise reconstruct it from the unpenalized alpha
+        # and beta.
+        self.utilization = utilization if utilization is not None else {
             name: (
                 stateful_rate.get(name, 0.0) * topology.node(name).alpha
                 + stateless_rate.get(name, 0.0) * topology.node(name).beta
@@ -101,19 +174,35 @@ class LPSolution:
 
 
 def _solve(
-    c: np.ndarray,
-    a_ub: Optional[np.ndarray],
-    b_ub: Optional[np.ndarray],
-    a_eq: Optional[np.ndarray],
-    b_eq: Optional[np.ndarray],
+    c: List[float],
+    a_ub: Optional[List[List[float]]],
+    b_ub: Optional[List[float]],
+    a_eq: Optional[List[List[float]]],
+    b_eq: Optional[List[float]],
     bounds: List[Tuple[float, Optional[float]]],
-) -> np.ndarray:
-    result = linprog(
-        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs"
-    )
-    if not result.success:
-        raise LPError(f"linprog failed: {result.status} {result.message}")
-    return result.x
+    backend: Optional[str] = None,
+) -> List[float]:
+    backend = _resolve_backend(backend)
+    if backend == "scipy":
+        linprog = _scipy_linprog()
+        if linprog is None:
+            raise LPError(
+                "scipy backend requested but scipy is not installed; "
+                "pip install repro[lp] or use backend='simplex'"
+            )
+        result = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise LPError(f"linprog failed: {result.status} {result.message}")
+        return [float(value) for value in result.x]
+    try:
+        return solve_linear_program(
+            c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds
+        )
+    except SimplexError as exc:
+        raise LPError(f"simplex failed: {exc}") from exc
 
 
 class StateDistributionLP:
@@ -121,9 +210,10 @@ class StateDistributionLP:
 
     _PARTS = ("fasf", "sf", "asf")
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, backend: Optional[str] = None):
         topology.validate()
         self.topology = topology
+        self.backend = backend
         # Extended edge list: source->entries, graph edges, exits->sink.
         self.ext_edges: List[Tuple[str, str]] = []
         for entry in topology.entries:
@@ -139,7 +229,7 @@ class StateDistributionLP:
     def _var(self, src: str, dst: str, part: str) -> int:
         return self._index[(src, dst, part)]
 
-    def solve(self) -> LPSolution:
+    def solve(self, backend: Optional[str] = None) -> LPSolution:
         topology = self.topology
         n_vars = len(self._index)
 
@@ -153,12 +243,12 @@ class StateDistributionLP:
                 # Everything reaching the sink must already be stateful.
                 bounds[self._var(src, dst, "asf")] = (0.0, 0.0)
 
-        eq_rows: List[np.ndarray] = []
+        eq_rows: List[List[float]] = []
         for name in topology.node_names:
             in_edges = [(s, d) for s, d in self.ext_edges if d == name]
             out_edges = [(s, d) for s, d in self.ext_edges if s == name]
             # (2): sum_in (fasf + sf) = sum_out fasf
-            row = np.zeros(n_vars)
+            row = [0.0] * n_vars
             for src, dst in in_edges:
                 row[self._var(src, dst, "fasf")] += 1.0
                 row[self._var(src, dst, "sf")] += 1.0
@@ -166,7 +256,7 @@ class StateDistributionLP:
                 row[self._var(src, dst, "fasf")] -= 1.0
             eq_rows.append(row)
             # (3): sum_in asf = sum_out (sf + asf)
-            row = np.zeros(n_vars)
+            row = [0.0] * n_vars
             for src, dst in in_edges:
                 row[self._var(src, dst, "asf")] += 1.0
             for src, dst in out_edges:
@@ -174,12 +264,12 @@ class StateDistributionLP:
                 row[self._var(src, dst, "asf")] -= 1.0
             eq_rows.append(row)
 
-        ub_rows: List[np.ndarray] = []
+        ub_rows: List[List[float]] = []
         ub_vals: List[float] = []
         for name in topology.node_names:
             spec = topology.node(name)
             out_edges = [(s, d) for s, d in self.ext_edges if s == name]
-            row = np.zeros(n_vars)
+            row = [0.0] * n_vars
             for src, dst in out_edges:
                 row[self._var(src, dst, "sf")] += spec.alpha
                 row[self._var(src, dst, "asf")] += spec.beta
@@ -188,17 +278,18 @@ class StateDistributionLP:
             ub_vals.append(1.0)
 
         # Objective: maximize sum of source-edge asf (total admitted load).
-        c = np.zeros(n_vars)
+        c = [0.0] * n_vars
         for entry in topology.entries:
             c[self._var(SOURCE, entry, "asf")] = -1.0
 
         x = _solve(
             c,
-            np.array(ub_rows) if ub_rows else None,
-            np.array(ub_vals) if ub_vals else None,
-            np.array(eq_rows) if eq_rows else None,
-            np.zeros(len(eq_rows)) if eq_rows else None,
+            ub_rows or None,
+            ub_vals or None,
+            eq_rows or None,
+            [0.0] * len(eq_rows) if eq_rows else None,
             bounds,
+            backend=backend if backend is not None else self.backend,
         )
 
         edge_values: Dict[Tuple[str, str], Dict[str, float]] = {}
@@ -244,6 +335,7 @@ class FlowPathLP:
         self,
         topology: Topology,
         hop_penalties: Optional[Dict[Tuple[str, str], float]] = None,
+        backend: Optional[str] = None,
     ):
         if not topology.flows:
             raise ValueError("flow-path LP requires flows on the topology")
@@ -251,6 +343,7 @@ class FlowPathLP:
         self.topology = topology
         self.shares = topology.normalized_flow_shares()
         self.hop_penalties = hop_penalties or {}
+        self.backend = backend
         self._index: Dict[Tuple[str, str], int] = {}
         for flow in topology.flows:
             for node in flow.path:
@@ -260,24 +353,24 @@ class FlowPathLP:
     def _penalty(self, flow: Flow, node: str) -> float:
         return self.hop_penalties.get((flow.name, node), 1.0)
 
-    def solve(self) -> LPSolution:
+    def solve(self, backend: Optional[str] = None) -> LPSolution:
         topology = self.topology
         n_vars = self._load_var + 1
         bounds: List[Tuple[float, Optional[float]]] = [(0.0, None)] * n_vars
 
-        eq_rows: List[np.ndarray] = []
+        eq_rows: List[List[float]] = []
         for flow in topology.flows:
-            row = np.zeros(n_vars)
+            row = [0.0] * n_vars
             for node in flow.path:
                 row[self._index[(flow.name, node)]] = 1.0
             row[self._load_var] = -self.shares[flow.name]
             eq_rows.append(row)
 
-        ub_rows: List[np.ndarray] = []
+        ub_rows: List[List[float]] = []
         ub_vals: List[float] = []
         for name in topology.node_names:
             spec = topology.node(name)
-            row = np.zeros(n_vars)
+            row = [0.0] * n_vars
             touched = False
             for flow in topology.flows:
                 if name not in flow.path:
@@ -292,16 +385,17 @@ class FlowPathLP:
                 ub_rows.append(row)
                 ub_vals.append(1.0)
 
-        c = np.zeros(n_vars)
+        c = [0.0] * n_vars
         c[self._load_var] = -1.0
 
         x = _solve(
             c,
-            np.array(ub_rows) if ub_rows else None,
-            np.array(ub_vals) if ub_vals else None,
-            np.array(eq_rows) if eq_rows else None,
-            np.zeros(len(eq_rows)) if eq_rows else None,
+            ub_rows or None,
+            ub_vals or None,
+            eq_rows or None,
+            [0.0] * len(eq_rows) if eq_rows else None,
             bounds,
+            backend=backend if backend is not None else self.backend,
         )
 
         throughput = float(x[self._load_var])
@@ -309,6 +403,9 @@ class FlowPathLP:
         stateless: Dict[str, float] = {name: 0.0 for name in topology.node_names}
         flow_rates: Dict[str, float] = {}
         flow_state: Dict[Tuple[str, str], float] = {}
+        utilization: Dict[str, float] = {
+            name: 0.0 for name in topology.node_names
+        }
         for flow in topology.flows:
             rate = self.shares[flow.name] * throughput
             flow_rates[flow.name] = rate
@@ -317,6 +414,11 @@ class FlowPathLP:
                 flow_state[(flow.name, node)] = held
                 stateful[node] += held
                 stateless[node] += rate - held
+                spec = topology.node(node)
+                penalty = self._penalty(flow, node)
+                utilization[node] += (
+                    held * spec.alpha + (rate - held) * spec.beta
+                ) * penalty
         return LPSolution(
             topology,
             throughput,
@@ -324,17 +426,21 @@ class FlowPathLP:
             stateless,
             flow_rates=flow_rates,
             flow_state_rates=flow_state,
+            utilization=utilization,
         )
 
 
-def solve_free_routing(topology: Topology) -> LPSolution:
+def solve_free_routing(
+    topology: Topology, backend: Optional[str] = None
+) -> LPSolution:
     """Convenience wrapper for the paper's free-routing LP."""
-    return StateDistributionLP(topology).solve()
+    return StateDistributionLP(topology, backend=backend).solve()
 
 
 def solve_fixed_routing(
     topology: Topology,
     hop_penalties: Optional[Dict[Tuple[str, str], float]] = None,
+    backend: Optional[str] = None,
 ) -> LPSolution:
     """Convenience wrapper for the routing-constrained LP."""
-    return FlowPathLP(topology, hop_penalties).solve()
+    return FlowPathLP(topology, hop_penalties, backend=backend).solve()

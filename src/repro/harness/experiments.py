@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.harness import figures as figure_mod
 from repro.harness.figures import FigureData, Quality
+from repro.harness.optgap import optgap_figure
 from repro.harness.report import render_figure
 from repro.harness.resilience import resilience_figure
 
@@ -49,6 +50,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                    "call loss under proxy crashes, by state placement"),
     "overload": (figure_mod.overload_comparative,
                  "goodput under overload, per control policy"),
+    "optgap": (optgap_figure,
+               "LP-optimal vs Algorithm 2 on generated cluster topologies"),
 }
 
 

@@ -56,6 +56,7 @@ from repro.harness.runcache import RunCache
 from repro.harness.runner import RunResult, run_scenario
 from repro.workloads.scenarios import (
     ScenarioConfig,
+    generated,
     internal_external,
     n_series,
     parallel_fork,
@@ -173,6 +174,7 @@ SCENARIO_BUILDERS: Dict[str, Callable] = {
     "n_series": n_series,
     "internal_external": internal_external,
     "parallel_fork": parallel_fork,
+    "generated": generated,
 }
 
 

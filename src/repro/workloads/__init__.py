@@ -15,6 +15,7 @@ from repro.workloads.scenarios import (
     two_series,
     internal_external,
     parallel_fork,
+    generated,
 )
 from repro.workloads.callgen import LoadProfile, LoadStep, apply_profile
 
@@ -26,6 +27,7 @@ __all__ = [
     "two_series",
     "internal_external",
     "parallel_fork",
+    "generated",
     "LoadProfile",
     "LoadStep",
     "apply_profile",

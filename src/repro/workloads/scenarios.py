@@ -304,6 +304,7 @@ class Scenario:
         policy_spec: str,
         auth_enabled: bool = False,
         distribute_auth: bool = False,
+        cost_model: Optional[CostModel] = None,
     ) -> ProxyServer:
         credentials = None
         auth_policy = None
@@ -331,7 +332,9 @@ class Scenario:
             ),
             credentials=credentials,
             auth_policy=auth_policy,
-            cost_model=self.cost_model,
+            # Heterogeneous scenarios (generated clusters) hand each
+            # proxy its own calibrated model; homogeneous ones share.
+            cost_model=cost_model if cost_model is not None else self.cost_model,
             timers=self.config.timers,
             rng=self.rng,
             noise_sigma=self.config.noise_sigma,
@@ -657,4 +660,102 @@ def parallel_fork(
 
     scenario.add_uac("uac_u", rate * upper_share, "F", [up_aor])
     scenario.add_uac("uac_l", rate * (1 - upper_share), "F", [low_aor])
+    return scenario
+
+
+def generated(
+    rate: float,
+    family: str = "chain",
+    size: int = 6,
+    seed: int = 1,
+    heterogeneity: float = 0.0,
+    policy: str = "servartuka",
+    config: Optional[ScenarioConfig] = None,
+    **params,
+) -> Scenario:
+    """Run any :mod:`repro.core.topogen` topology as a live simulation.
+
+    The topology is regenerated deterministically from
+    ``(family, size, seed, heterogeneity, **params)`` -- the same
+    JSON-able arguments :meth:`GeneratedTopology.spec` returns -- so
+    specs built from this builder hash stably into the run cache and
+    rebuild identically inside parallel workers.
+
+    Wiring: each flow gets its own SIP domain; every node on the flow's
+    path routes that domain to the next hop and the exit delivers via
+    the location service (one answering server per exit node, one call
+    generator per flow at ``rate * normalized_share``).  Each proxy
+    gets its *own* cost model at the topology's per-node ``(t_sf,
+    t_sl)`` anchors, so heterogeneous speeds are real simulated
+    economics, not just LP inputs.
+
+    ``policy`` applies to every proxy, with the static baselines of the
+    chain builders: ``"static"`` (every node stateful) and
+    ``"static-one"`` (exit nodes stateful, interior stateless).
+    """
+    from repro.core import topogen
+
+    config = config or ScenarioConfig()
+    # Anchor the generated capacities to this config's calibration so
+    # the LP oracle and the simulator charge identical economics.
+    unit_model = CostModel(
+        t_sf=config.t_sf,
+        t_sl=config.t_sl,
+        scale=1.0,
+        via_overhead=config.via_overhead,
+    )
+    gen = topogen.generate(
+        family, size, seed=seed, heterogeneity=heterogeneity,
+        cost_model=unit_model, **params,
+    )
+    topology = gen.topology
+    names = topology.node_names
+    scenario = Scenario(f"generated[{family}:{gen.n_proxies}]", config)
+
+    if policy == "static":
+        specs = {name: "stateful" for name in names}
+    elif policy == "static-one":
+        exits = {flow.exit for flow in topology.flows}
+        specs = {
+            name: ("stateful" if name in exits else "stateless")
+            for name in names
+        }
+    else:
+        specs = {name: policy for name in names}
+
+    routes: Dict[str, RouteTable] = {name: RouteTable() for name in names}
+    uas_aors: Dict[str, List[str]] = {}
+    flow_aor: Dict[str, str] = {}
+    for flow in topology.flows:
+        domain = f"{flow.name}.gen.example.net"
+        aor = f"sip:callee@{domain}"
+        flow_aor[flow.name] = aor
+        for src, dst in zip(flow.path, flow.path[1:]):
+            routes[src].add(domain, dst)
+        routes[flow.exit].add(domain, DELIVER_ACTION)
+        uas_aors.setdefault(f"uas_{flow.exit}", []).append(aor)
+
+    memoize = config.engine in ("fast", "turbo")
+    for name in names:
+        node = gen.nodes[name]
+        node_model = CostModel(
+            t_sf=config.t_sf * node.speed,
+            t_sl=config.t_sl * node.speed,
+            scale=config.scale,
+            via_overhead=config.via_overhead,
+            memoize=memoize,
+        )
+        scenario.add_proxy(name, routes[name], specs[name],
+                           cost_model=node_model)
+    for uas_name, aors in uas_aors.items():
+        scenario.add_uas(uas_name, aors)
+
+    shares = topology.normalized_flow_shares()
+    for flow in topology.flows:
+        scenario.add_uac(
+            f"uac_{flow.name}",
+            rate * shares[flow.name],
+            flow.entry,
+            [flow_aor[flow.name]],
+        )
     return scenario

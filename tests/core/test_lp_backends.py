@@ -1,0 +1,229 @@
+"""Cross-solver battery: pure-python simplex vs scipy ``linprog``.
+
+The simplex backend exists so the LP oracle works without scipy (and
+so run-cache keys seeded by oracle rates are identical on every host).
+These tests assert the two backends are interchangeable: on every
+fixture topology from ``tests/core/test_lp.py`` and on a grid of
+generated cluster topologies, objectives agree within ``1e-6``
+relative and both solutions pass :meth:`LPSolution.verify`.
+
+When scipy is absent the cross-checks skip and the simplex-only
+assertions (feasibility, backend selection) still run -- that is the
+configuration the no-scipy CI job exercises.
+"""
+
+import pytest
+
+from repro.core import lp as lp_mod
+from repro.core import topogen
+from repro.core.lp import (
+    FlowPathLP,
+    LPError,
+    StateDistributionLP,
+    available_backends,
+    default_backend,
+    set_default_backend,
+    solve_fixed_routing,
+    solve_free_routing,
+)
+from repro.core.simplex import SimplexError, solve_linear_program
+from repro.core.topology import (
+    internal_external_topology,
+    parallel_fork_topology,
+    series_topology,
+    two_series_topology,
+)
+
+T_SF = 10360.0
+T_SL = 12300.0
+
+HAVE_SCIPY = "scipy" in available_backends()
+
+needs_scipy = pytest.mark.skipif(
+    not HAVE_SCIPY, reason="scipy not installed (simplex-only host)"
+)
+
+#: Every topology shape the existing LP test-suite exercises.
+FIXTURES = {
+    "two_series": lambda: two_series_topology(T_SF, T_SL),
+    "three_series": lambda: series_topology([(T_SF, T_SL)] * 3),
+    "single_node": lambda: series_topology([(T_SF, T_SL)]),
+    "hetero_series": lambda: series_topology([(11000, 12300), (9000, 12300)]),
+    "degenerate_series": lambda: series_topology(
+        [(12000, 12300), (6200, 12300)]
+    ),
+    "int_ext_0": lambda: internal_external_topology(T_SF, T_SL, 0.0),
+    "int_ext_50": lambda: internal_external_topology(T_SF, T_SL, 0.5),
+    "int_ext_80": lambda: internal_external_topology(T_SF, T_SL, 0.8),
+    "int_ext_100": lambda: internal_external_topology(T_SF, T_SL, 1.0),
+    "fork": lambda: parallel_fork_topology(
+        (T_SF, T_SL), (T_SF, T_SL), (T_SF, T_SL)
+    ),
+    "fork_weak": lambda: parallel_fork_topology(
+        (T_SF, T_SL), (3000, 3600), (3000, 3600)
+    ),
+    "fork_uneven": lambda: parallel_fork_topology(
+        (T_SF, T_SL), (T_SF, T_SL), (T_SF, T_SL), upper_share=0.9
+    ),
+}
+
+#: Generated-instance grid for the cross-check (small but covers every
+#: family and a heterogeneous draw of each).
+GENERATED = [
+    ("chain", 4, 0.0),
+    ("chain", 8, 0.5),
+    ("tree", 7, 0.0),
+    ("tree", 15, 0.4),
+    ("mesh", 12, 0.0),
+    ("mesh", 24, 0.6),
+]
+
+
+def _assert_close(a, b, rel=1e-6):
+    assert a == pytest.approx(b, rel=rel, abs=1e-6)
+
+
+@needs_scipy
+class TestFixtureAgreement:
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_free_routing(self, name):
+        topo = FIXTURES[name]()
+        simplex = solve_free_routing(topo, backend="simplex")
+        scipy_ = solve_free_routing(topo, backend="scipy")
+        simplex.verify()
+        scipy_.verify()
+        _assert_close(simplex.throughput, scipy_.throughput)
+
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_fixed_routing(self, name):
+        topo = FIXTURES[name]()
+        simplex = solve_fixed_routing(topo, backend="simplex")
+        scipy_ = solve_fixed_routing(topo, backend="scipy")
+        simplex.verify()
+        scipy_.verify()
+        _assert_close(simplex.throughput, scipy_.throughput)
+
+    def test_hop_penalties(self):
+        topo = two_series_topology(T_SF, T_SL)
+        penalties = {("main", "S2"): 1.2}
+        simplex = FlowPathLP(topo, penalties, backend="simplex").solve()
+        scipy_ = FlowPathLP(topo, penalties, backend="scipy").solve()
+        _assert_close(simplex.throughput, scipy_.throughput)
+
+
+@needs_scipy
+class TestGeneratedAgreement:
+    @pytest.mark.parametrize("family,size,het", GENERATED)
+    def test_oracle_objective(self, family, size, het):
+        gen = topogen.generate(family, size, seed=7, heterogeneity=het)
+        simplex = gen.oracle(backend="simplex")
+        scipy_ = gen.oracle(backend="scipy")
+        simplex.verify()
+        scipy_.verify()
+        _assert_close(simplex.throughput, scipy_.throughput)
+
+    @pytest.mark.parametrize("family,size,het", GENERATED[:3])
+    def test_free_routing_objective(self, family, size, het):
+        gen = topogen.generate(family, size, seed=7, heterogeneity=het)
+        simplex = solve_free_routing(gen.topology, backend="simplex")
+        scipy_ = solve_free_routing(gen.topology, backend="scipy")
+        _assert_close(simplex.throughput, scipy_.throughput)
+
+
+class TestSimplexAlone:
+    """Assertions that must hold with no scipy on the host."""
+
+    @pytest.mark.parametrize("name", sorted(FIXTURES))
+    def test_fixture_feasibility(self, name):
+        topo = FIXTURES[name]()
+        solve_free_routing(topo, backend="simplex").verify()
+        solve_fixed_routing(topo, backend="simplex").verify()
+
+    def test_paper_two_series_value(self):
+        solution = solve_free_routing(
+            two_series_topology(T_SF, T_SL), backend="simplex"
+        )
+        assert solution.throughput == pytest.approx(11247, abs=5)
+
+    def test_raw_solver_small_program(self):
+        # min -x - y  s.t.  x + y <= 4, x <= 3, 0 <= y <= 2
+        x = solve_linear_program(
+            [-1.0, -1.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[4.0],
+            bounds=[(0.0, 3.0), (0.0, 2.0)],
+        )
+        assert x[0] + x[1] == pytest.approx(4.0, abs=1e-9)
+
+    def test_raw_solver_equality_and_fixed_vars(self):
+        # min x + 2y  s.t.  x + y = 3, y fixed at 1.
+        x = solve_linear_program(
+            [1.0, 2.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[3.0],
+            bounds=[(0.0, None), (1.0, 1.0)],
+        )
+        assert x == pytest.approx([2.0, 1.0], abs=1e-9)
+
+    def test_raw_solver_infeasible(self):
+        with pytest.raises(SimplexError):
+            solve_linear_program(
+                [1.0],
+                a_eq=[[1.0]],
+                b_eq=[5.0],
+                bounds=[(0.0, 1.0)],
+            )
+
+
+class TestBackendSelection:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch):
+        monkeypatch.delenv(lp_mod.DEFAULT_BACKEND_ENV, raising=False)
+        set_default_backend(None)
+        yield
+        set_default_backend(None)
+
+    def test_simplex_always_available(self):
+        assert "simplex" in available_backends()
+
+    def test_auto_prefers_scipy_when_present(self):
+        assert default_backend() == available_backends()[0]
+
+    def test_set_default_backend(self):
+        set_default_backend("simplex")
+        assert default_backend() == "simplex"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(lp_mod.DEFAULT_BACKEND_ENV, "simplex")
+        assert default_backend() == "simplex"
+
+    def test_explicit_set_beats_env(self, monkeypatch):
+        monkeypatch.setenv(lp_mod.DEFAULT_BACKEND_ENV, "simplex")
+        set_default_backend("simplex")
+        assert default_backend() == "simplex"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(lp_mod.DEFAULT_BACKEND_ENV, "glpk")
+        with pytest.raises(LPError):
+            default_backend()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("glpk")
+        with pytest.raises(ValueError):
+            solve_free_routing(
+                two_series_topology(T_SF, T_SL), backend="glpk"
+            )
+
+    def test_scipy_requested_but_missing(self, monkeypatch):
+        monkeypatch.setattr(lp_mod, "_scipy_linprog", lambda: None)
+        with pytest.raises(LPError):
+            solve_free_routing(
+                two_series_topology(T_SF, T_SL), backend="scipy"
+            )
+
+    def test_instance_backend_pins_solver(self):
+        lp = StateDistributionLP(
+            two_series_topology(T_SF, T_SL), backend="simplex"
+        )
+        assert lp.solve().throughput == pytest.approx(11247, abs=5)

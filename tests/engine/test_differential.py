@@ -31,11 +31,14 @@ import math
 
 import pytest
 
+from repro.core import topogen
+from repro.core.costmodel import CostModel
 from repro.core.servartuka import ServartukaPolicy
 from repro.harness.resilience import ResilienceParams, build_resilience_scenario
 from repro.sip.timers import TimerPolicy
 from repro.workloads.scenarios import (
     ScenarioConfig,
+    generated,
     internal_external,
     n_series,
     parallel_fork,
@@ -175,6 +178,55 @@ def test_engines_bit_identical(name):
     for seed in SEEDS:
         fingerprints = {
             engine: _fingerprint(builder(_config(engine, seed)))
+            for engine in ENGINES
+        }
+        reference = fingerprints["reference"]
+        for engine in ("copy", "fast", "turbo"):
+            assert fingerprints[engine] == reference, (
+                f"{name} seed={seed}: {engine} diverges from reference -- "
+                + _first_divergence(reference, fingerprints[engine])
+            )
+
+
+# Generated cluster topologies (repro.core.topogen): a heterogeneous
+# 6-deep chain and a 2-balancer tree, offered their LP-optimal load so
+# shedding engages on every proxy that can shed.  Three seeds keep the
+# whole case affordable (each run simulates 6-7 proxies).
+GENERATED_CASES = {
+    "chain6_hetero": {"family": "chain", "size": 6, "heterogeneity": 0.4},
+    "tree7_balancers": {"family": "tree", "size": 7, "heterogeneity": 0.0},
+}
+GENERATED_SEEDS = (1, 2, 3)
+
+
+def _generated_rate(case: dict, seed: int, config: ScenarioConfig) -> float:
+    """LP-optimal offered load for this instance under config's anchors."""
+    unit = CostModel(
+        t_sf=config.t_sf, t_sl=config.t_sl, scale=1.0,
+        via_overhead=config.via_overhead,
+    )
+    gen = topogen.generate(
+        case["family"], case["size"], seed=seed,
+        heterogeneity=case["heterogeneity"], cost_model=unit,
+    )
+    return gen.oracle(backend="simplex").throughput
+
+
+@pytest.mark.parametrize("name", sorted(GENERATED_CASES))
+def test_generated_topologies_bit_identical(name):
+    case = GENERATED_CASES[name]
+    for seed in GENERATED_SEEDS:
+        rate = _generated_rate(case, seed, _config("reference", seed))
+        fingerprints = {
+            engine: _fingerprint(generated(
+                rate,
+                family=case["family"],
+                size=case["size"],
+                seed=seed,
+                heterogeneity=case["heterogeneity"],
+                policy="servartuka",
+                config=_config(engine, seed),
+            ))
             for engine in ENGINES
         }
         reference = fingerprints["reference"]

@@ -18,7 +18,8 @@ def suite_and_results():
 class TestRun:
     def test_registry_covers_every_figure(self):
         expected = {"fig3", "fig3-breakdown", "fig4", "lp", "fig5", "fig6",
-                    "fig7", "fig8", "three-series", "resilience", "overload"}
+                    "fig7", "fig8", "three-series", "resilience", "overload",
+                    "optgap"}
         assert set(EXPERIMENTS) == expected
 
     def test_runs_selected(self, suite_and_results):

@@ -35,7 +35,32 @@ class TestSurface:
     def test_topologies_enumerates_builders(self):
         assert set(api.TOPOLOGIES) == {
             "single_proxy", "n_series", "internal_external", "parallel_fork",
+            "generated",
         }
+
+
+class TestTopologyOracle:
+    def test_generate_topology_returns_generated(self):
+        gen = api.generate_topology("chain", size=4, seed=2)
+        assert isinstance(gen, api.GeneratedTopology)
+        assert gen.n_proxies == 4
+
+    def test_solve_topology_fixed_routing(self):
+        gen = api.generate_topology("tree", size=7, seed=2)
+        solution = api.solve_topology(gen, backend="simplex")
+        assert isinstance(solution, api.LPSolution)
+        solution.verify()
+        assert solution.throughput > 0
+
+    def test_solve_topology_free_routing_upper_bounds_fixed(self):
+        gen = api.generate_topology("mesh", size=12, seed=2)
+        fixed = api.solve_topology(gen, backend="simplex")
+        free = api.solve_topology(gen, free_routing=True, backend="simplex")
+        assert free.throughput >= fixed.throughput - 1e-6
+
+    def test_generate_topology_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.generate_topology("chain", 4)
 
 
 class TestKeywordOnly:

@@ -171,6 +171,45 @@ class TestLp:
         with pytest.raises(KeyError):
             topology_from_json({"edges": []})
 
+    def test_lp_backend_flag(self, tmp_path, capsys):
+        spec = self.make_spec(tmp_path)
+        outputs = []
+        for backend in ("auto", "simplex"):
+            rc = main(["lp", str(spec), "--backend", backend])
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_lp_bad_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lp", str(self.make_spec(tmp_path)), "--backend", "glpk"])
+
+
+class TestTopogen:
+    def test_topogen_reports_oracle(self, capsys):
+        rc = main([
+            "topogen", "--family", "mesh", "--size", "12", "--seed", "3",
+            "--heterogeneity", "0.4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mesh topology: 12 proxies" in out
+        assert "LP-optimal admitted load" in out
+        assert "lp_utilization" in out
+
+    def test_topogen_json_roundtrips_into_lp(self, tmp_path, capsys):
+        """The dumped spec must be loadable by ``repro lp``."""
+        path = tmp_path / "gen.json"
+        rc = main([
+            "topogen", "--family", "chain", "--size", "4", "--json",
+            str(path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["lp", str(path), "--backend", "simplex"])
+        assert rc == 0
+        assert "admissible load" in capsys.readouterr().out
+
 
 class TestExperiments:
     def test_experiments_json_export(self, tmp_path, capsys):

@@ -31,12 +31,13 @@ class TestAllExports:
             "repro.core", "repro.core.costmodel", "repro.core.topology",
             "repro.core.lp", "repro.core.analysis", "repro.core.servartuka",
             "repro.core.static_policy", "repro.core.overload",
-            "repro.core.fluid",
+            "repro.core.fluid", "repro.core.simplex", "repro.core.topogen",
             "repro.workloads", "repro.workloads.scenarios",
             "repro.workloads.callgen",
             "repro.harness", "repro.harness.runner",
             "repro.harness.saturation", "repro.harness.figures",
             "repro.harness.report", "repro.harness.experiments",
+            "repro.harness.optgap",
             "repro.cli",
         ],
     )
