@@ -18,6 +18,15 @@ shifts nothing.
 Only the long-window steady-state scenarios are gated by default: the
 resilience campaign's sub-second cells swing well past any usable
 tolerance run-to-run (observed ~25%), so gating them would only flake.
+
+When ``--hybrid BENCH_hybrid.json`` is given, the hybrid rung's
+contract is gated too: every scenario's ``speedup_hybrid_vs_turbo``
+(already a within-run wall-clock ratio, hence machine-independent)
+must clear the floor -- >= 5x turbo for full reports per the hybrid
+contract, relaxed to 2x for ``quick`` reports whose short runs
+amortize fewer jumps -- and the report's recorded max deviation must
+sit inside the tolerance band (goodput <= 1%, myshare <= 2 points,
+outcomes <= 2%).
 """
 
 from __future__ import annotations
@@ -88,6 +97,49 @@ def compare(
     return failures
 
 
+#: Hybrid speedup floors by report mode (full reports carry the
+#: contract floor; quick runs amortize fewer jumps).
+HYBRID_FLOOR_FULL = 5.0
+HYBRID_FLOOR_QUICK = 2.0
+
+#: Hybrid tolerance contract on the report's recorded max deviation.
+HYBRID_DEVIATION_LIMITS = {
+    "goodput_pct": 1.0,
+    "myshare_points": 2.0,
+    "outcome_pct": 2.0,
+}
+
+
+def check_hybrid(report: dict, floor: float = None) -> List[str]:
+    """Failure messages for a BENCH_hybrid.json-shaped report."""
+    if floor is None:
+        floor = HYBRID_FLOOR_QUICK if report.get("quick") \
+            else HYBRID_FLOOR_FULL
+    failures = []
+    for scenario, entry in sorted(report.get("scenarios", {}).items()):
+        speedup = float(entry["speedup_hybrid_vs_turbo"])
+        if speedup < floor:
+            failures.append(
+                f"hybrid/{scenario}: only {speedup:.2f}x over turbo "
+                f"(floor {floor:.1f}x)"
+            )
+        if entry.get("jumps", 0) < 1:
+            failures.append(f"hybrid/{scenario}: no jumps fired -- "
+                            f"the speedup measures nothing")
+        if not entry.get("attempted_exact", False):
+            failures.append(f"hybrid/{scenario}: arrival replay "
+                            f"diverged from turbo")
+    worst = report.get("max_deviation", {})
+    for key, limit in HYBRID_DEVIATION_LIMITS.items():
+        value = float(worst.get(key, 0.0))
+        if value > limit:
+            failures.append(
+                f"hybrid: max {key} {value} exceeds the tolerance "
+                f"contract ({limit})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_engine.json",
@@ -101,6 +153,13 @@ def main(argv=None) -> int:
                         default=list(DEFAULT_SCENARIOS),
                         help="scenarios to gate "
                              f"(default: {' '.join(DEFAULT_SCENARIOS)})")
+    parser.add_argument("--hybrid", default=None,
+                        help="hybrid-bench report to gate "
+                             "(e.g. BENCH_hybrid.json)")
+    parser.add_argument("--hybrid-floor", type=float, default=None,
+                        help="min hybrid-vs-turbo speedup (default: "
+                             f"{HYBRID_FLOOR_FULL} for full reports, "
+                             f"{HYBRID_FLOOR_QUICK} for quick)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -120,6 +179,14 @@ def main(argv=None) -> int:
                       f"{NORMALIZERS[engine]} = {ratio:.3f}{ref_text}")
 
     failures = compare(baseline, candidate, args.tolerance, args.scenarios)
+    if args.hybrid:
+        with open(args.hybrid) as handle:
+            hybrid = json.load(handle)
+        for scenario, entry in sorted(hybrid.get("scenarios", {}).items()):
+            print(f"hybrid/{scenario}: "
+                  f"{entry['speedup_hybrid_vs_turbo']:.2f}x over turbo, "
+                  f"{entry['jumps']} jumps")
+        failures.extend(check_hybrid(hybrid, args.hybrid_floor))
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)
         for failure in failures:

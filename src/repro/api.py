@@ -9,7 +9,9 @@ by ``tests/api_surface.txt`` and CI fails when the surface drifts.
 Everything composes in one place:
 
 - ``engine=`` picks the simulation engine rung (``"reference"``,
-  ``"copy"``, ``"fast"``; all bit-identical, only wall-clock differs),
+  ``"copy"``, ``"fast"``, ``"turbo"`` -- all bit-identical, only
+  wall-clock differs -- or ``"hybrid"``, which fast-forwards detected
+  steady state analytically and is tolerance-contracted against turbo),
 - ``observe=`` attaches the :mod:`repro.obs` observability layer
   (``"cpu,telemetry,spans"`` or an :class:`ObserveConfig`),
 - ``jobs=`` / ``cache=`` fan independent runs across worker processes
@@ -198,9 +200,11 @@ def run_scenario(
 
     Returns a :class:`RunResult`; when ``observe=`` is set the result
     additionally carries the observability snapshot as ``result.obs``
-    (the JSON-able dict of :meth:`repro.obs.Observer.snapshot`), and
-    when ``control=`` is set the overload-control snapshot (per-proxy
-    stats + decision traces) as ``result.control``.
+    (the JSON-able dict of :meth:`repro.obs.Observer.snapshot`), when
+    ``control=`` is set the overload-control snapshot (per-proxy
+    stats + decision traces) as ``result.control``, and when
+    ``engine="hybrid"`` the jump ledger (count, skipped seconds/calls,
+    per-jump records) as ``result.hybrid``.
 
     Fault-free runs route through the parallel executor's job path, so
     they participate in the ambient run cache (or the one ``cache=`` /
@@ -217,6 +221,8 @@ def run_scenario(
         result.obs = (scenario.observer.snapshot()
                       if scenario.observer is not None else None)
         result.control = control_snapshot(scenario)
+        result.hybrid = (scenario.hybrid_runtime.summary()
+                         if scenario.hybrid_runtime is not None else None)
         return result
     spec = scenario_spec(topology, rate=rate, config=resolved,
                          duration=duration, warmup=warmup, drain=drain,
@@ -226,6 +232,7 @@ def run_scenario(
     result = RunResult.from_payload(payload["result"])
     result.obs = payload["extras"].get("obs")
     result.control = payload["extras"].get("control")
+    result.hybrid = payload["extras"].get("hybrid")
     return result
 
 

@@ -118,6 +118,10 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
              "(default: os.cpu_count())",
     )
     parser.add_argument(
+        "--force-jobs", action="store_true",
+        help="allow --jobs above os.cpu_count() instead of clamping",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the on-disk run cache",
     )
@@ -136,6 +140,7 @@ def _execution(args):
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=True,
+        force=getattr(args, "force_jobs", False),
     )
 
 
@@ -161,9 +166,12 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_observe_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None,
-                        choices=["reference", "copy", "fast", "turbo"],
+                        choices=["reference", "copy", "fast", "turbo",
+                                 "hybrid"],
                         help="simulation engine rung (default: copy; "
-                             "all rungs are bit-identical)")
+                             "reference..turbo are bit-identical, hybrid "
+                             "fast-forwards steady state within "
+                             "tolerance)")
     parser.add_argument("--observe", default=None, metavar="SPEC",
                         help="attach the observability layer: 'all' or "
                              "a comma list of cpu,telemetry,spans "
@@ -273,10 +281,13 @@ def cmd_run(args) -> int:
         payload = run_specs([spec])[0]
     result = RunResult.from_payload(payload["result"])
     obs = payload["extras"].get("obs")
+    hybrid = payload["extras"].get("hybrid")
     if args.json:
         out = result.as_dict()
         if obs is not None:
             out["obs"] = obs
+        if hybrid is not None:
+            out["hybrid"] = hybrid
         print(json.dumps(out, indent=2))
         return 0
     print(format_table(
@@ -292,6 +303,9 @@ def cmd_run(args) -> int:
 
         print()
         print(render_profile_table(obs))
+    if hybrid is not None:
+        print(f"hybrid: {hybrid['jump_count']} jumps, "
+              f"{hybrid['skipped_seconds']:.1f} sim seconds fast-forwarded")
     return 0
 
 

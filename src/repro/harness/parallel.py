@@ -206,6 +206,11 @@ def _scenario_extras(scenario) -> dict:
     control = control_snapshot(scenario)
     if control is not None:
         extras["control"] = control
+    # And for the hybrid engine: jump ledger only when the runtime
+    # exists, so non-hybrid extras stay byte-for-byte unchanged.
+    hybrid = getattr(scenario, "hybrid_runtime", None)
+    if hybrid is not None:
+        extras["hybrid"] = hybrid.summary()
     return extras
 
 
@@ -391,6 +396,27 @@ class ExecutionStats:
         )
 
 
+def clamp_jobs(jobs: int, force: bool = False) -> int:
+    """Clamp a worker count to the machine's CPU count.
+
+    The workers are CPU-bound simulations: oversubscribing cores only
+    adds context-switch overhead and memory pressure, and a stray
+    ``--jobs 200`` can OOM a CI runner.  A warning goes to stderr so
+    the clamp is never silent; ``force=True`` is the escape hatch for
+    the rare deliberate oversubscription (e.g. measuring scheduler
+    behavior).
+    """
+    cpus = os.cpu_count() or 1
+    if force or jobs <= cpus:
+        return jobs
+    print(
+        f"[repro] --jobs {jobs} exceeds {cpus} available CPUs; "
+        f"clamping to {cpus} (use force to override)",
+        file=sys.stderr,
+    )
+    return cpus
+
+
 class ExecutionContext:
     """Ambient executor settings: worker count, cache, progress.
 
@@ -409,10 +435,11 @@ class ExecutionContext:
         start_method: Optional[str] = None,
         progress: bool = False,
         chunk_size: Optional[int] = None,
+        force: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        self.jobs = jobs
+        self.jobs = clamp_jobs(jobs, force=force)
         self.cache = RunCache(cache_dir) if use_cache else None
         self.start_method = start_method or default_start_method()
         self.progress = progress
@@ -443,6 +470,7 @@ def execution(
     start_method: Optional[str] = None,
     progress: bool = False,
     chunk_size: Optional[int] = None,
+    force: bool = False,
 ):
     """Install an :class:`ExecutionContext` for the enclosed harness calls."""
     context = ExecutionContext(
@@ -452,6 +480,7 @@ def execution(
         start_method=start_method,
         progress=progress,
         chunk_size=chunk_size,
+        force=force,
     )
     _CONTEXT_STACK.append(context)
     try:

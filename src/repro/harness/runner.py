@@ -203,9 +203,19 @@ def run_scenario(
         raise ValueError("need duration > 0, warmup >= 0")
     scenario.start()
     loop = scenario.loop
+    hybrid = getattr(scenario, "hybrid_runtime", None)
+    # The hybrid engine only fast-forwards while armed: the barrier is
+    # the current drive deadline, so a jump can never overshoot the
+    # segment boundary the measurement snapshots are taken at.
+    if hybrid is not None:
+        hybrid.arm(loop.now + warmup)
     loop.run_until(loop.now + warmup)
     before = _Snapshot(scenario)
+    if hybrid is not None:
+        hybrid.arm(loop.now + duration)
     loop.run_until(loop.now + duration)
+    if hybrid is not None:
+        hybrid.disarm()
     after = _Snapshot(scenario)
     scenario.stop_load()
     if drain > 0:

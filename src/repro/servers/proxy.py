@@ -1175,6 +1175,28 @@ class ProxyServer(Node):
         )
 
     # ------------------------------------------------------------------
+    # Hybrid-engine fast-forward
+    # ------------------------------------------------------------------
+    def fast_forward(self, dt: float) -> None:
+        """Shift clock-relative protocol state across a hybrid jump.
+
+        In-flight transaction birth times must move with the clock or
+        the Timer-B give-up check (``now - created_at > timer_b``) would
+        mass-expire every transaction the instant the clock lands.
+        Planned-reject timestamps likewise stay clock-relative so the
+        monitor's staleness reaping keeps its horizon.  CPU-side state
+        is handled by :meth:`repro.sim.cpu.CpuModel.fast_forward`.
+        """
+        for transaction in self._transactions.values():
+            transaction.created_at += dt
+        if self._pending_rejects:
+            for key in self._pending_rejects:
+                self._pending_rejects[key] += dt
+        self.policy.fast_forward(dt)
+        if self.auth_policy is not None:
+            self.auth_policy.fast_forward(dt)
+
+    # ------------------------------------------------------------------
     # Crash/restart lifecycle
     # ------------------------------------------------------------------
     def on_crash(self) -> None:

@@ -20,13 +20,14 @@ from typing import Any, Callable, List, Optional, Tuple
 class EventHandle:
     """A cancellable reference to a scheduled callback."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_loop")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._loop = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
@@ -35,6 +36,10 @@ class EventHandle:
         # object graphs (messages, transactions) until they drain.
         self.fn = _noop
         self.args = ()
+        loop = self._loop
+        if loop is not None:
+            self._loop = None
+            loop._note_heap_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -59,11 +64,23 @@ class EventLoop:
     1.0
     """
 
+    #: Corpse count below which lazy-cancel compaction never runs; keeps
+    #: the sweep amortized on workloads with few cancellations.
+    heap_compact_floor = 1024
+
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_processed = 0
+        self._heap_cancelled = 0
+        self.heap_compactions = 0
+        #: Handles exempt from :meth:`jump` shifts (absolute-time
+        #: commitments: fault events, workload ramp edges).
+        self._anchored: set = set()
+        #: Advisory absolute times of scheduled transients, consumed by
+        #: the hybrid engine's fast-forward planner.
+        self._transients: List[float] = []
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -79,9 +96,33 @@ class EventLoop:
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         handle = EventHandle(when, fn, args)
+        handle._loop = self
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, handle))
         return handle
+
+    def anchor(self, handle: EventHandle) -> None:
+        """Exempt ``handle`` from :meth:`jump` shifts.
+
+        Anchored handles keep their absolute fire time across clock
+        jumps; everything else moves with the clock.  Use for events
+        that model external schedules (fault injections, workload ramp
+        edges) rather than in-flight protocol activity.
+        """
+        if handle is not None and not handle.cancelled:
+            self._anchored.add(handle)
+
+    def note_transient(self, when: float) -> None:
+        """Advisory: a scheduled transient (ramp edge, fault) at ``when``.
+
+        The loop itself ignores these; the hybrid engine's planner reads
+        them so fast-forward jumps never cross a transient.
+        """
+        self._transients.append(float(when))
+
+    @property
+    def transients(self) -> List[float]:
+        return self._transients
 
     # ------------------------------------------------------------------
     # Execution
@@ -95,6 +136,7 @@ class EventLoop:
         while self._heap:
             when, _seq, handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._heap_cancelled -= 1
                 continue
             self.now = when
             self._events_processed += 1
@@ -129,6 +171,7 @@ class EventLoop:
                 pop(heap)
                 handle = entry[2]
                 if handle.cancelled:
+                    self._heap_cancelled -= 1
                     continue
                 self.now = when
                 count += 1
@@ -140,6 +183,81 @@ class EventLoop:
         if self.now < deadline:
             self.now = deadline
         return count
+
+    # ------------------------------------------------------------------
+    # Lazy-cancel heap compaction
+    # ------------------------------------------------------------------
+    def _note_heap_cancel(self) -> None:
+        # Called once per cancelled handle that was (or may still be) in
+        # the heap.  The counter can over-estimate -- cancelling a handle
+        # that already fired still notifies -- which at worst triggers a
+        # sweep that removes nothing; it never skips a needed one.
+        self._heap_cancelled += 1
+        cancelled = self._heap_cancelled
+        if (
+            cancelled >= self.heap_compact_floor
+            and cancelled * 2 > len(self._heap) - cancelled
+        ):
+            self.compact_heap()
+
+    def compact_heap(self) -> None:
+        """Sweep cancelled entries out of the heap (in place).
+
+        ``run_until`` holds a local alias to ``self._heap``, so the list
+        object must be mutated, never replaced.
+        """
+        heap = self._heap
+        alive = [entry for entry in heap if not entry[2].cancelled]
+        if len(alive) != len(heap):
+            heap[:] = alive
+            heapq.heapify(heap)
+            self.heap_compactions += 1
+        self._heap_cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Clock jump (hybrid engine fast-forward)
+    # ------------------------------------------------------------------
+    def jump(self, dt: float) -> None:
+        """Advance the clock by ``dt``, carrying pending work with it.
+
+        Every pending entry's fire time shifts by ``dt`` -- in-flight
+        timers keep their *relative* distance to the clock, so protocol
+        state machines resume exactly where they paused -- except
+        handles registered via :meth:`anchor`, which keep their absolute
+        times.  A jump that would cross an anchored event raises
+        ``ValueError``: the hybrid planner must stop short of scheduled
+        transients, never absorb them.
+        """
+        if dt <= 0:
+            raise ValueError(f"jump must move the clock forward: {dt}")
+        target = self.now + dt
+        live_anchors: set = set()
+        self._shift_pending(dt, target, live_anchors)
+        self._anchored = live_anchors
+        self.now = target
+
+    def _shift_pending(self, dt: float, target: float, live_anchors: set) -> None:
+        """Shift heap entries by ``dt``; corpses are dropped as a side
+        effect (the rewrite is a free compaction)."""
+        anchored = self._anchored
+        kept = []
+        for when, seq, handle in self._heap:
+            if handle.cancelled:
+                continue
+            if handle in anchored:
+                if when <= target:
+                    raise ValueError(
+                        f"jump to t={target:.6f} crosses anchored event "
+                        f"at t={when:.6f}"
+                    )
+                live_anchors.add(handle)
+                kept.append((when, seq, handle))
+            else:
+                handle.time = when + dt
+                kept.append((when + dt, seq, handle))
+        self._heap[:] = kept
+        heapq.heapify(self._heap)
+        self._heap_cancelled = 0
 
     # ------------------------------------------------------------------
     # Introspection

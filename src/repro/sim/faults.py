@@ -211,7 +211,13 @@ class FaultInjector:
         base = loop.now
         for event in schedule.events:
             # Times are relative to injector creation (scenario start).
-            loop.schedule_at(max(base, base + event.time), self._fire, event)
+            when = max(base, base + event.time)
+            handle = loop.schedule_at(when, self._fire, event)
+            # Fault events are absolute-time commitments: the hybrid
+            # engine must neither displace them on a clock jump nor
+            # plan a jump across them.
+            loop.anchor(handle)
+            loop.note_transient(when)
 
     # ------------------------------------------------------------------
     # Event execution

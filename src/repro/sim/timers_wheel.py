@@ -51,6 +51,7 @@ class WheelHandle(EventHandle):
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._loop = None
         self._wheel = None
 
     def cancel(self) -> None:
@@ -89,6 +90,10 @@ class TimerWheel:
             raise ValueError("require span >= 2 and levels >= 1")
         self.widths = [bucket_width * span ** k for k in range(levels)]
         self.span = span
+        #: Owning loop (set by :class:`WheelEventLoop`); migrated handles
+        #: get their ``_loop`` backref from here so post-migration
+        #: cancels feed the loop's heap-compaction accounting.
+        self.owner = None
         #: Per level: absolute bucket index -> list of entries.
         self.levels: List[Dict[int, List[_Entry]]] = [{} for _ in range(levels)]
         self.frontier = 0.0
@@ -174,6 +179,8 @@ class TimerWheel:
                     if k == 0 or entry[0] <= until:
                         if isinstance(handle, WheelHandle):
                             handle._wheel = None
+                        if self.owner is not None:
+                            handle._loop = self.owner
                         heapq.heappush(heap, entry)
                     else:
                         self._file(entry, k - 1)
@@ -247,6 +254,7 @@ class WheelEventLoop(EventLoop):
         super().__init__(start_time)
         self._wheel = TimerWheel(bucket_width, span, levels, compact_threshold)
         self._wheel.frontier = self.now
+        self._wheel.owner = self
         self._near_window = bucket_width
 
     # ------------------------------------------------------------------
@@ -273,6 +281,7 @@ class WheelEventLoop(EventLoop):
         else:
             when = now + delay
         handle = EventHandle(when, fn, args)
+        handle._loop = self
         heapq.heappush(self._heap, (when, self._seq, handle))
         return handle
 
@@ -288,6 +297,7 @@ class WheelEventLoop(EventLoop):
                 wheel.add((when, self._seq, handle))
                 return handle
         handle = EventHandle(when, fn, args)
+        handle._loop = self
         heapq.heappush(self._heap, (when, self._seq, handle))
         return handle
 
@@ -319,6 +329,54 @@ class WheelEventLoop(EventLoop):
     def run_until(self, deadline: float) -> int:
         self._wheel.advance(deadline, self._heap)
         return super().run_until(deadline)
+
+    # ------------------------------------------------------------------
+    # Clock jump (hybrid engine fast-forward)
+    # ------------------------------------------------------------------
+    def _shift_pending(self, dt: float, target: float, live_anchors: set) -> None:
+        # Heap entries first (the inherited in-place rewrite), then the
+        # wheel: every resident entry re-files at its shifted time.  The
+        # frontier is untouched -- ``run_until`` already advanced it to
+        # the segment deadline, and the jump target never exceeds that
+        # deadline, so shifted entries landing at or before the frontier
+        # (possible only for barely-far timers) migrate to the heap the
+        # same way ``advance`` would have migrated them.
+        super()._shift_pending(dt, target, live_anchors)
+        wheel = self._wheel
+        if not len(wheel):
+            return
+        anchored = self._anchored
+        entries: List[_Entry] = []
+        for buckets in wheel.levels:
+            for bucket in buckets.values():
+                entries.extend(bucket)
+            buckets.clear()
+        wheel._entries = 0
+        wheel._cancelled = 0
+        heap = self._heap
+        for when, seq, handle in entries:
+            if handle.cancelled:
+                if isinstance(handle, WheelHandle):
+                    handle._wheel = None
+                continue
+            if handle in anchored:
+                if when <= target:
+                    raise ValueError(
+                        f"jump to t={target:.6f} crosses anchored event "
+                        f"at t={when:.6f}"
+                    )
+                live_anchors.add(handle)
+                new_when = when
+            else:
+                new_when = when + dt
+                handle.time = new_when
+            if new_when <= wheel.frontier:
+                if isinstance(handle, WheelHandle):
+                    handle._wheel = None
+                handle._loop = self
+                heapq.heappush(heap, (new_when, seq, handle))
+            else:
+                wheel.add((new_when, seq, handle))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -59,19 +59,23 @@ _MISSING = object()
 _FAST_PATH = False
 _WIRE_COPY = False
 _TURBO = False
+_MODE = "copy"
 _SAVED_GC_THRESHOLD: Optional[Tuple[int, int, int]] = None
-_ENGINE_MODES = ("reference", "copy", "fast", "turbo")
+# "hybrid" shares every message-layer fast path with "turbo"; what
+# distinguishes it (steady-state fast-forward) lives in repro.sim.hybrid.
+_ENGINE_MODES = ("reference", "copy", "fast", "turbo", "hybrid")
 
 
 def set_engine_mode(mode: str) -> None:
     """Select how ``copy()`` models the wire (see module comment)."""
     if mode not in _ENGINE_MODES:
         raise ValueError(f"unknown engine mode {mode!r}; one of {_ENGINE_MODES}")
-    global _FAST_PATH, _WIRE_COPY, _TURBO, _SAVED_GC_THRESHOLD
+    global _FAST_PATH, _WIRE_COPY, _TURBO, _MODE, _SAVED_GC_THRESHOLD
     was_turbo = _TURBO
-    _FAST_PATH = mode in ("fast", "turbo")
+    _FAST_PATH = mode in ("fast", "turbo", "hybrid")
     _WIRE_COPY = mode == "reference"
-    _TURBO = mode == "turbo"
+    _TURBO = mode in ("turbo", "hybrid")
+    _MODE = mode
     set_parse_caching(_FAST_PATH)
     if not _TURBO:
         _clear_message_pools()
@@ -113,9 +117,7 @@ def turbo_enabled() -> bool:
 
 
 def engine_mode() -> str:
-    if _TURBO:
-        return "turbo"
-    return "fast" if _FAST_PATH else ("reference" if _WIRE_COPY else "copy")
+    return _MODE
 
 
 # ---------------------------------------------------------------------------

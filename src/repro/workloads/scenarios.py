@@ -38,6 +38,7 @@ from repro.servers.uas import AnsweringServer
 from repro.sim.events import EventLoop
 from repro.sim.metrics import set_lean_metrics
 from repro.sim.network import Network
+from repro.sim.hybrid import HybridConfig
 from repro.sim.rng import RngStream
 from repro.sip.digest import CredentialStore
 from repro.sip.message import set_engine_mode
@@ -78,13 +79,14 @@ class ScenarioConfig:
         lean_metrics: Optional[bool] = None,
         observe=None,
         control=None,
+        hybrid=None,
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
-        if engine not in ("reference", "copy", "fast", "turbo"):
+        if engine not in ("reference", "copy", "fast", "turbo", "hybrid"):
             raise ValueError(
                 f"unknown engine {engine!r}; "
-                "'reference', 'copy', 'fast' or 'turbo'"
+                "'reference', 'copy', 'fast', 'turbo' or 'hybrid'"
             )
         self.scale = scale
         self.seed = seed
@@ -115,14 +117,20 @@ class ScenarioConfig:
         #: messages and parse/cost memoization; ``"turbo"`` adds object
         #: pooling (messages, packets, CPU jobs), header indexing,
         #: proxy action-plan caching and reduced RNG dispatch on top of
-        #: ``"fast"``.  All engines are required to produce bit-identical
-        #: results (enforced by tests/engine/test_differential.py) --
-        #: only wall-clock differs.
+        #: ``"fast"``.  The first four engines are required to produce
+        #: bit-identical results (enforced by
+        #: tests/engine/test_differential.py) -- only wall-clock differs.
+        #: ``"hybrid"`` runs turbo's per-message path but fast-forwards
+        #: detected steady state analytically; it is contracted by
+        #: *tolerance* against turbo, not bit-identity (see
+        #: tests/engine/test_hybrid_differential.py and repro.sim.hybrid).
         self.engine = engine
         #: Zero-allocation metrics mode (pre-sized histogram reservoirs).
-        #: Defaults to on for the fast/turbo engines, off for reference.
+        #: Defaults to on for the fast/turbo/hybrid engines, off for
+        #: reference.
         self.lean_metrics = (
-            engine in ("fast", "turbo") if lean_metrics is None else lean_metrics
+            engine in ("fast", "turbo", "hybrid")
+            if lean_metrics is None else lean_metrics
         )
         #: Observability: None (default, fully off), True/"all", a
         #: comma list ("cpu,telemetry,spans"), or an ObserveConfig.
@@ -135,6 +143,9 @@ class ScenarioConfig:
         #: Every proxy gets its own fresh policy instance -- see
         #: repro.core.control.
         self.control = ControlConfig.coerce(control)
+        #: Hybrid-engine tuning: None (engine defaults), a HybridConfig,
+        #: or its payload dict.  Only consulted when engine == "hybrid".
+        self.hybrid = HybridConfig.coerce(hybrid)
 
     def to_payload(self) -> Dict[str, object]:
         """Every knob as a JSON-able dict (the parallel executor's spec
@@ -176,6 +187,13 @@ class ScenarioConfig:
         }
         if self.control is not None:
             payload["control"] = self.control.to_payload()
+        # Same contract as ``control``: the key exists only for the
+        # hybrid engine, so every non-hybrid cache key stays
+        # byte-identical to what pre-hybrid builds produced.
+        if self.engine == "hybrid":
+            payload["hybrid"] = (
+                self.hybrid.to_payload() if self.hybrid is not None else None
+            )
         return payload
 
     @classmethod
@@ -190,10 +208,12 @@ class ScenarioConfig:
             kwargs["observe"] = ObserveConfig.coerce(kwargs["observe"])
         if "control" in kwargs:
             kwargs["control"] = ControlConfig.coerce(kwargs["control"])
+        if "hybrid" in kwargs:
+            kwargs["hybrid"] = HybridConfig.coerce(kwargs["hybrid"])
         return cls(**kwargs)
 
     def make_event_loop(self) -> EventLoop:
-        if self.engine in ("fast", "turbo"):
+        if self.engine in ("fast", "turbo", "hybrid"):
             from repro.sim.timers_wheel import WheelEventLoop
 
             # Level-0 buckets sized to T1 so retransmission timers (T1,
@@ -208,7 +228,7 @@ class ScenarioConfig:
             t_sl=self.t_sl,
             scale=self.scale,
             via_overhead=self.via_overhead,
-            memoize=self.engine in ("fast", "turbo"),
+            memoize=self.engine in ("fast", "turbo", "hybrid"),
         )
 
     def make_policy(self, spec: str) -> StatePolicy:
@@ -258,6 +278,11 @@ class Scenario:
         self.servers: List[AnsweringServer] = []
         self.trace = None
         self.faults = None
+        self.hybrid_runtime = None
+        if config.engine == "hybrid":
+            from repro.sim.hybrid import HybridRuntime
+
+            self.hybrid_runtime = HybridRuntime(self, config.hybrid)
         self.observer: Optional[Observer] = None
         if config.observe is not None:
             self.observer = Observer(config.observe)
@@ -418,10 +443,16 @@ class Scenario:
     def start(self) -> None:
         for generator in self.generators:
             generator.start()
+        if self.hybrid_runtime is not None:
+            self.hybrid_runtime.start()
 
     def stop_load(self) -> None:
         for generator in self.generators:
             generator.stop()
+        if self.hybrid_runtime is not None:
+            # No jumps during the drain; also unpins the sampler so the
+            # loop can actually go idle.
+            self.hybrid_runtime.stop()
 
     @property
     def offered_paper_cps(self) -> float:
@@ -735,7 +766,7 @@ def generated(
         routes[flow.exit].add(domain, DELIVER_ACTION)
         uas_aors.setdefault(f"uas_{flow.exit}", []).append(aor)
 
-    memoize = config.engine in ("fast", "turbo")
+    memoize = config.engine in ("fast", "turbo", "hybrid")
     for name in names:
         node = gen.nodes[name]
         node_model = CostModel(

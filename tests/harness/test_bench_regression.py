@@ -85,6 +85,60 @@ class TestCompare:
         assert check.compare(baseline, _report()) == []
 
 
+def _hybrid_report(speedup: float = 8.0, quick: bool = False,
+                   **overrides) -> dict:
+    entry = {
+        "speedup_hybrid_vs_turbo": speedup,
+        "jumps": 2,
+        "attempted_exact": True,
+        "skipped_sim_seconds": 100.0,
+    }
+    entry.update(overrides)
+    return {
+        "benchmark": "hybrid",
+        "quick": quick,
+        "scenarios": {"two_series": entry},
+        "max_deviation": {"goodput_pct": 0.4, "myshare_points": 0.0,
+                          "outcome_pct": 0.3},
+    }
+
+
+class TestCheckHybrid:
+    def test_contract_report_passes(self):
+        assert check.check_hybrid(_hybrid_report()) == []
+
+    def test_speedup_below_full_floor_fails(self):
+        failures = check.check_hybrid(_hybrid_report(speedup=4.0))
+        assert any("4.00x" in failure for failure in failures)
+
+    def test_quick_report_uses_relaxed_floor(self):
+        assert check.check_hybrid(_hybrid_report(speedup=4.0,
+                                                 quick=True)) == []
+        assert check.check_hybrid(_hybrid_report(speedup=1.5, quick=True))
+
+    def test_explicit_floor_overrides_mode(self):
+        assert check.check_hybrid(_hybrid_report(speedup=4.0), floor=3.0) == []
+
+    def test_no_jumps_fails(self):
+        failures = check.check_hybrid(_hybrid_report(jumps=0))
+        assert any("no jumps" in failure for failure in failures)
+
+    def test_inexact_arrivals_fail(self):
+        failures = check.check_hybrid(_hybrid_report(attempted_exact=False))
+        assert any("arrival replay" in failure for failure in failures)
+
+    def test_deviation_over_contract_fails(self):
+        report = _hybrid_report()
+        report["max_deviation"]["goodput_pct"] = 1.3
+        failures = check.check_hybrid(report)
+        assert any("goodput_pct" in failure for failure in failures)
+
+    def test_checked_in_hybrid_report_passes(self):
+        checked_in = _SCRIPT.parent.parent / "BENCH_hybrid.json"
+        report = json.loads(checked_in.read_text())
+        assert check.check_hybrid(report) == []
+
+
 class TestMain:
     def _write(self, path, report):
         path.write_text(json.dumps(report))
@@ -109,3 +163,17 @@ class TestMain:
         checked_in = str(_SCRIPT.parent.parent / "BENCH_engine.json")
         assert check.main(["--baseline", checked_in,
                            "--candidate", checked_in]) == 0
+
+    def test_hybrid_gate_wired_into_cli(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report())
+        candidate = self._write(tmp_path / "cand.json", _report())
+        good = self._write(tmp_path / "hybrid.json", _hybrid_report())
+        assert check.main(["--baseline", baseline, "--candidate", candidate,
+                           "--hybrid", good]) == 0
+        assert "over turbo" in capsys.readouterr().out
+        bad = self._write(tmp_path / "hybrid_bad.json",
+                          _hybrid_report(speedup=3.0))
+        assert check.main(["--baseline", baseline, "--candidate", candidate,
+                           "--hybrid", bad]) == 1
+        assert check.main(["--baseline", baseline, "--candidate", candidate,
+                           "--hybrid", bad, "--hybrid-floor", "2.0"]) == 0

@@ -162,6 +162,27 @@ def test_jobs_must_be_positive():
         ExecutionContext(jobs=0)
 
 
+def test_jobs_clamped_to_cpu_count(monkeypatch, capsys):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
+    assert parallel.clamp_jobs(3) == 3
+    assert parallel.clamp_jobs(4) == 4
+    assert capsys.readouterr().err == ""
+    assert parallel.clamp_jobs(9) == 4
+    err = capsys.readouterr().err
+    assert "--jobs 9 exceeds 4 available CPUs" in err
+    assert "clamping to 4" in err
+
+
+def test_jobs_clamp_force_escape_hatch(monkeypatch, capsys):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    assert parallel.clamp_jobs(16, force=True) == 16
+    assert capsys.readouterr().err == ""
+    context = ExecutionContext(jobs=16, force=True)
+    assert context.jobs == 16
+    clamped = ExecutionContext(jobs=16)
+    assert clamped.jobs == 2
+
+
 # ---------------------------------------------------------------------------
 # Failure handling (flaky job kinds get exactly one retry)
 # ---------------------------------------------------------------------------

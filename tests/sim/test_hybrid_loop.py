@@ -1,0 +1,189 @@
+"""Event-loop mechanics the hybrid engine depends on: bulk clock jumps
+with anchored events, and lazy-cancel heap compaction."""
+
+import heapq
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.timers_wheel import WheelEventLoop
+
+
+LOOPS = [EventLoop, WheelEventLoop]
+
+
+# ----------------------------------------------------------------------
+# jump() / anchor()
+# ----------------------------------------------------------------------
+class TestJump:
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_jump_shifts_pending_events(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(("a", loop.now)))
+        loop.schedule(2.5, lambda: fired.append(("b", loop.now)))
+        loop.jump(10.0)
+        assert loop.now == 10.0
+        loop.run()
+        assert fired == [("a", 11.0), ("b", 12.5)]
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_jump_preserves_firing_order_and_fifo(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        # Same-time events must keep their FIFO order across a jump.
+        for index in range(4):
+            loop.schedule(1.0, fired.append, ("tie", index))
+        loop.schedule(0.5, fired.append, ("early", 0))
+        loop.schedule(7.25, fired.append, ("late", 0))
+        loop.jump(3.0)
+        loop.run()
+        assert fired == [
+            ("early", 0), ("tie", 0), ("tie", 1), ("tie", 2), ("tie", 3),
+            ("late", 0),
+        ]
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_anchored_event_does_not_shift(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        handle = loop.schedule(8.0, lambda: fired.append(loop.now))
+        loop.anchor(handle)
+        loop.schedule(1.0, lambda: fired.append(loop.now))
+        loop.jump(5.0)
+        loop.run()
+        # The anchored event stays at t=8.0; the plain one shifts to 6.0.
+        assert fired == [6.0, 8.0]
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_jump_across_anchor_raises(self, loop_cls):
+        loop = loop_cls()
+        handle = loop.schedule(2.0, lambda: None)
+        loop.anchor(handle)
+        with pytest.raises(ValueError):
+            loop.jump(5.0)
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_cancelled_anchor_does_not_block(self, loop_cls):
+        loop = loop_cls()
+        handle = loop.schedule(2.0, lambda: None)
+        loop.anchor(handle)
+        handle.cancel()
+        loop.jump(5.0)
+        assert loop.now == 5.0
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_jump_requires_positive_dt(self, loop_cls):
+        loop = loop_cls()
+        with pytest.raises(ValueError):
+            loop.jump(0.0)
+        with pytest.raises(ValueError):
+            loop.jump(-1.0)
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_anchors_survive_consecutive_jumps(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        handle = loop.schedule(30.0, lambda: fired.append(loop.now))
+        loop.anchor(handle)
+        loop.jump(5.0)
+        loop.jump(5.0)
+        loop.run()
+        assert fired == [30.0]
+
+    def test_wheel_jump_mid_run(self):
+        # Jump from inside a callback while run_until holds the wheel
+        # frontier; far events must land correctly after the shift.
+        loop = WheelEventLoop(bucket_width=0.5)
+        fired = []
+        loop.schedule(20.0, lambda: fired.append(("far", loop.now)))
+        loop.schedule(1.0, lambda: loop.jump(10.0))
+        loop.run_until(40.0)
+        assert fired == [("far", 30.0)]
+
+    @pytest.mark.parametrize("loop_cls", LOOPS)
+    def test_note_transient(self, loop_cls):
+        loop = loop_cls()
+        loop.note_transient(4.0)
+        loop.note_transient(9.5)
+        assert list(loop.transients) == [4.0, 9.5]
+
+
+# ----------------------------------------------------------------------
+# Heap compaction (lazy-cancel hygiene)
+# ----------------------------------------------------------------------
+class TestHeapCompaction:
+    def test_compaction_triggers_and_preserves_order(self, monkeypatch):
+        monkeypatch.setattr(EventLoop, "heap_compact_floor", 8)
+        loop = EventLoop()
+        fired = []
+        keepers = []
+        cancelled = []
+        for index in range(40):
+            handle = loop.schedule(1.0 + index * 0.01, fired.append, index)
+            (keepers if index % 5 == 0 else cancelled).append(handle)
+        peak_before = len(loop._heap)
+        for handle in cancelled:
+            handle.cancel()
+        # 32 corpses vs 8 live crosses both the floor and the >50%
+        # threshold, so the sweep must already have run; at most a
+        # below-threshold remainder of corpses may linger.
+        assert loop.heap_compactions >= 1
+        assert len(loop._heap) < peak_before
+        assert len(loop._heap) <= len(keepers) + loop.heap_compact_floor
+        assert heapq.nsmallest(1, loop._heap) == [min(loop._heap)]
+        loop.run()
+        assert fired == [0, 5, 10, 15, 20, 25, 30, 35]
+
+    def test_peak_heap_size_stays_bounded(self, monkeypatch):
+        # Schedule/cancel churn: without compaction the heap would grow
+        # to ~n entries; with it, the peak stays near the live count.
+        monkeypatch.setattr(EventLoop, "heap_compact_floor", 16)
+        loop = EventLoop()
+        peak = 0
+        live = []
+        for index in range(2000):
+            handle = loop.schedule(10.0 + index * 1e-4, lambda: None)
+            live.append(handle)
+            if len(live) > 4:
+                live.pop(0).cancel()
+            peak = max(peak, len(loop._heap))
+        # 1995 cancels happened; the heap must stay O(live + floor).
+        assert peak <= 64
+        assert loop.heap_compactions > 0
+
+    def test_no_compaction_below_floor(self):
+        loop = EventLoop()  # default floor 1024
+        handles = [loop.schedule(1.0, lambda: None) for _ in range(100)]
+        for handle in handles:
+            handle.cancel()
+        assert loop.heap_compactions == 0
+
+    def test_events_processed_unchanged_by_compaction(self, monkeypatch):
+        # Corpse pops never count as processed events, so compaction
+        # (which removes corpses early) cannot change the count either.
+        def run(floor):
+            monkeypatch.setattr(EventLoop, "heap_compact_floor", floor)
+            loop = EventLoop()
+            for index in range(200):
+                handle = loop.schedule(1.0 + index * 0.01, lambda: None)
+                if index % 2:
+                    handle.cancel()
+            loop.run()
+            return loop.events_processed
+
+        assert run(10**9) == run(4)
+
+    def test_wheel_cancel_in_near_window_counts(self, monkeypatch):
+        monkeypatch.setattr(WheelEventLoop, "heap_compact_floor", 8)
+        loop = WheelEventLoop(bucket_width=0.5)
+        fired = []
+        # Near-term events go to the heap; churn them.
+        handles = [
+            loop.schedule(0.01 + i * 1e-4, fired.append, i) for i in range(40)
+        ]
+        for handle in handles[1:]:
+            handle.cancel()
+        assert loop.heap_compactions >= 1
+        loop.run()
+        assert fired == [0]
