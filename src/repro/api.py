@@ -19,7 +19,10 @@ Everything composes in one place:
 - ``faults=`` injects a :class:`FaultSchedule` into a single run,
 - ``control=`` attaches an overload-control policy
   (``"rate"``/``"window"``/``"occupancy"``/``"signal"`` or a
-  :class:`ControlConfig`) to every proxy.
+  :class:`ControlConfig`) to every proxy,
+- ``spec=`` runs a declarative scenario spec (a
+  :class:`ScenarioSpec`, its dict, or a ``.toml``/``.json`` path);
+  explicit arguments override the spec's values.
 
 Quickstart::
 
@@ -63,6 +66,7 @@ from repro.harness.saturation import sweep_loads as _sweep_loads
 from repro.obs import ObserveConfig
 from repro.sim.faults import FaultSchedule
 from repro.workloads.scenarios import Scenario, ScenarioConfig
+from repro.workloads.spec import ScenarioSpec
 
 __all__ = [
     "FULL",
@@ -79,6 +83,7 @@ __all__ = [
     "RunResult",
     "Scenario",
     "ScenarioConfig",
+    "ScenarioSpec",
     "SweepResult",
     "capacity_hint",
     "experiments",
@@ -100,7 +105,7 @@ _QUALITIES = {"quick": QUICK, "standard": STANDARD, "full": FULL}
 
 
 def _config(
-    config: Optional[ScenarioConfig],
+    config,
     *,
     scale: Optional[float],
     seed: Optional[int],
@@ -108,7 +113,13 @@ def _config(
     observe,
     control=None,
 ) -> ScenarioConfig:
-    """Resolve the per-call config: overrides > explicit config > defaults."""
+    """Resolve the per-call config: overrides > explicit config > defaults.
+
+    ``config`` takes everything :meth:`ScenarioConfig.coerce` does -- an
+    instance, an engine name, or a (possibly partial) payload dict.
+    """
+    if config is not None:
+        config = ScenarioConfig.coerce(config)
     overrides = {
         key: value
         for key, value in (
@@ -179,13 +190,14 @@ def make_scenario(
 
 
 def run_scenario(
-    topology: str = "single_proxy",
+    topology: Optional[str] = None,
     *,
-    rate: float,
-    duration: float = 10.0,
-    warmup: float = 4.0,
-    drain: float = 0.0,
-    config: Optional[ScenarioConfig] = None,
+    spec: Union[None, str, dict, ScenarioSpec] = None,
+    rate: Optional[float] = None,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    drain: Optional[float] = None,
+    config: Union[None, ScenarioConfig, str, dict] = None,
     scale: Optional[float] = None,
     seed: Optional[int] = None,
     engine: Optional[str] = None,
@@ -206,10 +218,34 @@ def run_scenario(
     ``engine="hybrid"`` the jump ledger (count, skipped seconds/calls,
     per-jump records) as ``result.hybrid``.
 
+    ``spec=`` takes a :class:`ScenarioSpec`, its document dict, or a
+    ``.toml``/``.json`` file path; it supplies the topology, builder
+    parameters, config, rate and run window, and every explicit
+    argument overrides the spec's value.  ``api.run_scenario(spec=f)``
+    is equivalent to ``repro run --spec f`` and to spelling the same
+    run out programmatically -- all three hash to one cache key.
+
     Fault-free runs route through the parallel executor's job path, so
     they participate in the ambient run cache (or the one ``cache=`` /
     ``cache_dir=`` requests); a run with ``faults=`` executes inline.
     """
+    if spec is not None:
+        spec = ScenarioSpec.coerce(spec)
+        topology = topology or spec.builder
+        rate = spec.rate if rate is None else rate
+        duration = spec.duration if duration is None else duration
+        warmup = spec.warmup if warmup is None else warmup
+        drain = spec.drain if drain is None else drain
+        if config is None and spec.config is not None:
+            config = spec.config
+        kwargs = dict(spec.params, **kwargs)
+    if rate is None:
+        raise TypeError("run_scenario() needs rate= (or a spec= with "
+                        "a [load] section)")
+    topology = topology or "single_proxy"
+    duration = 10.0 if duration is None else duration
+    warmup = 4.0 if warmup is None else warmup
+    drain = 0.0 if drain is None else drain
     resolved = _config(config, scale=scale, seed=seed,
                        engine=engine, observe=observe, control=control)
     if faults is not None:

@@ -29,7 +29,11 @@ single reported metric.  Scenario-building commands accept
 ``--engine`` (simulation engine rung), ``--observe`` (attach the
 :mod:`repro.obs` recorders; changes no metric) and ``--control``
 (attach an overload-control policy from :mod:`repro.core.control` to
-every proxy).
+every proxy).  ``run`` and ``sweep`` additionally accept ``--spec
+FILE``: a declarative TOML/JSON scenario spec
+(:mod:`repro.workloads.spec`) supplying the topology, builder
+parameters, config, load and run window; explicit flags override the
+file's values.
 
 All loads are paper-equivalent calls/second.
 """
@@ -86,8 +90,8 @@ QUALITIES = {
 
 def _scenario_config(args, **overrides) -> ScenarioConfig:
     kwargs = dict(
-        scale=args.scale,
-        seed=args.seed,
+        scale=args.scale if args.scale is not None else 25.0,
+        seed=args.seed if args.seed is not None else 1,
         engine=getattr(args, "engine", None) or "copy",
         observe=getattr(args, "observe", None),
         control=getattr(args, "control", None),
@@ -111,25 +115,29 @@ def _build_scenario(args) -> object:
     raise ValueError(f"unknown topology {args.topology!r}")
 
 
-def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _parallel_parent() -> argparse.ArgumentParser:
+    """Shared ``--jobs``/``--cache`` flags: defined once, inherited by
+    every command that fans runs across workers (argparse ``parents=``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker processes for independent runs "
              "(default: os.cpu_count())",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--force-jobs", action="store_true",
         help="allow --jobs above os.cpu_count() instead of clamping",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the on-disk run cache",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="run cache location (default: .repro-cache, "
              "or $REPRO_CACHE_DIR)",
     )
+    return parent
 
 
 def _execution(args):
@@ -158,29 +166,77 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         choices=["none", "entry", "distributed"])
     parser.add_argument("--external-fraction", type=float, default=0.8,
                         help="external share for --topology mix")
-    parser.add_argument("--scale", type=float, default=25.0,
-                        help="cost scale factor (capacity divisor)")
-    parser.add_argument("--seed", type=int, default=1)
-    _add_engine_observe_args(parser)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="cost scale factor (capacity divisor; "
+                             "default 25)")
+    parser.add_argument("--seed", type=int, default=None)
 
 
-def _add_engine_observe_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--engine", default=None,
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared ``--engine``/``--observe``/``--control`` flags: one
+    definition inherited by every scenario-building command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--engine", default=None,
                         choices=["reference", "copy", "fast", "turbo",
                                  "hybrid"],
                         help="simulation engine rung (default: copy; "
                              "reference..turbo are bit-identical, hybrid "
                              "fast-forwards steady state within "
                              "tolerance)")
-    parser.add_argument("--observe", default=None, metavar="SPEC",
+    parent.add_argument("--observe", default=None, metavar="SPEC",
                         help="attach the observability layer: 'all' or "
                              "a comma list of cpu,telemetry,spans "
                              "(default: off; changes no metric)")
-    parser.add_argument("--control", default=None,
+    parent.add_argument("--control", default=None,
                         choices=["none", "rate", "window", "occupancy",
                                  "signal"],
                         help="overload-control policy on every proxy "
                              "(default: off)")
+    return parent
+
+
+def _spec_parent() -> argparse.ArgumentParser:
+    """The ``--spec`` flag, defined once (run and sweep inherit it)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="declarative scenario spec (.toml or .json); supplies the "
+             "topology, builder params, config, load and run window -- "
+             "explicit flags (--rate, --engine, ...) override it and "
+             "the --topology/--policy/... flags are ignored",
+    )
+    return parent
+
+
+def _spec_template(args):
+    """Template + (rate, duration, warmup, drain) from ``--spec``,
+    with explicit CLI flags overriding the file's values."""
+    from repro.workloads.spec import ScenarioSpec
+
+    spec = ScenarioSpec.coerce(args.spec)
+    config = dict(spec.config or {})
+    if args.scale is not None:
+        config["scale"] = args.scale
+    if args.seed is not None:
+        config["seed"] = args.seed
+    if getattr(args, "engine", None):
+        config["engine"] = args.engine
+    if getattr(args, "observe", None):
+        config["observe"] = args.observe
+    if getattr(args, "control", None):
+        config["control"] = args.control
+    template = SpecTemplate(
+        spec.builder, ScenarioConfig.from_payload(config),
+        label=spec.label, **spec.params,
+    )
+    rate = getattr(args, "rate", None)
+    return (
+        template,
+        spec.rate if rate is None else rate,
+        spec.duration if args.duration is None else args.duration,
+        spec.warmup if args.warmup is None else args.warmup,
+        spec.drain,
+    )
 
 
 def cmd_figures(args) -> int:
@@ -252,9 +308,17 @@ def _sweep_template(args) -> SpecTemplate:
 
 def cmd_sweep(args) -> int:
     loads = staircase(args.start, args.stop, args.step)
+    if args.spec:
+        template, _rate, duration, warmup, _drain = _spec_template(args)
+        label = template.label
+    else:
+        template = _sweep_template(args)
+        duration = 8.0 if args.duration is None else args.duration
+        warmup = 3.0 if args.warmup is None else args.warmup
+        label = f"{args.topology}/{args.policy}"
     with _execution(args) as ctx:
-        sweep = sweep_loads(_sweep_template(args), loads,
-                            duration=args.duration, warmup=args.warmup)
+        sweep = sweep_loads(template, loads,
+                            duration=duration, warmup=warmup)
         print(ctx.summary(), file=sys.stderr)
     rows = [
         [round(p.offered_cps), round(p.result.throughput_cps),
@@ -266,8 +330,7 @@ def cmd_sweep(args) -> int:
     print(format_table(
         ["offered_cps", "throughput_cps", "goodput", "rt_p95_ms", "500s"],
         rows,
-        title=f"{args.topology}/{args.policy}: saturation "
-              f"~{sweep.max_throughput:.0f} cps",
+        title=f"{label}: saturation ~{sweep.max_throughput:.0f} cps",
     ))
     return 0
 
@@ -276,7 +339,14 @@ def cmd_run(args) -> int:
     from repro.harness.parallel import run_specs
     from repro.harness.runner import RunResult
 
-    spec = _sweep_template(args).at(args.rate, args.duration, args.warmup)
+    if args.spec:
+        template, rate, duration, warmup, drain = _spec_template(args)
+        spec = template.at(rate, duration, warmup, drain=drain)
+    else:
+        rate = 8000.0 if args.rate is None else args.rate
+        duration = 8.0 if args.duration is None else args.duration
+        warmup = 3.0 if args.warmup is None else args.warmup
+        spec = _sweep_template(args).at(rate, duration, warmup)
     with _execution(args):
         payload = run_specs([spec])[0]
     result = RunResult.from_payload(payload["result"])
@@ -296,7 +366,7 @@ def cmd_run(args) -> int:
             (key, str(value))
             for key, value in result.as_dict().items()
         ),
-        title=f"{result.scenario_name} at {args.rate:.0f} cps",
+        title=f"{result.scenario_name} at {rate:.0f} cps",
     ))
     if obs is not None:
         from repro.obs import render_profile_table
@@ -422,7 +492,8 @@ def cmd_trace(args) -> int:
     scenario = _build_scenario(factory_args)
     trace = scenario.observer.trace
     scenario.start()
-    scenario.loop.run_until(args.calls / (args.rate / args.scale) + 1.0)
+    scale = args.scale if args.scale is not None else 25.0
+    scenario.loop.run_until(args.calls / (args.rate / scale) + 1.0)
     scenario.stop_load()
     scenario.loop.run_until(scenario.loop.now + 2.0)
     for call_id in trace.call_ids()[: args.calls]:
@@ -562,47 +633,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    # One definition per shared flag group (argparse parents): engine
+    # selection, worker/cache fan-out, and the declarative --spec.
+    engine = _engine_parent()
+    parallel = _parallel_parent()
+    spec = _spec_parent()
+
+    p_fig = sub.add_parser("figures", parents=[engine, parallel],
+                           help="regenerate paper figures")
     p_fig.add_argument("ids", nargs="*",
                        help=f"figure ids ({', '.join(FIGURE_COMMANDS)}) or 'all'")
     p_fig.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
-    _add_parallel_args(p_fig)
-    _add_engine_observe_args(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_exp = sub.add_parser(
-        "experiments", help="run the reproduction suite, export JSON/Markdown"
+        "experiments", parents=[engine, parallel],
+        help="run the reproduction suite, export JSON/Markdown",
     )
     p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (default: all)")
     p_exp.add_argument("--quality", default="quick", choices=sorted(QUALITIES))
     p_exp.add_argument("--json", help="write machine-readable results here")
     p_exp.add_argument("--markdown", help="write a Markdown report here")
-    _add_parallel_args(p_exp)
-    _add_engine_observe_args(p_exp)
     p_exp.set_defaults(func=cmd_experiments)
 
-    p_sweep = sub.add_parser("sweep", help="throughput sweep to saturation")
+    p_sweep = sub.add_parser("sweep", parents=[engine, parallel, spec],
+                             help="throughput sweep to saturation")
     _add_scenario_args(p_sweep)
     p_sweep.add_argument("--start", type=float, default=6000)
     p_sweep.add_argument("--stop", type=float, default=12000)
     p_sweep.add_argument("--step", type=float, default=1000)
-    p_sweep.add_argument("--duration", type=float, default=8.0)
-    p_sweep.add_argument("--warmup", type=float, default=3.0)
-    _add_parallel_args(p_sweep)
+    p_sweep.add_argument("--duration", type=float, default=None,
+                         help="measurement window seconds (default 8)")
+    p_sweep.add_argument("--warmup", type=float, default=None,
+                         help="warmup seconds (default 3)")
     p_sweep.set_defaults(func=cmd_sweep)
 
-    p_run = sub.add_parser("run", help="measure one load point")
+    p_run = sub.add_parser("run", parents=[engine, parallel, spec],
+                           help="measure one load point")
     _add_scenario_args(p_run)
-    p_run.add_argument("--rate", type=float, default=8000)
-    p_run.add_argument("--duration", type=float, default=8.0)
-    p_run.add_argument("--warmup", type=float, default=3.0)
+    p_run.add_argument("--rate", type=float, default=None,
+                       help="offered load, paper cps (default 8000)")
+    p_run.add_argument("--duration", type=float, default=None,
+                       help="measurement window seconds (default 8)")
+    p_run.add_argument("--warmup", type=float, default=None,
+                       help="warmup seconds (default 3)")
     p_run.add_argument("--json", action="store_true")
-    _add_parallel_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_obs = sub.add_parser(
-        "obs", help="observe one load point: CPU profile, telemetry, spans"
+        "obs", parents=[engine],
+        help="observe one load point: CPU profile, telemetry, spans",
     )
     _add_scenario_args(p_obs)
     p_obs.add_argument("--rate", type=float, default=8000)
@@ -643,15 +724,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also dump the topology as 'repro lp' JSON")
     p_topogen.set_defaults(func=cmd_topogen)
 
-    p_trace = sub.add_parser("trace", help="print call ladder diagrams")
+    p_trace = sub.add_parser("trace", parents=[engine],
+                             help="print call ladder diagrams")
     _add_scenario_args(p_trace)
     p_trace.add_argument("--rate", type=float, default=100)
     p_trace.add_argument("--calls", type=int, default=2)
     p_trace.set_defaults(func=cmd_trace)
 
+    # bench keeps its own --engines/--engine (an append alias over the
+    # four bit-identical rungs), so it inherits only the parallel parent.
     p_bench = sub.add_parser(
-        "bench", help="benchmark the simulation engines "
-                      "(ref/copy/fast/turbo)"
+        "bench", parents=[parallel],
+        help="benchmark the simulation engines (ref/copy/fast/turbo)",
     )
     p_bench.add_argument("scenarios", nargs="*",
                          help="bench scenarios (default: all)")
@@ -669,7 +753,6 @@ def build_parser() -> argparse.ArgumentParser:
                          help="attach the repro.obs CPU profiler and "
                               "report per-functionality shares (timing "
                               "cells then measure instrumented runs)")
-    _add_parallel_args(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the run cache")

@@ -126,6 +126,7 @@ class MessageKind(enum.Enum):
     REJECT = "reject"                # generating a 4xx/5xx
     CONTROL = "control"              # SERvartuka overload report
     REGISTER = "register"
+    REGISTER_AUTH = "register_auth"  # REGISTER with digest verification
     GENERIC = "generic"
 
 
@@ -179,6 +180,14 @@ _SPECIAL_EVENTS: Dict[MessageKind, Dict[str, int]] = {
     MessageKind.REJECT: {"parsing": 10, "memory": 4, "others": 8},
     MessageKind.CONTROL: {"parsing": 2, "others": 3},
     MessageKind.REGISTER: {"parsing": 24, "memory": 10, "lookup": 20, "others": 12},
+    # REGISTER plus the digest check: the plain-REGISTER events summed
+    # with the AUTH feature's per-INVITE events (Table 1's
+    # authentication column applies per verified request).
+    MessageKind.REGISTER_AUTH: {
+        "parsing": 38, "memory": 24, "lumping": 2, "routing": 2,
+        "hashing": 4, "lookup": 20, "state": 4, "authentication": 130,
+        "others": 22,
+    },
     MessageKind.GENERIC: {"parsing": 16, "routing": 4, "others": 8},
 }
 

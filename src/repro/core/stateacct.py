@@ -1,0 +1,107 @@
+"""Per-species state-size accounting for a SIP element.
+
+SERvartuka's Algorithms 1/2 reason about *whether* a node holds state,
+but the paper's motivation is the memory and CPU cost of that state.
+With the workload families beyond plain INVITE flows (REGISTER churn,
+B2BUA chains) a node now holds three distinct state species with very
+different lifetimes and footprints:
+
+- **registration** bindings: long-lived (tens of seconds to hours),
+  small, refreshed in place;
+- **transaction** cells: short-lived (Timer B horizon), the unit the
+  paper's T_SF/T_SL thresholds price;
+- **dialog** records: call-duration lifetime, created only by a
+  dialog-stateful element.
+
+:class:`StateAccount` tracks live counts, high-water marks, and
+cumulative creations per species, plus a byte estimate from per-entry
+footprints measured on OpenSER 1.2 (usrloc record, TM cell, dialog
+module entry -- the software the paper instruments).  The registrar
+share of the CPU feeds the proxy's :meth:`state_thresholds` derating so
+Algorithm 1/2 plan against the capacity actually left for call setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Approximate per-entry heap footprints (bytes).  Absolute values only
+# scale the byte gauge; the *ratios* are what the docs and experiments
+# lean on (a registration is ~5x cheaper to hold than a transaction).
+REGISTRATION_BYTES = 340    # usrloc record: AOR + contact + expiry + flags
+TRANSACTION_BYTES = 1800    # TM cell: request copy, timers, branch list
+DIALOG_BYTES = 700          # dialog bookkeeping on top of its transactions
+
+_SPECIES = ("registration", "transaction", "dialog")
+_BYTES = {
+    "registration": REGISTRATION_BYTES,
+    "transaction": TRANSACTION_BYTES,
+    "dialog": DIALOG_BYTES,
+}
+
+
+class StateAccount:
+    """Live/peak/total counters for the three state species."""
+
+    __slots__ = ("live", "peak", "total")
+
+    def __init__(self):
+        self.live: Dict[str, int] = {s: 0 for s in _SPECIES}
+        self.peak: Dict[str, int] = {s: 0 for s in _SPECIES}
+        self.total: Dict[str, int] = {s: 0 for s in _SPECIES}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def created(self, species: str, count: int = 1) -> None:
+        live = self.live[species] + count
+        self.live[species] = live
+        self.total[species] += count
+        if live > self.peak[species]:
+            self.peak[species] = live
+
+    def destroyed(self, species: str, count: int = 1) -> None:
+        # Clamp at zero: destruction paths can race their own timers
+        # (e.g. a crash clears state whose expiry timer later fires).
+        live = self.live[species] - count
+        self.live[species] = live if live > 0 else 0
+
+    def refreshed(self, species: str) -> None:
+        """An in-place update (re-REGISTER of an existing binding):
+        counts toward churn (total) without growing the live set."""
+        self.total[species] += 1
+
+    def reset_live(self, *species: str) -> None:
+        """Crash semantics: volatile state dies, history survives.
+
+        Callers name the species that actually died: a proxy crash
+        destroys its transactions and dialogs, but registrations live in
+        the domain's shared location service (the OpenSER database) and
+        survive the process.
+        """
+        for name in (species or _SPECIES):
+            self.live[name] = 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def live_bytes(self) -> int:
+        return sum(self.live[s] * _BYTES[s] for s in _SPECIES)
+
+    def peak_bytes(self) -> int:
+        return sum(self.peak[s] * _BYTES[s] for s in _SPECIES)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "live": dict(self.live),
+            "peak": dict(self.peak),
+            "total": dict(self.total),
+            "live_bytes": self.live_bytes(),
+            "peak_bytes": self.peak_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(
+            f"{s}={self.live[s]}/{self.peak[s]}" for s in _SPECIES
+        )
+        return f"<StateAccount {parts}>"

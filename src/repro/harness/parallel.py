@@ -56,10 +56,14 @@ from repro.harness.runcache import RunCache
 from repro.harness.runner import RunResult, run_scenario
 from repro.workloads.scenarios import (
     ScenarioConfig,
+    b2bua_chain,
+    flash_crowd,
     generated,
+    heavy_tail,
     internal_external,
     n_series,
     parallel_fork,
+    register_churn,
     single_proxy,
 )
 
@@ -175,6 +179,10 @@ SCENARIO_BUILDERS: Dict[str, Callable] = {
     "internal_external": internal_external,
     "parallel_fork": parallel_fork,
     "generated": generated,
+    "register_churn": register_churn,
+    "b2bua_chain": b2bua_chain,
+    "flash_crowd": flash_crowd,
+    "heavy_tail": heavy_tail,
 }
 
 

@@ -6,7 +6,9 @@
 - :mod:`repro.servers.proxy` -- the OpenSER-like proxy with the paper's
   five functionality modes and pluggable state policies,
 - :mod:`repro.servers.uac` -- the SIPp-like call generator,
-- :mod:`repro.servers.uas` -- the SIPp-like answering server.
+- :mod:`repro.servers.uas` -- the SIPp-like answering server,
+- :mod:`repro.servers.b2bua` -- a back-to-back user agent bridging
+  dialogs between two legs (full call state on both).
 """
 
 from repro.servers.node import Node
@@ -15,9 +17,11 @@ from repro.servers.proxy import ProxyServer, ProxyConfig, RouteTable, DELIVER_AC
 from repro.servers.uac import CallGenerator, CallGeneratorConfig, CallRecord
 from repro.servers.uas import AnsweringServer
 from repro.servers.registrar_client import RegistrarClient
+from repro.servers.b2bua import B2buaServer
 
 __all__ = [
     "RegistrarClient",
+    "B2buaServer",
     "Node",
     "Binding",
     "LocationService",

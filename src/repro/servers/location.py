@@ -79,6 +79,18 @@ class LocationService:
             self._bindings.pop(key, None)
         return before - len(bucket)
 
+    def is_registered(self, aor: str, node: str) -> bool:
+        """True when the node already holds a binding for the AOR.
+
+        A peek, not a lookup: it ignores expiry and does not touch the
+        lookup/miss counters, so registrars can classify fresh binds vs
+        refreshes without perturbing the gauges the harness reads.
+        """
+        for binding in self._bindings.get(self._key(aor), []):
+            if binding.node == node:
+                return True
+        return False
+
     def lookup(self, aor: str, now: float = 0.0) -> Optional[Binding]:
         """First live binding for an AOR, or None (counts as a miss)."""
         self.lookups += 1

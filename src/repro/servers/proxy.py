@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.control import ControlPolicy, format_retry_after
 from repro.core.costmodel import CostModel, Feature, MessageKind
 from repro.core.overload import OverloadReport
+from repro.core.stateacct import StateAccount
 from repro.core.static_policy import PolicyDecision, StatePolicy, stateful_policy
 from repro.servers.location import LocationService
 from repro.servers.node import Node, classify_sip_kind
@@ -61,6 +62,7 @@ DELIVER_ACTION = "__deliver__"
 _FS_EMPTY = frozenset()
 _FS_BASE = frozenset({Feature.BASE})
 _FS_BASE_LOOKUP = frozenset({Feature.BASE, Feature.LOOKUP})
+_FS_BASE_LOOKUP_AUTH = frozenset({Feature.BASE, Feature.LOOKUP, Feature.AUTH})
 _FS_AUTH = frozenset({Feature.AUTH})
 
 #: Header carrying the FASF ("state already maintained upstream") bit.
@@ -254,6 +256,12 @@ class ProxyServer(Node):
         self._transactions: Dict[Tuple[str, str, str], ProxyTransaction] = {}
         self._by_forwarded_branch: Dict[str, ProxyTransaction] = {}
         self.dialogs = DialogStore()
+        # Per-species state-size ledger (registration vs transaction vs
+        # dialog); the registration churn it observes also derates the
+        # state thresholds Algorithm 1/2 plan with (state_thresholds).
+        self.state_account = StateAccount()
+        self._register_rate = 0.0
+        self._register_seen_last = 0
         self._branch_counter = 0
         self._via_ema = 0.0
         self._upstream_new_calls: Dict[str, float] = {}
@@ -349,6 +357,10 @@ class ProxyServer(Node):
         stateful = plan.decision is not None and plan.decision.stateful
         if action == "forward_invite":
             return "state-create" if stateful else "forward"
+        if action == "forward_reinvite":
+            # Session refresh rides the existing dialog: a new transaction
+            # where we own the dialog, plain forwarding otherwise.
+            return "state-lookup" if stateful else "forward"
         if action == "forward_bye":
             # An owning BYE begins the dialog/transaction teardown.
             return "state-destroy" if stateful else "forward"
@@ -444,6 +456,20 @@ class ProxyServer(Node):
                                    extra_vias)
 
         if request.method == "REGISTER":
+            if self.config.auth_enabled:
+                # Registrar-side digest auth (RFC 3261 22.2): an
+                # unauthenticated REGISTER is challenged with 401, and an
+                # authenticated one is charged the combined
+                # register+authentication cost.
+                if not self._check_register_auth(request):
+                    plan = self._make_plan("reject", request, src,
+                                           MessageKind.REJECT, _FS_AUTH,
+                                           extra_vias)
+                    plan.status = 401
+                    return plan
+                return self._make_plan("register", request, src,
+                                       MessageKind.REGISTER_AUTH,
+                                       _FS_BASE_LOOKUP_AUTH, extra_vias)
             return self._make_plan("register", request, src,
                                    MessageKind.REGISTER, _FS_BASE_LOOKUP,
                                    extra_vias)
@@ -477,7 +503,18 @@ class ProxyServer(Node):
         is_exit = action == DELIVER_ACTION
         ds_key = action
 
-        if request.method == "INVITE":
+        if request.method == "INVITE" and request.to.tag is not None:
+            # In-dialog (re-)INVITE: already admitted when the dialog was
+            # set up, so it bypasses overload control, shedding, auth and
+            # the distribution policy -- like a BYE, it is transaction-
+            # stateful only where this node Record-Routed itself in.
+            owns = self._owns_dialog(request)
+            plan = self._make_plan(
+                "forward_reinvite", request, src, kind,
+                self._features_for(is_exit, False, owns, False), extra_vias,
+            )
+            plan.decision = PolicyDecision(stateful=owns)
+        elif request.method == "INVITE":
             # Overload control (repro.core.control): the admission
             # decision comes first so the controller sees the full
             # offered load; a controller rejection is a real 503 with
@@ -603,6 +640,17 @@ class ProxyServer(Node):
             return False
         return self.credentials.verify(header, request.method)
 
+    def _check_register_auth(self, request: SipRequest) -> bool:
+        """Registrar auth uses the end-to-end Authorization header
+        (401 challenge), not the proxy-to-proxy one (407)."""
+        if self.credentials is None:
+            return True
+        header = (request.get("Authorization")
+                  or request.get("Proxy-Authorization"))
+        if header is None:
+            return False
+        return self.credentials.verify(header, request.method)
+
     def _track_via_ema(self, extra_vias: int) -> None:
         self._via_ema = 0.95 * self._via_ema + 0.05 * float(extra_vias)
 
@@ -633,6 +681,7 @@ class ProxyServer(Node):
         "register": "_do_register",
         "reject": "_do_reject",
         "forward_invite": "_do_forward_request",
+        "forward_reinvite": "_do_forward_request",
         "forward_bye": "_do_forward_request",
         "forward_other": "_do_forward_request",
         "forward_response": "_do_forward_response",
@@ -706,6 +755,10 @@ class ProxyServer(Node):
                 expires_at = self.loop.now + float(expires_header)
             except ValueError:
                 pass
+        if self.location.is_registered(aor, contact_host):
+            self.state_account.refreshed("registration")
+        else:
+            self.state_account.created("registration")
         self.location.register(aor, contact_host, expires_at=expires_at)
         self.metrics.counter("registrations").increment()
         self._respond_locally(request, 200)
@@ -719,6 +772,12 @@ class ProxyServer(Node):
         if plan.status == 407:
             response.set(
                 "Proxy-Authenticate",
+                make_challenge(self.config.realm, self.config.nonce),
+            )
+        elif plan.status == 401:
+            # Registrar challenge (end-to-end, RFC 3261 22.2).
+            response.set(
+                "WWW-Authenticate",
                 make_challenge(self.config.realm, self.config.nonce),
             )
         elif plan.status == 503 and self.control is not None:
@@ -748,6 +807,7 @@ class ProxyServer(Node):
                 transaction.last_upstream_response = response
                 transaction.completed = True
                 self._transactions[key] = transaction
+                self.state_account.created("transaction")
                 self.loop.schedule(
                     self.config.txn_linger, self._expire_transaction, key, branch
                 )
@@ -956,6 +1016,7 @@ class ProxyServer(Node):
         self._transactions[key] = transaction
         self._by_forwarded_branch[branch] = transaction
         self.metrics.counter("transactions_created").increment()
+        self.state_account.created("transaction")
         # Hard lifetime bound: Timer C equivalent.
         self.loop.schedule(self.timers.timer_b, self._expire_transaction, key, branch)
 
@@ -964,6 +1025,7 @@ class ProxyServer(Node):
             if self.dialogs.find(dialog_id) is None:
                 self.dialogs.create(dialog_id, self.loop.now)
                 self.metrics.counter("dialogs_created").increment()
+                self.state_account.created("dialog")
 
     def _expire_transaction(self, key, branch: str) -> None:
         transaction = self._transactions.get(key)
@@ -973,6 +1035,7 @@ class ProxyServer(Node):
             # whose own timers manage its lifetime.
             del self._transactions[key]
             transaction.stop_retransmitting()
+            self.state_account.destroyed("transaction")
             if self._turbo:
                 # The transaction exclusively owns these shells by now:
                 # upstream replays always sent .copy(), and downstream
@@ -1045,6 +1108,7 @@ class ProxyServer(Node):
                 if dialog is not None:
                     dialog.on_terminated(self.loop.now)
                     self.dialogs.remove(dialog)
+                    self.state_account.destroyed("dialog")
 
         next_via = forwarded.top_via
         if next_via is None or not self.network.has_node(next_via.host):
@@ -1107,11 +1171,31 @@ class ProxyServer(Node):
         return features
 
     def state_thresholds(self) -> Tuple[float, float]:
-        """(T_SF, T_SL) for this node under its current message mix."""
+        """(T_SF, T_SL) for this node under its current message mix.
+
+        When the node also serves REGISTER traffic, the CPU those
+        messages consume is not available for call setup, so both
+        thresholds are derated by the registrar's CPU share (message
+        costs are already expressed as CPU-seconds per message, so
+        ``rate x cost`` is a utilization fraction directly).  Nodes with
+        no registration load take the original code path bit-for-bit.
+        """
         features = self._base_features()
         if self.config.auth_enabled:
             features.add(Feature.AUTH)
-        return self.cost_model.node_thresholds(features, depth=self._via_ema)
+        t_sf, t_sl = self.cost_model.node_thresholds(
+            features, depth=self._via_ema
+        )
+        if self._register_rate > 0.0:
+            kind = (MessageKind.REGISTER_AUTH if self.config.auth_enabled
+                    else MessageKind.REGISTER)
+            reg_cost, _ = self.cost_model.message_cost(kind, _FS_BASE_LOOKUP)
+            headroom = 1.0 - self._register_rate * reg_cost
+            if headroom < 0.05:
+                headroom = 0.05  # never plan a node to zero capacity
+            t_sf *= headroom
+            t_sl *= headroom
+        return t_sf, t_sl
 
     def auth_thresholds(self) -> Tuple[float, float]:
         """Capacity with and without the authentication function.
@@ -1165,6 +1249,15 @@ class ProxyServer(Node):
                          if at <= horizon]
                 for key in stale:
                     del self._pending_rejects[key]
+        # Registrar CPU share for threshold derating.  Gated on having
+        # ever seen a REGISTER so scenarios without registration load
+        # keep the exact pre-existing monitor work.
+        regs = self.state_account.total["registration"]
+        if regs or self._register_rate:
+            self._register_rate = (
+                (regs - self._register_seen_last) / self.config.monitor_period
+            )
+            self._register_seen_last = regs
         # Upstream shares decay so old traffic does not skew the split.
         for upstream in list(self._upstream_new_calls):
             self._upstream_new_calls[upstream] *= 0.5
@@ -1220,6 +1313,7 @@ class ProxyServer(Node):
         lost_dialogs = self.dialogs.clear()
         if lost_dialogs:
             self.metrics.counter("dialogs_lost_on_crash").increment(lost_dialogs)
+        self.state_account.reset_live("transaction", "dialog")
         self._upstream_new_calls.clear()
         self.policy.on_node_crash(self.loop.now)
         if self.auth_policy is not None:

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 from repro.servers.node import Node
 from repro.sim.events import EventLoop
 from repro.sim.network import Network
+from repro.sip.digest import make_authorization
 from repro.sip.headers import Via
 from repro.sip.message import SipMessage, SipRequest, SipResponse
 from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
@@ -41,6 +42,11 @@ class RegistrarClient(Node):
         AORs should be delivered (defaults to this node; real devices
         register the address of their SIP stack, which here is usually
         the :class:`~repro.servers.uas.AnsweringServer`).
+    auth_username / auth_password / auth_realm / auth_nonce:
+        When ``auth_username`` is set, every REGISTER carries a digest
+        ``Authorization`` header computed against the registrar's static
+        challenge -- the "digest-auth storm" variant where each refresh
+        also costs the registrar a credential verification.
     """
 
     def __init__(
@@ -54,6 +60,10 @@ class RegistrarClient(Node):
         expires: float = 90.0,
         timers: TimerPolicy = DEFAULT_TIMERS,
         contact_node: Optional[str] = None,
+        auth_username: Optional[str] = None,
+        auth_password: str = "",
+        auth_realm: str = "repro.example.com",
+        auth_nonce: str = "repro-nonce",
         **kwargs,
     ):
         if not aors:
@@ -68,6 +78,10 @@ class RegistrarClient(Node):
         self.expires = expires
         self.timers = timers
         self.contact_node = contact_node or name
+        self.auth_username = auth_username
+        self.auth_password = auth_password
+        self.auth_realm = auth_realm
+        self.auth_nonce = auth_nonce
         self._transactions: Dict[str, ClientTransaction] = {}
         self._cseq: Dict[str, int] = {aor: 0 for aor in self.aors}
         self._branch_counter = 0
@@ -118,7 +132,18 @@ class RegistrarClient(Node):
         )
         register.set("CSeq", f"{self._cseq[aor]} REGISTER")
         register.set("Contact", f"<sip:{self.contact_node}>")
-        register.set("Expires", str(int(self.expires)))
+        # RFC 3261 carries integer delta-seconds, but scaled sim time
+        # makes sub-second expiries routine -- truncating 0.75 to 0
+        # would unbind the AOR on every refresh.
+        register.set("Expires", f"{self.expires:g}")
+        if self.auth_username is not None:
+            register.set(
+                "Authorization",
+                make_authorization(
+                    self.auth_username, self.auth_realm, self.auth_password,
+                    "REGISTER", aor, self.auth_nonce,
+                ),
+            )
         register.push_via(Via(self.name, branch=branch))
 
         self.metrics.counter("registers_sent").increment()

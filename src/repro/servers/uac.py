@@ -45,6 +45,10 @@ class CallGeneratorConfig:
         from_domain: str = "clients.example.com",
         arrival: str = "poisson",
         hold_time: float = 0.0,
+        hold_dist: str = "fixed",
+        hold_sigma: float = 0.6,
+        hold_alpha: float = 2.5,
+        reinvite_after: Optional[float] = None,
         max_calls: Optional[int] = None,
         auth_username: Optional[str] = None,
         auth_password: Optional[str] = None,
@@ -61,6 +65,14 @@ class CallGeneratorConfig:
             raise ValueError(f"unknown arrival process {arrival!r}")
         if hold_time < 0:
             raise ValueError("hold_time must be >= 0")
+        if hold_dist not in ("fixed", "lognormal", "pareto"):
+            raise ValueError(f"unknown hold distribution {hold_dist!r}")
+        if hold_sigma < 0:
+            raise ValueError("hold_sigma must be >= 0")
+        if hold_alpha <= 1.0:
+            raise ValueError("hold_alpha must be > 1 (finite mean)")
+        if reinvite_after is not None and reinvite_after <= 0:
+            raise ValueError("reinvite_after must be positive")
         if abandon_after is not None and abandon_after <= 0:
             raise ValueError("abandon_after must be positive")
         self.rate = rate
@@ -69,6 +81,15 @@ class CallGeneratorConfig:
         self.from_domain = from_domain
         self.arrival = arrival
         self.hold_time = hold_time
+        #: Per-call holding-time distribution: ``"fixed"`` holds exactly
+        #: ``hold_time``; ``"lognormal"`` and ``"pareto"`` draw with mean
+        #: ``hold_time`` (``hold_sigma`` / ``hold_alpha`` shape them).
+        self.hold_dist = hold_dist
+        self.hold_sigma = hold_sigma
+        self.hold_alpha = hold_alpha
+        #: Send a session-refresh re-INVITE this many seconds into any
+        #: call whose drawn hold exceeds it; None disables re-INVITEs.
+        self.reinvite_after = reinvite_after
         self.max_calls = max_calls
         self.auth_username = auth_username
         self.auth_password = auth_password
@@ -136,6 +157,10 @@ class CallGenerator(Node):
             # The arrival stream is exponential-only, so the turbo rung
             # may batch its underlying uniforms (same values, same order).
             self._arrival_rng.enable_predraw()
+        # Holding-time draws get their own stream so enabling a
+        # distribution never perturbs the arrival process (and vice
+        # versa); hold_dist="fixed" draws nothing from it.
+        self._hold_rng = self.rng.spawn("hold")
         self._calls: Dict[str, CallRecord] = {}
         self._transactions: Dict[tuple, ClientTransaction] = {}  # (branch, method)
         self._call_counter = 0
@@ -405,9 +430,26 @@ class CallGenerator(Node):
         )
         self._send_ack(record)
         if self.config.hold_time > 0:
-            self.loop.schedule(self.config.hold_time, self._send_bye, record.call_id)
+            hold = self._draw_hold_time()
+            refresh = self.config.reinvite_after
+            if refresh is not None and hold > refresh:
+                self.loop.schedule(refresh, self._send_reinvite, record.call_id)
+            self.loop.schedule(hold, self._send_bye, record.call_id)
         else:
             self._send_bye(record.call_id)
+
+    def _draw_hold_time(self) -> float:
+        config = self.config
+        if config.hold_dist == "lognormal":
+            return config.hold_time * self._hold_rng.lognormal_unit_mean(
+                config.hold_sigma
+            )
+        if config.hold_dist == "pareto":
+            # Scale so the mean is exactly hold_time: E[X] = xm*a/(a-1).
+            alpha = config.hold_alpha
+            xm = config.hold_time * (alpha - 1.0) / alpha
+            return self._hold_rng.pareto(alpha, xm)
+        return config.hold_time
 
     def _send_ack(self, record: CallRecord) -> None:
         ack = SipRequest.build(
@@ -426,6 +468,74 @@ class CallGenerator(Node):
         ack.push_via(Via(self.name, branch=self._next_branch()))
         self.metrics.counter("acks_sent").increment()
         self.send(self.config.first_hop, ack)
+
+    # ------------------------------------------------------------------
+    # Mid-call session refresh (re-INVITE)
+    # ------------------------------------------------------------------
+    def _send_reinvite(self, call_id: str) -> None:
+        record = self._calls.get(call_id)
+        if record is None or record.state != "answered":
+            return
+        record.cseq += 1
+        reinvite = SipRequest.build(
+            "INVITE",
+            uri=record.destination,
+            from_addr=record.from_uri,
+            to_addr=record.destination,
+            call_id=call_id,
+            cseq=record.cseq,
+            from_tag=record.from_tag,
+            to_tag=record.to_tag,
+        )
+        reinvite.add("Contact", f"<sip:{self.name}>")
+        for route in record.route_set:
+            reinvite.add("Route", route)
+        branch = self._next_branch()
+        reinvite.push_via(Via(self.name, branch=branch))
+        transaction = ClientTransaction(
+            reinvite,
+            self.loop,
+            send_fn=self._make_sender("reinvites_sent"),
+            on_response=lambda response: self._on_reinvite_response(
+                call_id, branch, response
+            ),
+            on_timeout=lambda: self._on_reinvite_timeout(call_id, branch),
+            timers=self.timers,
+        )
+        transaction.timer_observer = self.timer_observer
+        self._transactions[(branch, "INVITE")] = transaction
+        transaction.start()
+
+    def _reap_reinvite_transaction(self, branch: str) -> None:
+        transaction = self._transactions.pop((branch, "INVITE"), None)
+        if transaction is not None:
+            self.metrics.counter("retransmits_harvested").increment(
+                transaction.retransmit_count
+            )
+
+    def _on_reinvite_response(
+        self, call_id: str, branch: str, response: SipResponse
+    ) -> None:
+        if response.is_provisional:
+            return
+        self._reap_reinvite_transaction(branch)
+        record = self._calls.get(call_id)
+        if record is None:
+            return
+        if response.is_success:
+            self.metrics.counter("reinvites_confirmed").increment()
+            if record.state == "answered":
+                # record.cseq is still the re-INVITE's CSeq, so the ACK
+                # matches it; once the BYE went out the dialog is ending
+                # and the refresh result no longer matters.
+                self._send_ack(record)
+        else:
+            # A failed session refresh never tears down the call.
+            self.metrics.counter("reinvites_failed").increment()
+
+    def _on_reinvite_timeout(self, call_id: str, branch: str) -> None:
+        self._reap_reinvite_transaction(branch)
+        self.metrics.counter("reinvites_timed_out").increment()
 
     def _maybe_abandon(self, call_id: str) -> None:
         record = self._calls.get(call_id)

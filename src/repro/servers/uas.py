@@ -24,7 +24,8 @@ from repro.sip.timers import DEFAULT_TIMERS, TimerPolicy
 class _PendingAck:
     """Bookkeeping for a 200 that awaits its ACK."""
 
-    __slots__ = ("response", "next_hop", "interval", "handle", "deadline_handle")
+    __slots__ = ("response", "next_hop", "interval", "handle",
+                 "deadline_handle", "teardown_on_giveup")
 
     def __init__(self, response: SipResponse, next_hop: str):
         self.response = response
@@ -32,6 +33,9 @@ class _PendingAck:
         self.interval = 0.0
         self.handle: Optional[EventHandle] = None
         self.deadline_handle: Optional[EventHandle] = None
+        # Timer-H expiry tears down the call for an initial INVITE's 200,
+        # but a re-INVITE's unACKed 200 must not kill the session.
+        self.teardown_on_giveup = True
 
     def cancel(self) -> None:
         if self.handle is not None:
@@ -96,6 +100,10 @@ class AnsweringServer(Node):
 
     def _handle_invite(self, request: SipRequest, src: str) -> None:
         call_id = request.call_id
+        if request.to.tag is not None:
+            # In-dialog (re-)INVITE: carries the to-tag we assigned.
+            self._handle_reinvite(request, src)
+            return
         if call_id in self._seen_invites:
             # Retransmitted INVITE: replay the stored 200 if still unACKed.
             self.metrics.counter("invite_retransmits_seen").increment()
@@ -114,23 +122,7 @@ class AnsweringServer(Node):
         # Answer the caller's SDP offer (first codec wins); calls with
         # no/broken SDP still complete -- the control plane is the
         # subject here, not the media.
-        if request.body:
-            answer = (self._answer_memo.get(request.body)
-                      if turbo_enabled() else None)
-            # add() rather than set(): for_request() never copies
-            # Content-Type, so appending is equivalent.
-            if answer is not None:
-                ok.body = answer
-                ok.add("Content-Type", "application/sdp")
-            else:
-                try:
-                    offer = SessionDescription.parse(request.body)
-                    ok.body = offer.answer(self.name).to_body()
-                    ok.add("Content-Type", "application/sdp")
-                    if turbo_enabled() and len(self._answer_memo) < 256:
-                        self._answer_memo[request.body] = ok.body
-                except SdpError:
-                    self.metrics.counter("bad_sdp_offers").increment()
+        self._answer_sdp(request, ok)
         next_hop = self._response_next_hop(ringing)
         if next_hop is None:
             self.metrics.counter("unroutable_responses").increment()
@@ -149,6 +141,61 @@ class AnsweringServer(Node):
         else:
             self.send(next_hop, ringing)
             self._send_ok(call_id, ok, next_hop)
+
+    def _answer_sdp(self, request: SipRequest, ok: SipResponse) -> None:
+        if not request.body:
+            return
+        answer = (self._answer_memo.get(request.body)
+                  if turbo_enabled() else None)
+        # add() rather than set(): for_request() never copies
+        # Content-Type, so appending is equivalent.
+        if answer is not None:
+            ok.body = answer
+            ok.add("Content-Type", "application/sdp")
+        else:
+            try:
+                offer = SessionDescription.parse(request.body)
+                ok.body = offer.answer(self.name).to_body()
+                ok.add("Content-Type", "application/sdp")
+                if turbo_enabled() and len(self._answer_memo) < 256:
+                    self._answer_memo[request.body] = ok.body
+            except SdpError:
+                self.metrics.counter("bad_sdp_offers").increment()
+
+    def _handle_reinvite(self, request: SipRequest, src: str) -> None:
+        """RFC 3261 14.2: answer a session-refresh INVITE inside the
+        dialog with a 200 carrying the established to-tag."""
+        call_id = request.call_id
+        known = self._seen_invites.get(call_id)
+        if known is None or request.to.tag != known:
+            self.metrics.counter("reinvites_unknown").increment()
+            self._respond(request, src, 481)
+            return
+        pending = self._pending_acks.get(call_id)
+        if pending is not None:
+            # A 200 (original or re-INVITE) is still awaiting its ACK:
+            # treat this as a retransmission and replay it.
+            self.metrics.counter("invite_retransmits_seen").increment()
+            self.send(pending.next_hop, pending.response.copy())
+            return
+        self.metrics.counter("reinvites_received").increment()
+        ok = SipResponse.for_request(request, 200, to_tag=known)
+        self._answer_sdp(request, ok)
+        next_hop = self._response_next_hop(ok)
+        if next_hop is None:
+            self.metrics.counter("unroutable_responses").increment()
+            return
+        pending = _PendingAck(ok, next_hop)
+        pending.teardown_on_giveup = False
+        self._pending_acks[call_id] = pending
+        self.send(next_hop, ok)
+        pending.interval = self.timers.t1
+        pending.handle = self.loop.schedule(
+            pending.interval, self._retransmit_ok, call_id
+        )
+        pending.deadline_handle = self.loop.schedule(
+            self.timers.timer_h, self._give_up_ok, call_id
+        )
 
     def _handle_cancel(self, request: SipRequest, src: str) -> None:
         """RFC 3261 9.2: 200 the CANCEL; if the INVITE is still pending
@@ -196,8 +243,11 @@ class AnsweringServer(Node):
         if pending is None:
             return
         pending.cancel()
-        self._seen_invites.pop(call_id, None)
-        self.metrics.counter("calls_never_acked").increment()
+        if pending.teardown_on_giveup:
+            self._seen_invites.pop(call_id, None)
+            self.metrics.counter("calls_never_acked").increment()
+        else:
+            self.metrics.counter("reinvites_never_acked").increment()
 
     def _handle_ack(self, request: SipRequest) -> None:
         pending = self._pending_acks.pop(request.call_id, None)

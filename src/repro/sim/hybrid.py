@@ -310,8 +310,21 @@ class TransientSchedule:
 class _Cumulative:
     """Cumulative counter snapshot used for deltas and ratio credits."""
 
+    #: Per-call B2BUA counters: in a disturbance-free steady window each
+    #: bridged call contributes exactly one of each.  The first group is
+    #: arrival-aligned (incremented within a round-trip of the INVITE
+    #: arriving), the second completion-aligned (incremented when the
+    #: call tears down) -- credits anchor each group on the matching
+    #: generator-side delta so the window's in-flight lag cancels.
+    B2BUA_ARRIVAL_COUNTERS = ("calls_received", "b2b_invites_sent")
+    B2BUA_COMPLETION_COUNTERS = (
+        "calls_answered", "acks_received", "acks_sent",
+        "byes_sent", "calls_completed",
+    )
+    B2BUA_COUNTERS = B2BUA_ARRIVAL_COUNTERS + B2BUA_COMPLETION_COUNTERS
+
     __slots__ = (
-        "time", "attempted", "gens", "servers", "proxies",
+        "time", "attempted", "gens", "servers", "proxies", "b2buas",
         "disturbances", "max_queue_delay", "all_alive",
     )
 
@@ -338,6 +351,17 @@ class _Cumulative:
                 counters.counter("acks_received").value,
                 s.calls_completed,
             )
+        b2buas: Dict[str, tuple] = {}
+        for b in getattr(scenario, "b2buas", ()):
+            counters = b.metrics
+            b2buas[b.name] = tuple(
+                counters.counter(name).value for name in self.B2BUA_COUNTERS
+            )
+            disturbances += (
+                counters.counter("calls_failed").value
+                + counters.counter("calls_never_acked").value
+                + counters.counter("late_responses").value
+            )
         proxies: Dict[str, tuple] = {}
         max_qdelay = 0.0
         all_alive = True
@@ -360,6 +384,7 @@ class _Cumulative:
         self.gens = gens
         self.servers = servers
         self.proxies = proxies
+        self.b2buas = b2buas
         self.disturbances = disturbances
         self.max_queue_delay = max_qdelay
         self.all_alive = all_alive
@@ -491,6 +516,12 @@ class HybridRuntime:
         if any(p.control is not None for p in proxies):
             # Overload-control dynamics are per-message by definition;
             # hybrid never fast-forwards controlled runs.
+            return
+        if getattr(scenario, "registrars", None):
+            # Registrar refresh timers are relative while the location
+            # service expires bindings at absolute times: displacing a
+            # pending refresh across a jump would lapse every binding
+            # mid-run.  Registration-churn scenarios run as pure turbo.
             return
         if not snap.all_alive:
             return
@@ -672,6 +703,28 @@ class HybridRuntime:
                 self._credit(
                     s.metrics, counter, float(n), ("uas", s.name, counter)
                 )
+        # B2BUA legs: a bridged call contributes one of each per-call
+        # counter, credited by the B2BUA's share of the calibration
+        # window (exact in single-B2BUA chains, proportional otherwise).
+        # Arrival-aligned counters anchor on attempted calls and
+        # completion-aligned ones on completed calls so the numerator
+        # and denominator lag the window boundary together and cancel.
+        arrival_factor = skipped / d_attempt if d_attempt > 0 else factor
+        n_arrival = len(_Cumulative.B2BUA_ARRIVAL_COUNTERS)
+        for b in getattr(scenario, "b2buas", ()):
+            prev = base.b2buas.get(b.name)
+            row = snap.b2buas.get(b.name)
+            if prev is None or row is None:
+                continue
+            for index, counter in enumerate(_Cumulative.B2BUA_COUNTERS):
+                delta = row[index] - prev[index]
+                if delta > 0:
+                    self._credit(
+                        b.metrics, counter,
+                        delta * (arrival_factor if index < n_arrival
+                                 else factor),
+                        ("b2bua", b.name, counter),
+                    )
 
         # 3. CPU + protocol state per proxy, then in-flight call state.
         for name, proxy in scenario.proxies.items():

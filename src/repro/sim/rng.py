@@ -139,6 +139,20 @@ class RngStream:
             return _exp(mu + z * sigma)
         return math.exp(self._random.gauss(mu, sigma))
 
+    def pareto(self, alpha: float, xm: float = 1.0) -> float:
+        """Pareto sample with shape ``alpha`` and scale (minimum) ``xm``.
+
+        Inverse-CDF form ``xm * U^(-1/alpha)``; the underlying uniform is
+        drawn directly (this stream is never pre-drawn) so the sample is
+        engine-independent.
+        """
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive: {alpha}")
+        if xm <= 0:
+            raise ValueError(f"xm must be positive: {xm}")
+        u = 1.0 - self._random.random()
+        return xm * u ** (-1.0 / alpha)
+
     def bernoulli(self, p: float) -> bool:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability out of range: {p}")

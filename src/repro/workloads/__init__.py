@@ -2,9 +2,12 @@
 
 :mod:`repro.workloads.scenarios` builds complete simulations of the
 paper's evaluation topologies (single proxy, N in series, the Figure 7
-internal/external mix, the Figure 8 parallel fork);
-:mod:`repro.workloads.callgen` provides load profiles (steps, ramps)
-for time-varying experiments.
+internal/external mix, the Figure 8 parallel fork) plus the diversity
+families (REGISTER churn, B2BUA chains, flash crowds, heavy-tailed
+holds); :mod:`repro.workloads.callgen` provides load profiles (steps,
+ramps) for time-varying experiments;
+:mod:`repro.workloads.spec` is the declarative scenario DSL
+(TOML/JSON -> :class:`ScenarioSpec` -> a runnable scenario).
 """
 
 from repro.workloads.scenarios import (
@@ -16,18 +19,28 @@ from repro.workloads.scenarios import (
     internal_external,
     parallel_fork,
     generated,
+    register_churn,
+    b2bua_chain,
+    flash_crowd,
+    heavy_tail,
 )
 from repro.workloads.callgen import LoadProfile, LoadStep, apply_profile
+from repro.workloads.spec import ScenarioSpec
 
 __all__ = [
     "Scenario",
     "ScenarioConfig",
+    "ScenarioSpec",
     "single_proxy",
     "n_series",
     "two_series",
     "internal_external",
     "parallel_fork",
     "generated",
+    "register_churn",
+    "b2bua_chain",
+    "flash_crowd",
+    "heavy_tail",
     "LoadProfile",
     "LoadStep",
     "apply_profile",

@@ -6,7 +6,15 @@ Every builder returns a ready-to-run :class:`Scenario`:
 - :func:`two_series` / :func:`n_series` -- Figures 5/6 and the
   three-in-series result,
 - :func:`internal_external` -- Figure 7's two-flow mix,
-- :func:`parallel_fork` -- Figure 8's load balancer.
+- :func:`parallel_fork` -- Figure 8's load balancer,
+- :func:`register_churn` -- subscriber REGISTER refresh churn (with a
+  digest-auth storm variant),
+- :func:`b2bua_chain` -- a dialog-bridging B2BUA between two proxy
+  segments,
+- :func:`flash_crowd` -- time-varying load (step / spike / diurnal)
+  with optional restart avalanches,
+- :func:`heavy_tail` -- lognormal/Pareto call durations and mid-call
+  re-INVITEs.
 
 Rates are specified in *paper-equivalent* calls/second; the scenario
 divides them by ``config.scale`` internally (the cost model multiplies
@@ -15,6 +23,8 @@ costs by the same factor), so results read back in paper units.
 
 from __future__ import annotations
 
+import math
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.control import ControlConfig
@@ -33,6 +43,8 @@ from repro.servers.proxy import (
     ProxyServer,
     RouteTable,
 )
+from repro.servers.b2bua import B2buaServer
+from repro.servers.registrar_client import RegistrarClient
 from repro.servers.uac import CallGenerator, CallGeneratorConfig
 from repro.servers.uas import AnsweringServer
 from repro.sim.events import EventLoop
@@ -198,12 +210,22 @@ class ScenarioConfig:
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ScenarioConfig":
+        """Rebuild from :meth:`to_payload` output -- or any subset of it.
+
+        Partial dicts (e.g. the ``[config]`` section of a scenario spec
+        file) fill the missing knobs with constructor defaults, so
+        ``from_payload(cfg.to_payload()) == cfg`` and
+        ``from_payload({"seed": 3})`` both work.
+        """
         kwargs = dict(payload)
-        kwargs["timers"] = TimerPolicy(**kwargs["timers"])
-        servartuka = dict(kwargs["servartuka"])
-        servartuka["clear_periods"] = int(servartuka["clear_periods"])
-        kwargs["servartuka"] = ServartukaConfig(**servartuka)
-        kwargs["seed"] = int(kwargs["seed"])
+        if isinstance(kwargs.get("timers"), dict):
+            kwargs["timers"] = TimerPolicy(**kwargs["timers"])
+        if isinstance(kwargs.get("servartuka"), dict):
+            servartuka = dict(kwargs["servartuka"])
+            servartuka["clear_periods"] = int(servartuka["clear_periods"])
+            kwargs["servartuka"] = ServartukaConfig(**servartuka)
+        if "seed" in kwargs:
+            kwargs["seed"] = int(kwargs["seed"])
         if "observe" in kwargs:
             kwargs["observe"] = ObserveConfig.coerce(kwargs["observe"])
         if "control" in kwargs:
@@ -211,6 +233,30 @@ class ScenarioConfig:
         if "hybrid" in kwargs:
             kwargs["hybrid"] = HybridConfig.coerce(kwargs["hybrid"])
         return cls(**kwargs)
+
+    @classmethod
+    def coerce(cls, value) -> "ScenarioConfig":
+        """Accept the forms ``config=`` takes everywhere (the
+        :meth:`repro.core.control.ControlConfig.coerce` idiom):
+
+        - ``None`` -- defaults,
+        - a :class:`ScenarioConfig` -- passed through,
+        - a ``str`` -- shorthand for ``ScenarioConfig(engine=value)``,
+        - a ``dict`` -- :meth:`from_payload` (partial dicts fill with
+          defaults).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(engine=value)
+        if isinstance(value, dict):
+            return cls.from_payload(value)
+        raise TypeError(
+            "config must be None, a ScenarioConfig, an engine name or a "
+            f"payload dict, not {type(value).__name__}"
+        )
 
     def make_event_loop(self) -> EventLoop:
         if self.engine in ("fast", "turbo", "hybrid"):
@@ -276,6 +322,11 @@ class Scenario:
         self.proxies: Dict[str, ProxyServer] = {}
         self.generators: List[CallGenerator] = []
         self.servers: List[AnsweringServer] = []
+        # Registration churners and B2BUAs live in their own lists:
+        # the hybrid runtime replays *call* generators analytically
+        # (fast_forward_arrivals) but leaves these event-driven.
+        self.registrars: List[RegistrarClient] = []
+        self.b2buas: List[B2buaServer] = []
         self.trace = None
         self.faults = None
         self.hybrid_runtime = None
@@ -411,6 +462,11 @@ class Scenario:
         first_hop: str,
         destinations: Sequence[str],
         with_auth: bool = False,
+        hold_time: Optional[float] = None,
+        hold_dist: str = "fixed",
+        hold_sigma: float = 0.6,
+        hold_alpha: float = 2.5,
+        reinvite_after: Optional[float] = None,
     ) -> CallGenerator:
         generator = CallGenerator(
             name,
@@ -421,7 +477,13 @@ class Scenario:
                 first_hop=first_hop,
                 destinations=destinations,
                 arrival=self.config.arrival,
-                hold_time=self.config.hold_time,
+                hold_time=(
+                    self.config.hold_time if hold_time is None else hold_time
+                ),
+                hold_dist=hold_dist,
+                hold_sigma=hold_sigma,
+                hold_alpha=hold_alpha,
+                reinvite_after=reinvite_after,
                 auth_username=AUTH_USER if with_auth else None,
                 auth_password=AUTH_PASSWORD if with_auth else None,
                 auth_realm=AUTH_REALM if with_auth else None,
@@ -437,16 +499,68 @@ class Scenario:
                 generator.timer_observer = profiler.count
         return generator
 
+    def add_registrar(
+        self,
+        name: str,
+        registrar: str,
+        aors: Sequence[str],
+        refresh_interval: float,
+        expires: float,
+        contact_node: Optional[str] = None,
+        with_auth: bool = False,
+    ) -> RegistrarClient:
+        """A population of devices refreshing their bindings via REGISTER."""
+        client = RegistrarClient(
+            name,
+            self.loop,
+            self.network,
+            registrar=registrar,
+            aors=aors,
+            refresh_interval=refresh_interval,
+            expires=expires,
+            timers=self.config.timers,
+            contact_node=contact_node,
+            auth_username=AUTH_USER if with_auth else None,
+            auth_password=AUTH_PASSWORD if with_auth else "",
+            auth_realm=AUTH_REALM,
+            auth_nonce=AUTH_NONCE,
+            rng=self.rng,
+        )
+        self.registrars.append(client)
+        return client
+
+    def add_b2bua(self, name: str, first_hop: str,
+                  dest_domain: str) -> B2buaServer:
+        """A dialog-bridging B2BUA between two proxy segments."""
+        b2bua = B2buaServer(
+            name,
+            self.loop,
+            self.network,
+            first_hop=first_hop,
+            dest_domain=dest_domain,
+            timers=self.config.timers,
+            rng=self.rng,
+        )
+        self.b2buas.append(b2bua)
+        return b2bua
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def start(self) -> None:
+        # Registrars first: their initial REGISTERs land before the
+        # first call of a uniform-arrival generator (also scheduled at
+        # t=0), keeping event order deterministic.
+        for registrar in self.registrars:
+            registrar.start()
         for generator in self.generators:
             generator.start()
         if self.hybrid_runtime is not None:
             self.hybrid_runtime.start()
 
     def stop_load(self) -> None:
+        for registrar in self.registrars:
+            registrar.stop()
         for generator in self.generators:
             generator.stop()
         if self.hybrid_runtime is not None:
@@ -474,6 +588,48 @@ class Scenario:
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
+#: ScenarioConfig knobs historically accepted as direct builder kwargs.
+_CONFIG_FIELDS = (
+    "scale", "seed", "noise_sigma", "arrival", "monitor_period",
+    "via_overhead", "reject_queue_delay", "max_queue_delay", "t_sf",
+    "t_sl", "hold_time", "timers", "servartuka", "engine",
+    "lean_metrics", "observe", "control", "hybrid",
+)
+
+
+def _resolve_config(config, kwargs: Dict[str, object],
+                    builder: str) -> ScenarioConfig:
+    """Coerce ``config`` and absorb deprecated config-field kwargs.
+
+    Builders historically grew ad-hoc kwargs shadowing ScenarioConfig
+    knobs (``seed=``, ``engine=``, ...).  Those still work -- folded
+    into the config here -- but raise a :class:`DeprecationWarning`;
+    the one idiom going forward is ``config=`` (anything
+    :meth:`ScenarioConfig.coerce` takes).  Unknown kwargs stay a
+    ``TypeError``, exactly as a plain signature would make them.
+    """
+    config = ScenarioConfig.coerce(config)
+    drifted = [key for key in kwargs if key in _CONFIG_FIELDS]
+    if drifted:
+        warnings.warn(
+            f"passing {', '.join(sorted(drifted))} directly to {builder}() "
+            "is deprecated; put scenario knobs on ScenarioConfig "
+            "(config=... accepts a ScenarioConfig, dict, or engine name)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        fields = {name: getattr(config, name) for name in _CONFIG_FIELDS}
+        for key in drifted:
+            fields[key] = kwargs.pop(key)
+        config = ScenarioConfig(**fields)
+    if kwargs:
+        unexpected = ", ".join(sorted(kwargs))
+        raise TypeError(
+            f"{builder}() got unexpected keyword arguments: {unexpected}"
+        )
+    return config
+
+
 def _series_policy_specs(
     policy: str, names: Sequence[str], static_stateful: Optional[str]
 ) -> Dict[str, str]:
@@ -506,7 +662,8 @@ SINGLE_PROXY_MODES = {
 def single_proxy(
     rate: float,
     mode: str = "transaction_stateful",
-    config: Optional[ScenarioConfig] = None,
+    config=None,
+    **kwargs,
 ) -> Scenario:
     """Section 3's setup: SIPp clients -> one proxy -> SIPp servers.
 
@@ -518,7 +675,7 @@ def single_proxy(
     if mode not in SINGLE_PROXY_MODES:
         raise ValueError(f"unknown mode {mode!r}; one of {sorted(SINGLE_PROXY_MODES)}")
     policy_spec, lookup, auth = SINGLE_PROXY_MODES[mode]
-    config = config or ScenarioConfig()
+    config = _resolve_config(config, kwargs, "single_proxy")
     scenario = Scenario(f"single_proxy[{mode}]", config)
     aor = "sip:burdell@edge.example.net"
     route = RouteTable()
@@ -537,8 +694,9 @@ def n_series(
     rate: float,
     policy: str = "servartuka",
     static_stateful: Optional[str] = None,
-    config: Optional[ScenarioConfig] = None,
+    config=None,
     auth: str = "none",
+    **kwargs,
 ) -> Scenario:
     """N proxies in series: UAC -> P1 -> ... -> PN -> UAS.
 
@@ -564,7 +722,7 @@ def n_series(
         raise ValueError("need at least one proxy")
     if auth not in ("none", "entry", "distributed"):
         raise ValueError(f"unknown auth placement {auth!r}")
-    config = config or ScenarioConfig()
+    config = _resolve_config(config, kwargs, "n_series")
     scenario = Scenario(f"{n}_series", config)
     names = [f"P{i + 1}" for i in range(n)]
     domain = "edge.example.net"
@@ -594,10 +752,11 @@ def two_series(
     rate: float,
     policy: str = "servartuka",
     static_stateful: Optional[str] = None,
-    config: Optional[ScenarioConfig] = None,
+    config=None,
+    **kwargs,
 ) -> Scenario:
     """The paper's canonical two-servers-in-series configuration."""
-    return n_series(2, rate, policy, static_stateful, config)
+    return n_series(2, rate, policy, static_stateful, config, **kwargs)
 
 
 def internal_external(
@@ -605,7 +764,8 @@ def internal_external(
     external_fraction: float,
     policy: str = "servartuka",
     static_stateful: Optional[str] = None,
-    config: Optional[ScenarioConfig] = None,
+    config=None,
+    **kwargs,
 ) -> Scenario:
     """Figure 7: external calls traverse S1 -> S2, internal ones stop at S1.
 
@@ -614,7 +774,7 @@ def internal_external(
     """
     if not 0.0 <= external_fraction <= 1.0:
         raise ValueError("external_fraction must be within [0, 1]")
-    config = config or ScenarioConfig()
+    config = _resolve_config(config, kwargs, "internal_external")
     scenario = Scenario("internal_external", config)
     ext_domain = "far.example.net"
     int_domain = "near.example.net"
@@ -641,9 +801,10 @@ def parallel_fork(
     rate: float,
     policy: str = "servartuka",
     upper_share: float = 0.5,
-    config: Optional[ScenarioConfig] = None,
+    config=None,
     static_front_stateful: bool = False,
     failover: bool = False,
+    **kwargs,
 ) -> Scenario:
     """Figure 8: a front proxy load-balances across two parallel paths.
 
@@ -660,7 +821,7 @@ def parallel_fork(
     """
     if not 0.0 < upper_share < 1.0:
         raise ValueError("upper_share must be strictly inside (0, 1)")
-    config = config or ScenarioConfig()
+    config = _resolve_config(config, kwargs, "parallel_fork")
     scenario = Scenario("parallel_fork", config)
     up_domain = "upper.example.net"
     low_domain = "lower.example.net"
@@ -701,7 +862,7 @@ def generated(
     seed: int = 1,
     heterogeneity: float = 0.0,
     policy: str = "servartuka",
-    config: Optional[ScenarioConfig] = None,
+    config=None,
     **params,
 ) -> Scenario:
     """Run any :mod:`repro.core.topogen` topology as a live simulation.
@@ -726,7 +887,10 @@ def generated(
     """
     from repro.core import topogen
 
-    config = config or ScenarioConfig()
+    # No deprecation bridge here: **params belongs to the topology
+    # generator (its own ``seed`` is the *topology* seed), so config
+    # knobs must come through config=.
+    config = ScenarioConfig.coerce(config)
     # Anchor the generated capacities to this config's calibration so
     # the LP oracle and the simulator charge identical economics.
     unit_model = CostModel(
@@ -789,4 +953,234 @@ def generated(
             flow.entry,
             [flow_aor[flow.name]],
         )
+    return scenario
+
+
+def register_churn(
+    rate: float,
+    subscribers: int = 100,
+    refresh_interval: float = 20.0,
+    expires: Optional[float] = None,
+    auth: str = "none",
+    policy: str = "servartuka",
+    config=None,
+    **kwargs,
+) -> Scenario:
+    """A subscriber population churning REGISTERs behind call load.
+
+    ``subscribers`` devices (paper-equivalent; divided by
+    ``config.scale`` like call rates) each re-REGISTER every
+    ``refresh_interval`` seconds, so the proxy carries a steady
+    background REGISTER rate of ``subscribers / refresh_interval`` on
+    top of ``rate`` calls/second.  Registration state shows up in the
+    proxy's :class:`~repro.core.stateacct.StateAccount` and derates its
+    SERvartuka thresholds (Algorithm 1/2 sees less headroom).
+
+    ``auth="digest"`` turns on the digest-auth storm variant: the proxy
+    challenges, and every REGISTER (and INVITE) carries a pre-computed
+    ``Authorization`` header the registrar must verify -- the costliest
+    per-message path in the paper's Figure 3.
+
+    ``expires`` defaults to ``1.5 * refresh_interval`` so bindings
+    never lapse between refreshes.
+    """
+    if auth not in ("none", "digest"):
+        raise ValueError(f"unknown auth variant {auth!r}")
+    if subscribers < 1:
+        raise ValueError("need at least one subscriber")
+    config = _resolve_config(config, kwargs, "register_churn")
+    scenario = Scenario(f"register_churn[{auth}]", config)
+    digest = auth == "digest"
+    domain = "edge.example.net"
+    # Scale the population like call rates: the simulated REGISTER rate
+    # is (subscribers / scale) / refresh_interval, matching the paper
+    # rate divided by scale exactly as add_uac does for calls.
+    population = max(4, int(round(subscribers / config.scale)))
+    aors = [f"sip:sub{i}@{domain}" for i in range(population)]
+
+    route = RouteTable().add(domain, DELIVER_ACTION)
+    scenario.add_proxy("P1", route, policy, auth_enabled=digest)
+    # Pre-register every AOR at the UAS so calls placed before a
+    # device's first refresh cycle still resolve (no startup 404s).
+    scenario.add_uas("uas1", aors)
+    scenario.add_registrar(
+        "reg1", "P1", aors,
+        refresh_interval=refresh_interval,
+        expires=expires if expires is not None else 1.5 * refresh_interval,
+        contact_node="uas1",
+        with_auth=digest,
+    )
+    scenario.add_uac("uac1", rate, "P1", aors, with_auth=digest)
+    return scenario
+
+
+def b2bua_chain(
+    rate: float,
+    policy: str = "servartuka",
+    static_stateful: Optional[str] = None,
+    config=None,
+    **kwargs,
+) -> Scenario:
+    """Two proxy segments bridged by a B2BUA: UAC -> P1 -> B -> P2 -> UAS.
+
+    The B2BUA terminates every dialog on leg A and re-originates it on
+    leg B, holding full call state on both legs for the call's entire
+    lifetime -- the worst-case state profile the paper contrasts with
+    transaction-stateful proxying.  The proxies on either side still
+    run ``policy`` (SERvartuka by default), so the scenario shows how
+    dynamic state placement behaves when an unavoidable stateful
+    element sits mid-path.
+    """
+    config = _resolve_config(config, kwargs, "b2bua_chain")
+    scenario = Scenario("b2bua_chain", config)
+    b2b_domain = "b2b.example.net"
+    east_domain = "east.example.net"
+    callee = f"sip:callee@{east_domain}"
+
+    specs = _series_policy_specs(policy, ["P1", "P2"], static_stateful)
+
+    route1 = RouteTable().add(b2b_domain, "B")
+    route2 = RouteTable().add(east_domain, DELIVER_ACTION)
+    scenario.add_proxy("P1", route1, specs["P1"])
+    scenario.add_proxy("P2", route2, specs["P2"])
+    scenario.add_b2bua("B", first_hop="P2", dest_domain=east_domain)
+    scenario.add_uas("uas1", [callee])
+    scenario.add_uac("uac1", rate, "P1", [f"sip:callee@{b2b_domain}"])
+    return scenario
+
+
+def flash_crowd(
+    rate: float,
+    shape: str = "spike",
+    peak_factor: float = 3.0,
+    period: float = 10.0,
+    profile: Optional[Sequence[Sequence[float]]] = None,
+    restart_node: Optional[str] = None,
+    restart_at: Optional[float] = None,
+    downtime: float = 1.0,
+    n: int = 2,
+    policy: str = "servartuka",
+    config=None,
+    **kwargs,
+) -> Scenario:
+    """An n-series chain under a time-varying (flash-crowd) load.
+
+    ``rate`` is the *baseline* paper-equivalent calls/second; the
+    profile multiplies it over time:
+
+    - ``shape="step"`` -- baseline, then ``peak_factor`` x baseline,
+      then baseline again, each held for ``period`` seconds;
+    - ``shape="spike"`` -- like step but the peak lasts only
+      ``period / 5`` (a televoting-style surge);
+    - ``shape="diurnal"`` -- eight steps tracing one raised-cosine
+      cycle between baseline and the peak.
+
+    An explicit ``profile=[(duration, factor), ...]`` overrides
+    ``shape``.  ``restart_node``/``restart_at`` optionally crash a
+    proxy mid-crowd (auto-restarting after ``downtime`` seconds) to
+    reproduce a restart avalanche: the recovering server re-enters at
+    peak load with empty state tables.
+    """
+    from repro.sim.faults import FaultSchedule
+    from repro.workloads.callgen import LoadProfile, LoadStep, apply_profile
+
+    if peak_factor <= 0:
+        raise ValueError("peak_factor must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    config = _resolve_config(config, kwargs, "flash_crowd")
+    scenario = n_series(n, rate, policy=policy, config=config)
+    scenario.name = f"flash_crowd[{shape if profile is None else 'custom'}]"
+
+    if profile is not None:
+        factors = [(float(d), float(f)) for d, f in profile]
+    elif shape == "step":
+        factors = [(period, 1.0), (period, peak_factor), (period, 1.0)]
+    elif shape == "spike":
+        factors = [(period, 1.0), (period / 5.0, peak_factor), (period, 1.0)]
+    elif shape == "diurnal":
+        factors = [
+            (period, 1.0 + (peak_factor - 1.0)
+             * (0.5 - 0.5 * math.cos(2.0 * math.pi * k / 8.0)))
+            for k in range(8)
+        ]
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+
+    # Profile rates are post-scale absolute totals (apply_profile
+    # preserves each generator's share of the total).
+    base = rate / config.scale
+    steps = [LoadStep(base * factor, duration) for duration, factor in factors]
+    apply_profile(scenario.loop, scenario.generators, LoadProfile(steps))
+
+    if restart_node is not None:
+        if restart_at is None:
+            raise ValueError("restart_node requires restart_at")
+        if restart_node not in scenario.proxies:
+            raise ValueError(
+                f"{restart_node!r} not in {sorted(scenario.proxies)}"
+            )
+        schedule = FaultSchedule().crash(restart_at, restart_node,
+                                         downtime=downtime)
+        scenario.install_faults(schedule)
+    return scenario
+
+
+def heavy_tail(
+    rate: float,
+    hold_time: float = 5.0,
+    hold_dist: str = "pareto",
+    hold_sigma: float = 0.8,
+    hold_alpha: float = 1.8,
+    reinvite_after: Optional[float] = None,
+    n: int = 2,
+    policy: str = "servartuka",
+    config=None,
+    **kwargs,
+) -> Scenario:
+    """An n-series chain with heavy-tailed call durations.
+
+    Real call-hold times are far from exponential; lognormal and Pareto
+    fits dominate the measurement literature.  Long calls pin dialog
+    state for their entire duration, so heavy tails stress exactly the
+    state budget SERvartuka reallocates:
+
+    - ``hold_dist="pareto"`` -- Pareto with tail index ``hold_alpha``
+      and mean ``hold_time`` (``alpha`` close to 1 means rare but
+      enormous calls);
+    - ``hold_dist="lognormal"`` -- lognormal with sigma ``hold_sigma``
+      and mean ``hold_time``;
+    - ``hold_dist="fixed"`` -- degenerate baseline.
+
+    ``reinvite_after`` additionally sends a mid-call re-INVITE (session
+    refresh / hold-retrieve) that long, that many seconds into every
+    call that lasts longer -- in-dialog traffic the stateless fast path
+    cannot absorb.
+    """
+    if n < 1:
+        raise ValueError("need at least one proxy")
+    config = _resolve_config(config, kwargs, "heavy_tail")
+    scenario = Scenario(f"heavy_tail[{hold_dist}]", config)
+    names = [f"P{i + 1}" for i in range(n)]
+    domain = "edge.example.net"
+    aor = f"sip:burdell@{domain}"
+
+    specs = _series_policy_specs(policy, names, None)
+    for index, name in enumerate(names):
+        route = RouteTable()
+        if index == n - 1:
+            route.add(domain, DELIVER_ACTION)
+        else:
+            route.add(domain, names[index + 1])
+        scenario.add_proxy(name, route, specs[name])
+
+    scenario.add_uas("uas1", [aor])
+    scenario.add_uac(
+        "uac1", rate, names[0], [aor],
+        hold_time=hold_time,
+        hold_dist=hold_dist,
+        hold_sigma=hold_sigma,
+        hold_alpha=hold_alpha,
+        reinvite_after=reinvite_after,
+    )
     return scenario

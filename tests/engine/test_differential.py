@@ -38,10 +38,14 @@ from repro.harness.resilience import ResilienceParams, build_resilience_scenario
 from repro.sip.timers import TimerPolicy
 from repro.workloads.scenarios import (
     ScenarioConfig,
+    b2bua_chain,
+    flash_crowd,
     generated,
+    heavy_tail,
     internal_external,
     n_series,
     parallel_fork,
+    register_churn,
     single_proxy,
     two_series,
 )
@@ -88,6 +92,25 @@ SCENARIOS = {
     "parallel_fork": lambda config: parallel_fork(
         12_000, policy="servartuka", config=config
     ),
+    # Workload-diversity families (same identity contract): REGISTER
+    # churn with a digest-auth storm, a B2BUA bridging two segments,
+    # a flash crowd with a mid-crowd restart avalanche, and
+    # heavy-tailed holds with mid-call re-INVITEs.
+    "register_churn_digest": lambda config: register_churn(
+        9_000, subscribers=1_500, refresh_interval=1.0, auth="digest",
+        config=config,
+    ),
+    "b2bua_chain": lambda config: b2bua_chain(
+        9_000, policy="servartuka", config=config
+    ),
+    "flash_crowd_restart": lambda config: flash_crowd(
+        8_000, shape="spike", peak_factor=3.0, period=1.0,
+        restart_node="P2", restart_at=1.5, downtime=0.4, config=config,
+    ),
+    "heavy_tail_reinvite": lambda config: heavy_tail(
+        9_000, hold_time=0.5, hold_dist="pareto", hold_alpha=1.8,
+        reinvite_after=0.3, config=config,
+    ),
 }
 
 
@@ -125,6 +148,10 @@ def _registries(scenario) -> dict:
         snaps[f"uac:{generator.name}"] = generator.metrics.snapshot()
     for server in scenario.servers:
         snaps[f"uas:{server.name}"] = server.metrics.snapshot()
+    for registrar in getattr(scenario, "registrars", ()):
+        snaps[f"reg:{registrar.name}"] = registrar.metrics.snapshot()
+    for b2bua in getattr(scenario, "b2buas", ()):
+        snaps[f"b2b:{b2bua.name}"] = b2bua.metrics.snapshot()
     return snaps
 
 

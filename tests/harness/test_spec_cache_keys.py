@@ -1,0 +1,96 @@
+"""Pinned run-cache keys: spec-less payloads must hash as before.
+
+The scenario-spec DSL rides on the same ``RunSpec`` payload that the
+run cache hashes, so the one way to corrupt every existing cache entry
+is to let a new payload field leak into runs that do not use it.  The
+SHA-256 keys below were recorded on the commit *before* the DSL landed;
+they cover every payload shape the executor emits (config defaults,
+non-default knobs, engine and control selections, topogen kwargs).  If
+one drifts, either a payload key was added unconditionally (make it
+dormant: present only when active) or canonicalisation changed (a
+cache-breaking event that needs a deliberate decision, not an
+accident).
+"""
+
+from repro.harness.parallel import SpecTemplate
+from repro.sip.timers import TimerPolicy
+from repro.workloads.scenarios import ScenarioConfig
+from repro.workloads.spec import ScenarioSpec
+
+PINNED = {
+    "series": "0c86c1effb61e817ac88a117b6257b311be6f1ec75dc881aff32812e9775a08d",
+    "single": "0b2d80b0cfa2c199c2c79f54dc5a4004500dcf36648e7b94d186f27d438895e0",
+    "fork": "72c7cb3b176d17ef590c50f2b0cc58f20c3b5218f33e5b45c03c00fb1d8f75f0",
+    "mix": "97eb81774ae2df6a25116c7d0f9ee3579287b67ee2e0e5d526262e128639e50f",
+    "generated": "02f562c9363600a64b0618904bfe020a92a1bb6649b2472656d7ac8b06f2cfc6",
+}
+
+
+def _specs():
+    return {
+        "series": SpecTemplate(
+            "n_series",
+            ScenarioConfig(
+                scale=50.0, seed=7, monitor_period=0.5,
+                timers=TimerPolicy(t1=0.05, t2=0.2, t4=0.2),
+            ),
+            n=2, policy="servartuka",
+        ).at(9000.0, 4.0, 2.0),
+        "single": SpecTemplate(
+            "single_proxy", ScenarioConfig(), mode="stateless"
+        ).at(8000.0, 8.0, 3.0),
+        "fork": SpecTemplate(
+            "parallel_fork",
+            ScenarioConfig(scale=25.0, seed=3, engine="turbo"),
+            policy="static",
+        ).at(12000.0, 6.0, 2.0),
+        "mix": SpecTemplate(
+            "internal_external",
+            ScenarioConfig(engine="fast", control="occupancy"),
+            external_fraction=0.8,
+        ).at(10000.0, 8.0, 3.0),
+        "generated": SpecTemplate(
+            "generated", ScenarioConfig(scale=100.0, seed=2),
+            family="mesh", size=12, seed=2, heterogeneity=0.3,
+        ).at(9000.0, 5.0, 2.0),
+    }
+
+
+def test_pre_dsl_cache_keys_unchanged():
+    specs = _specs()
+    drifted = {
+        name: specs[name].key()
+        for name in PINNED if specs[name].key() != PINNED[name]
+    }
+    assert not drifted, (
+        f"run-cache keys drifted (cache-breaking change): {drifted}"
+    )
+
+
+def test_spec_file_and_programmatic_key_agree():
+    """A spec document and its programmatic twin share one cache key."""
+    spec = ScenarioSpec.from_dict({
+        "scenario": {
+            "builder": "n_series",
+            "params": {"n": 2, "policy": "servartuka"},
+        },
+        "config": {"scale": 50.0, "seed": 7, "engine": "fast"},
+        "load": {"rate": 9000.0},
+        "run": {"duration": 4.0, "warmup": 2.0},
+    })
+    programmatic = SpecTemplate(
+        "n_series",
+        ScenarioConfig.from_payload(
+            {"scale": 50.0, "seed": 7, "engine": "fast"}
+        ),
+        label="n_series", n=2, policy="servartuka",
+    ).at(9000.0, duration=4.0, warmup=2.0, drain=0.0)
+    assert spec.run_spec().key() == programmatic.key()
+
+
+def test_label_never_hashes():
+    base = ScenarioSpec(builder="single_proxy", rate=5000.0)
+    labelled = ScenarioSpec(
+        builder="single_proxy", rate=5000.0, label="anything-else"
+    )
+    assert base.run_spec().key() == labelled.run_spec().key()

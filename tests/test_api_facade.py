@@ -35,7 +35,8 @@ class TestSurface:
     def test_topologies_enumerates_builders(self):
         assert set(api.TOPOLOGIES) == {
             "single_proxy", "n_series", "internal_external", "parallel_fork",
-            "generated",
+            "generated", "register_churn", "b2bua_chain", "flash_crowd",
+            "heavy_tail",
         }
 
 

@@ -57,6 +57,25 @@ class TestProfiles:
         profile = LoadProfile([LoadStep(10, 2), LoadStep(20, 3)])
         assert profile.boundaries() == [(0.0, 10), (2.0, 20)]
 
+    def test_zero_duration_step_rejected(self):
+        # A zero-duration step would put two boundaries at the same
+        # instant with an ambiguous rate between them.
+        with pytest.raises(ValueError):
+            LoadProfile([LoadStep(10, 2), LoadStep(20, 0.0)])
+
+    def test_back_to_back_ramps_compose(self):
+        """Concatenated up/down ramps keep strictly increasing boundaries."""
+        up = LoadProfile.ramp(10, 100, duration=4, segments=4)
+        down = LoadProfile.ramp(100, 10, duration=4, segments=4)
+        profile = LoadProfile(list(up.steps) + list(down.steps))
+        assert profile.total_duration == pytest.approx(8.0)
+        times = [t for t, _ in profile.boundaries()]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times), "coincident ramp edges"
+        rates = [r for _, r in profile.boundaries()]
+        assert rates[:4] == sorted(rates[:4])
+        assert rates[4:] == sorted(rates[4:], reverse=True)
+
 
 class TestApplyProfile:
     def test_rates_preserve_shares(self):
@@ -69,6 +88,24 @@ class TestApplyProfile:
         assert end == pytest.approx(2.0)
         assert big.history == [pytest.approx(800), pytest.approx(400)]
         assert small.history == [pytest.approx(200), pytest.approx(100)]
+
+    def test_end_time_offsets_from_loop_now(self):
+        """apply_profile schedules relative to *now*, not t=0."""
+        loop = EventLoop()
+        gen = FakeGenerator(50.0)
+        loop.run_until(3.0)
+        profile = LoadProfile([LoadStep(100, 1.5), LoadStep(200, 2.5)])
+        end = apply_profile(loop, [gen], profile)
+        assert end == pytest.approx(3.0 + 4.0)
+        loop.run_until(end)
+        assert gen.history == [pytest.approx(100), pytest.approx(200)]
+
+    def test_edges_registered_as_transients(self):
+        loop = EventLoop()
+        profile = LoadProfile([LoadStep(10, 1), LoadStep(20, 1)])
+        apply_profile(loop, [FakeGenerator(10.0)], profile)
+        # One transient per step edge, so hybrid never jumps across one.
+        assert len(loop.transients) >= len(profile.steps)
 
     def test_requires_generators(self):
         with pytest.raises(ValueError):

@@ -180,3 +180,66 @@ class TestScenarioPlumbing:
     def test_bad_scale_rejected(self):
         with pytest.raises(ValueError):
             ScenarioConfig(scale=0)
+
+
+class TestConfigCoerce:
+    def test_none_gives_defaults(self):
+        config = ScenarioConfig.coerce(None)
+        assert isinstance(config, ScenarioConfig)
+        assert config.engine == ScenarioConfig().engine
+
+    def test_instance_passes_through(self, fast_config):
+        assert ScenarioConfig.coerce(fast_config) is fast_config
+
+    def test_string_is_engine_shorthand(self):
+        assert ScenarioConfig.coerce("turbo").engine == "turbo"
+
+    def test_dict_is_partial_payload(self):
+        config = ScenarioConfig.coerce({"scale": 75.0, "seed": 11})
+        assert config.scale == 75.0
+        assert config.seed == 11
+        # Unset knobs fill with constructor defaults.
+        assert config.engine == ScenarioConfig().engine
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="config must be"):
+            ScenarioConfig.coerce(3.14)
+
+    def test_builders_accept_every_coercible_form(self):
+        for form in (None, "fast", {"scale": 80.0}):
+            scenario = two_series(100, config=form)
+            assert scenario.proxies
+
+
+class TestConfigKwargDeprecation:
+    """Per-builder config-field kwargs still work but warn; the one
+    idiom going forward is ``config=``."""
+
+    def test_seed_kwarg_warns_and_applies(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            scenario = n_series(2, 100, seed=33)
+        assert scenario.config.seed == 33
+
+    def test_engine_and_scale_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            scenario = single_proxy(100, engine="turbo", scale=80.0)
+        assert scenario.config.engine == "turbo"
+        assert scenario.config.scale == 80.0
+
+    def test_kwarg_overrides_config_field(self):
+        with pytest.warns(DeprecationWarning):
+            scenario = two_series(
+                100, config=ScenarioConfig(seed=1), seed=9
+            )
+        assert scenario.config.seed == 9
+
+    def test_config_idiom_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            two_series(100, config=ScenarioConfig(seed=5))
+
+    def test_unknown_kwargs_still_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            two_series(100, nonsense=True)
